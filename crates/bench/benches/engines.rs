@@ -1,0 +1,148 @@
+//! Criterion benches over the core engines, one per experiment family,
+//! plus the ablations DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfm_geom::{GridIndex, Point, Rect, Region};
+use dfm_layout::{layers, Technology};
+use std::hint::black_box;
+
+fn routed_m1(seed: u64) -> Region {
+    let tech = Technology::n65();
+    let lib = dfm_layout::generate::routed_block(
+        &tech,
+        dfm_layout::generate::RoutedBlockParams {
+            width: 15_000,
+            height: 15_000,
+            ..Default::default()
+        },
+        seed,
+    );
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    flat.region(layers::METAL1)
+}
+
+/// Boolean engine: full-layer union/difference (powers everything).
+fn bench_region_boolean(c: &mut Criterion) {
+    let a = routed_m1(1);
+    let b = routed_m1(2);
+    c.bench_function("region_union", |bench| {
+        bench.iter(|| black_box(a.union(&b)).area())
+    });
+    c.bench_function("region_difference", |bench| {
+        bench.iter(|| black_box(a.difference(&b)).area())
+    });
+}
+
+/// DRC spacing sweep (E1/E8 substrate; bench `caa` pairs with it).
+fn bench_drc(c: &mut Criterion) {
+    let region = routed_m1(3);
+    c.bench_function("drc_spacing_sweep", |bench| {
+        bench.iter(|| dfm_drc::spacing_violations(black_box(&region), 90).len())
+    });
+}
+
+/// Critical-area extraction (Table 1 / Table 7).
+fn bench_caa(c: &mut Criterion) {
+    let region = routed_m1(4);
+    let defects = dfm_yield::DefectModel::new(45, 1.0);
+    c.bench_function("caa_analyze", |bench| {
+        bench.iter(|| {
+            dfm_yield::critical_area::analyze(black_box(&region), &defects).total_ca_nm2()
+        })
+    });
+}
+
+/// Aerial-image simulation of one tile (Fig 1 substrate).
+fn bench_litho(c: &mut Criterion) {
+    let sim = dfm_litho::LithoSimulator::for_feature_size(90);
+    let mask = Region::from_rects((0..10).map(|i| Rect::new(0, i * 180, 4000, i * 180 + 90)));
+    let window = mask.bbox().expanded(200);
+    c.bench_function("litho_print_tile", |bench| {
+        bench.iter(|| {
+            sim.printed_in_window(black_box(&mask), window, dfm_litho::Condition::nominal())
+                .area()
+        })
+    });
+}
+
+/// Pattern encode+match throughput (Table 3 substrate).
+fn bench_pattern_match(c: &mut Criterion) {
+    let region = routed_m1(5);
+    let mut library: dfm_pattern::PatternLibrary<()> = dfm_pattern::PatternLibrary::new(540, 10, 15);
+    let rects: Vec<Rect> = region.rects().iter().copied().take(64).collect();
+    for r in &rects {
+        library.learn(&[&region], r.center(), ());
+    }
+    let anchors: Vec<Point> = region.rects().iter().map(|r| r.center()).take(512).collect();
+    c.bench_function("pattern_scan_512_anchors", |bench| {
+        bench.iter(|| library.scan(black_box(&[&region]), &anchors).len())
+    });
+}
+
+/// DPT decomposition (Table 4 substrate).
+fn bench_dpt(c: &mut Criterion) {
+    let region = routed_m1(6);
+    let params = dfm_dpt::DptParams::for_min_space(90);
+    c.bench_function("dpt_decompose", |bench| {
+        bench.iter(|| dfm_dpt::decompose(black_box(&region), params).piece_count())
+    });
+}
+
+/// Ablation: separable vs full 2-D Gaussian convolution.
+fn bench_conv_ablation(c: &mut Criterion) {
+    let mask = Region::from_rects((0..6).map(|i| Rect::new(0, i * 200, 2000, i * 200 + 90)));
+    let window = mask.bbox().expanded(150);
+    let base = dfm_litho::Raster::rasterize(&mask, window, 10);
+    c.bench_function("conv_separable", |bench| {
+        bench.iter(|| {
+            let mut r = base.clone();
+            r.gaussian_blur(black_box(40.0));
+            r.max_value()
+        })
+    });
+    c.bench_function("conv_full2d", |bench| {
+        bench.iter(|| {
+            let mut r = base.clone();
+            r.gaussian_blur_full2d(black_box(40.0));
+            r.max_value()
+        })
+    });
+}
+
+/// Ablation: grid spatial index vs brute-force pair scan.
+fn bench_index_ablation(c: &mut Criterion) {
+    let region = routed_m1(7);
+    let rects: Vec<Rect> = region.rects().to_vec();
+    let mut index = GridIndex::new(1080);
+    for (i, r) in rects.iter().enumerate() {
+        index.insert(*r, i);
+    }
+    let probes: Vec<Rect> = rects.iter().step_by(10).map(|r| r.expanded(200)).collect();
+    c.bench_function("index_grid_queries", |bench| {
+        bench.iter(|| {
+            let mut n = 0usize;
+            for p in &probes {
+                n += index.query(black_box(*p)).len();
+            }
+            n
+        })
+    });
+    c.bench_function("index_bruteforce_queries", |bench| {
+        bench.iter(|| {
+            let mut n = 0usize;
+            for p in &probes {
+                n += rects.iter().filter(|r| r.touches(black_box(p))).count();
+            }
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = engines;
+    config = Criterion::default().sample_size(10);
+    targets = bench_region_boolean, bench_drc, bench_caa, bench_litho,
+              bench_pattern_match, bench_dpt, bench_index_ablation,
+              bench_conv_ablation
+}
+criterion_main!(engines);

@@ -1,0 +1,36 @@
+//! Regenerates every table and figure of the reproduction.
+//!
+//! ```text
+//! experiments            # run all of E1..E12
+//! experiments e4 e7      # run a subset
+//! experiments --list     # list experiment ids and titles
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, title, _) in dfm_bench::catalog() {
+            println!("{id:<5} {title}");
+        }
+        return;
+    }
+    let wanted: Vec<String> = args.iter().filter(|a| !a.starts_with('-')).cloned().collect();
+
+    if wanted.is_empty() {
+        for (id, title, out) in dfm_bench::run_all() {
+            print_experiment(id, title, &out);
+        }
+    } else {
+        for id in &wanted {
+            match dfm_bench::run_one(id) {
+                Some((title, out)) => print_experiment(id, title, &out),
+                None => eprintln!("unknown experiment {id:?}; try --list"),
+            }
+        }
+    }
+}
+
+fn print_experiment(id: &str, title: &str, out: &str) {
+    println!("\n=== {} — {title} ===\n", id.to_uppercase());
+    println!("{out}");
+}

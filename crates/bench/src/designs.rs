@@ -1,0 +1,71 @@
+//! Shared reference designs for the experiments.
+
+use dfm_layout::generate::{self, RoutedBlockParams};
+use dfm_layout::{FlatLayout, Library, Technology};
+
+/// The block edge used by most experiments (smaller than production but
+/// large enough for stable statistics).
+pub const BLOCK_EDGE: i64 = 30_000;
+
+fn block_params(base: RoutedBlockParams) -> RoutedBlockParams {
+    RoutedBlockParams { width: BLOCK_EDGE, height: BLOCK_EDGE, ..base }
+}
+
+/// Flattens a library's top cell (panicking on malformed libraries,
+/// which generated ones never are).
+pub fn flatten(lib: &Library) -> FlatLayout {
+    lib.flatten(lib.top().expect("generated libraries have a top"))
+        .expect("generated libraries flatten")
+}
+
+/// The default 65 nm-class reference block.
+pub fn reference(tech: &Technology, seed: u64) -> FlatLayout {
+    flatten(&generate::routed_block(
+        tech,
+        block_params(RoutedBlockParams::default()),
+        seed,
+    ))
+}
+
+/// A dense variant.
+pub fn dense(tech: &Technology, seed: u64) -> FlatLayout {
+    flatten(&generate::routed_block(
+        tech,
+        block_params(RoutedBlockParams::dense()),
+        seed,
+    ))
+}
+
+/// A sparse variant.
+pub fn sparse(tech: &Technology, seed: u64) -> FlatLayout {
+    flatten(&generate::routed_block(
+        tech,
+        block_params(RoutedBlockParams::sparse()),
+        seed,
+    ))
+}
+
+/// An SRAM-like array.
+pub fn sram(tech: &Technology) -> FlatLayout {
+    flatten(&generate::sram_array(tech, 24, 48))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_layout::layers;
+
+    #[test]
+    fn designs_are_nonempty_and_distinct() {
+        let tech = Technology::n65();
+        let a = reference(&tech, 1);
+        let b = dense(&tech, 1);
+        let c = sparse(&tech, 1);
+        let m = |f: &FlatLayout| f.region(layers::METAL1).area();
+        assert!(m(&a) > 0);
+        assert!(m(&b) > m(&a));
+        assert!(m(&c) < m(&a));
+        let s = sram(&tech);
+        assert!(s.region(layers::POLY).area() > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Lithography-centred experiments: E3, E4, E11.
+
+use crate::designs;
+use crate::table::{f, pct, Table};
+use dfm_geom::{Point, Rect, Region};
+use dfm_layout::{layers, Technology};
+use dfm_litho::hotspots::{find_hotspots, HotspotParams};
+use dfm_litho::process_window::{bossung, depth_of_focus, process_window_fraction, CutAxis, CutSpec};
+use dfm_litho::{Condition, LithoSimulator};
+use dfm_opc::{ModelOpc, RuleOpc, RuleOpcParams};
+use dfm_pattern::pat::{accuracy, PatTree};
+use dfm_pattern::PatternLibrary;
+use std::time::Instant;
+
+/// E3 (Fig 1): process window of dense and isolated lines under no OPC,
+/// rule-based OPC, and model-based OPC.
+pub fn e3_process_window() -> String {
+    // 70 nm drawn features imaged with a 90 nm-class PSF: the aggressive
+    // regime where raw printing is visibly biased and OPC earns its keep.
+    let w: i64 = 70;
+    let sim = LithoSimulator::for_feature_size(90);
+    let doses: Vec<f64> = vec![0.92, 0.96, 1.0, 1.04, 1.08];
+    let defoci: Vec<f64> = (0..6).map(|i| i as f64 * 40.0).collect();
+
+    // Structures: dense grating (pitch 2w) and isolated line.
+    let mut dense_rects = Vec::new();
+    for i in 0..7i64 {
+        dense_rects.push(Rect::new(0, i * 2 * w, 40 * w, i * 2 * w + w));
+    }
+    let dense = Region::from_rects(dense_rects);
+    let dense_cut = CutSpec { at: Point::new(20 * w, 6 * w + w / 2), axis: CutAxis::Vertical };
+    let iso = Region::from_rect(Rect::new(0, 0, 40 * w, w));
+    let iso_cut = CutSpec { at: Point::new(20 * w, w / 2), axis: CutAxis::Vertical };
+
+    // Calibrate the rule table the way fabs did: measure the raw iso
+    // bias on a test structure and bias by half the measured loss.
+    let iso_probe = sim.printed(&iso, Condition::nominal());
+    let raw_iso_cd = iso_cut.measure(&iso_probe).unwrap_or(w);
+    let measured_loss = (w - raw_iso_cd).max(0);
+    let rule_opc = RuleOpc::new(RuleOpcParams {
+        narrow_bias: 0,
+        iso_bias: measured_loss / 2,
+        ..RuleOpcParams::for_feature_size(w)
+    });
+    let model_opc = ModelOpc::new(sim.clone());
+
+    let mut table = Table::new([
+        "structure", "mask", "nominal CD", "PW fraction (±10%)", "DoF (nm)",
+    ]);
+    for (sname, drawn, cut) in [("dense", &dense, dense_cut), ("iso", &iso, iso_cut)] {
+        let masks: Vec<(&str, Region)> = vec![
+            ("raw", drawn.clone()),
+            ("rule-OPC", rule_opc.correct(drawn)),
+            ("model-OPC", model_opc.correct(drawn).mask),
+        ];
+        for (mname, mask) in masks {
+            let points = bossung(&sim, &mask, cut, &doses, &defoci);
+            let nominal_cd = points
+                .iter()
+                .find(|p| p.condition == Condition::nominal())
+                .and_then(|p| p.cd);
+            let frac = process_window_fraction(&points, w, 0.10);
+            let dof = depth_of_focus(&points, w, 0.10);
+            table.row([
+                sname.to_string(),
+                mname.to_string(),
+                nominal_cd.map_or("gone".into(), |c| c.to_string()),
+                f(frac, 3),
+                f(dof, 0),
+            ]);
+        }
+    }
+    let mut out = table.render();
+
+    // Ablation (DESIGN.md): model-OPC fragment length vs residual EPE,
+    // evaluated with one fixed fine sampling for fairness.
+    out.push_str("\nfragment-length ablation (model-OPC on the iso line):\n");
+    let mut ab = Table::new(["fragment len (nm)", "fragments", "EPE rms after (nm)", "max |EPE|"]);
+    for frac in [1.0, 2.0, 4.0] {
+        let sigma = sim.optics.sigma0_nm();
+        let flen = (frac * sigma) as i64;
+        let mut engine = ModelOpc::new(sim.clone());
+        engine.fragment_len = flen;
+        engine.iterations = 10;
+        let result = engine.correct(&iso);
+        let printed = sim.printed(&result.mask, Condition::nominal());
+        let samples =
+            dfm_litho::metrics::edge_placement_errors(&iso, &printed, w / 2, w / 4);
+        let summary = dfm_litho::metrics::summarize_epe(&samples);
+        let frag_count = dfm_opc::Fragmenter::new(flen).fragment(&iso).len();
+        ab.row([
+            flen.to_string(),
+            frag_count.to_string(),
+            f(summary.rms, 2),
+            summary.max_abs.to_string(),
+        ]);
+    }
+    out.push_str(&ab.render());
+
+    out.push_str(
+        "\nshape expectation: both OPC generations recover the isolated line's\n\
+         window (raw is the clear loser); the calibrated rule table's\n\
+         deliberate overshoot even buys extra focus margin on this 1-D\n\
+         structure — model-based OPC's decisive edge is on 2-D constructs\n\
+         (line ends and hotspots, Table 3), which is precisely why the panel\n\
+         era moved to model-based for logic while keeping rules for gratings.\n",
+    );
+    out
+}
+
+/// E4 (Table 3): pattern-match screening vs full simulation.
+///
+/// Golden hotspots come from litho simulation at defocus; a pattern
+/// library is learned from the left half of the design and evaluated on
+/// the right half, reporting recall/precision and runtime speedup.
+pub fn e4_hotspot_screening() -> String {
+    let tech = Technology::n45();
+    let flat = designs::dense(&tech, 404);
+    let m1 = flat.region(layers::METAL1);
+    let w = tech.rules(layers::METAL1).min_width;
+    // Stress condition: heavy defocus makes marginal geometry fail.
+    let sim = LithoSimulator::for_feature_size((w * 14 / 10).max(60));
+    let cond = Condition::with_defocus(140.0);
+    let params = HotspotParams::for_min_width(w);
+
+    let t_sim = Instant::now();
+    let golden = find_hotspots(&sim, &m1, cond, params);
+    let sim_ms = t_sim.elapsed().as_secs_f64() * 1e3;
+
+    let bbox = m1.bbox();
+    let mid_x = bbox.x0 + bbox.width() / 2;
+    let (train, test): (
+        Vec<&dfm_litho::hotspots::Hotspot>,
+        Vec<&dfm_litho::hotspots::Hotspot>,
+    ) = golden.iter().partition(|h| h.location.center().x < mid_x);
+
+    // Learn the library from training hotspots. The context window is
+    // deliberately tight (the failing construct plus its immediate
+    // neighbours) with a generous dimension tolerance — wide windows with
+    // tight tolerances make every occurrence its own pattern and recall
+    // collapses (the E11 radius trade-off).
+    let radius = 5 * w / 2;
+    let mut library: PatternLibrary<()> = PatternLibrary::new(radius, w / 3, w / 2);
+    for h in &train {
+        library.learn(&[&m1], h.location.center(), ());
+    }
+
+    // Scan anchors: all golden test locations (recall) + a grid of clean
+    // anchors (precision / false alarms).
+    let mut anchors: Vec<Point> = test.iter().map(|h| h.location.center()).collect();
+    let n_true = anchors.len();
+    let mut clean = 0usize;
+    let step = 40 * w;
+    let mut y = bbox.y0;
+    while y < bbox.y1 {
+        let mut x = mid_x;
+        while x < bbox.x1 {
+            let p = Point::new(x, y);
+            if !golden.iter().any(|h| h.location.expanded(radius).contains(p)) {
+                anchors.push(p);
+                clean += 1;
+            }
+            x += step;
+        }
+        y += step;
+    }
+
+    let t_scan = Instant::now();
+    let matches = library.scan(&[&m1], &anchors);
+    let scan_ms = t_scan.elapsed().as_secs_f64() * 1e3;
+
+    let hits_true = matches.iter().filter(|m| anchors[..n_true].contains(&m.at)).count();
+    let hits_clean = matches.len() - hits_true;
+    let recall = if n_true > 0 { hits_true as f64 / n_true as f64 } else { 1.0 };
+    let false_alarm = if clean > 0 { hits_clean as f64 / clean as f64 } else { 0.0 };
+
+    let mut out = String::new();
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["golden hotspots (whole design)", &golden.len().to_string()]);
+    table.row(["training hotspots (left half)", &train.len().to_string()]);
+    table.row(["library patterns after dedup", &library.len().to_string()]);
+    table.row(["test hotspots (right half)", &n_true.to_string()]);
+    table.row(["recall on test hotspots", &pct(recall)]);
+    table.row(["false-alarm rate on clean sites", &pct(false_alarm)]);
+    table.row(["simulation runtime (ms)", &f(sim_ms, 1)]);
+    table.row(["pattern-scan runtime (ms)", &f(scan_ms, 1)]);
+    table.row([
+        "speedup",
+        &format!("{:.1}x", sim_ms / scan_ms.max(0.001)),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(
+        "\nshape expectation: high recall at near-zero false alarms, with a\n\
+         large runtime advantage — Capodieci's screening position.\n",
+    );
+    out
+}
+
+/// E11 (Fig 5): context radius and the Pattern Association Tree.
+pub fn e11_pat() -> String {
+    // A synthetic labelled problem where hotspot-ness depends on a
+    // neighbour outside the small radius: squares with a close partner
+    // (visible only at radius ≥ 400) are "bad".
+    let mut rects = Vec::new();
+    let mut anchors = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40i64 {
+        let c = Point::new(i * 5_000, 0);
+        rects.push(Rect::centered_at(c, 120, 120));
+        anchors.push(c);
+        labels.push(false);
+        let c2 = Point::new(i * 5_000, 30_000);
+        rects.push(Rect::centered_at(c2, 120, 120));
+        rects.push(Rect::centered_at(c2 + dfm_geom::Vector::new(320, 0), 120, 120));
+        anchors.push(c2);
+        labels.push(true);
+    }
+    let layout = Region::from_rects(rects);
+    let layers_ref: [&Region; 1] = [&layout];
+
+    let mut table = Table::new(["configuration", "nodes/level", "accuracy", "max effective radius"]);
+    for (name, radii) in [
+        ("fixed r=150", vec![150i64]),
+        ("fixed r=400", vec![400i64]),
+        ("fixed r=800", vec![800i64]),
+        ("PAT {150,400,800}", vec![150, 400, 800]),
+    ] {
+        let tree = PatTree::train(&layers_ref, &anchors, &labels, &radii, 1, 0.95);
+        let acc = accuracy(&tree, &layers_ref, &anchors, &labels);
+        let max_eff = anchors
+            .iter()
+            .filter_map(|&a| tree.effective_radius(&layers_ref, a))
+            .max()
+            .unwrap_or(0);
+        table.row([
+            name.to_string(),
+            format!("{:?}", tree.nodes_per_level()),
+            pct(acc),
+            max_eff.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape expectation: the small fixed radius cannot separate the\n\
+         classes; the PAT reaches full accuracy while stopping at the\n\
+         smallest decisive radius per pattern.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_pat_beats_small_fixed_radius() {
+        let text = e11_pat();
+        // The PAT row reaches 100%.
+        let pat_line = text
+            .lines()
+            .find(|l| l.starts_with("PAT"))
+            .expect("PAT row present");
+        assert!(pat_line.contains("100.00%"), "{text}");
+        let small = text
+            .lines()
+            .find(|l| l.starts_with("fixed r=150"))
+            .expect("fixed row");
+        assert!(!small.contains("100.00%"), "{text}");
+    }
+}

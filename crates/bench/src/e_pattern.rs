@@ -1,0 +1,162 @@
+//! Pattern- and decomposition-centred experiments: E5, E6.
+
+use crate::designs;
+use crate::table::{f, pct, Table};
+use dfm_dpt::{decompose, score, DptParams};
+use dfm_layout::generate::{self, RoutedBlockParams};
+use dfm_layout::{layers, Technology};
+use dfm_pattern::catalog::{anchors, Catalog};
+
+/// E5 (Fig 2): via-enclosure pattern catalogs across three designs.
+pub fn e5_catalogs() -> String {
+    let tech = Technology::n65();
+    // Window sized to the via pad plus immediate wire context; snap at
+    // one sixth of the minimum width so pad/wire variants merge into
+    // enclosure categories rather than per-instance patterns.
+    let radius = tech.via_size / 2 + tech.via_enclosure + tech.rules(layers::METAL1).min_width;
+    let snap = tech.rules(layers::METAL1).min_width / 6;
+
+    let build = |flat: &dfm_layout::FlatLayout| -> Catalog {
+        let vias = flat.region(layers::VIA1);
+        let m1 = flat.region(layers::METAL1);
+        let m2 = flat.region(layers::METAL2);
+        let pts = anchors::rect_centers(&vias);
+        Catalog::build(&[&vias, &m1, &m2], &pts, radius, snap)
+    };
+
+    let designs_list = [
+        ("65nm product-A", designs::reference(&tech, 505)),
+        ("65nm product-B", designs::reference(&tech, 606)),
+        ("45nm port", designs::reference(&Technology::n45(), 505)),
+    ];
+    let catalogs: Vec<(&str, Catalog)> =
+        designs_list.iter().map(|(n, f)| (*n, build(f))).collect();
+
+    let mut out = String::new();
+    let mut table = Table::new(["design", "vias", "classes", "top-1", "top-10", "top-20"]);
+    for (name, c) in &catalogs {
+        table.row([
+            name.to_string(),
+            c.total().to_string(),
+            c.class_count().to_string(),
+            pct(c.coverage_top_k(1)),
+            pct(c.coverage_top_k(10)),
+            pct(c.coverage_top_k(20)),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nKL divergence matrix (nats):\n");
+    let mut kl = Table::new(["D(row‖col)", "65nm product-A", "65nm product-B", "45nm port"]);
+    for (name, a) in &catalogs {
+        let mut row = vec![name.to_string()];
+        for (_, b) in &catalogs {
+            row.push(f(a.kl_divergence(b), 4));
+        }
+        kl.row(row);
+    }
+    out.push_str(&kl.render());
+
+    // Ablation (DESIGN.md): catalog context radius vs catalog size, on
+    // the design where it bites — the cross-node port fragments under
+    // the 65 nm-tuned radius because the oversized window sweeps in
+    // unrelated neighbours (the E11 context-size lesson at catalog
+    // scale). Re-tuning the radius to the port's own pad size collapses
+    // the catalog back to a handful of classes.
+    let port_tech = Technology::n45();
+    let port_radius =
+        port_tech.via_size / 2 + port_tech.via_enclosure + port_tech.rules(layers::METAL1).min_width;
+    out.push_str("\ncontext-radius ablation on the 45nm port:\n");
+    let mut ab = Table::new(["radius (nm)", "classes", "top-10 coverage"]);
+    let flat_port = &designs_list[2].1;
+    let vias = flat_port.region(layers::VIA1);
+    let m1 = flat_port.region(layers::METAL1);
+    let m2 = flat_port.region(layers::METAL2);
+    let pts = anchors::rect_centers(&vias);
+    let mut radii = [port_radius, port_radius * 3 / 2, radius, radius * 3 / 2];
+    radii.sort_unstable();
+    for r in radii {
+        let c = Catalog::build(&[&vias, &m1, &m2], &pts, r, snap);
+        ab.row([
+            r.to_string(),
+            c.class_count().to_string(),
+            pct(c.coverage_top_k(10)),
+        ]);
+    }
+    out.push_str(&ab.render());
+
+    // Outliers: the 45 nm port vs the 65 nm baseline.
+    let outliers = catalogs[2].1.outliers_vs(&catalogs[0].1, 4.0);
+    out.push_str(&format!(
+        "\noutlier classes in 45nm port vs 65nm product-A (≥4x expected): {}\n",
+        outliers.len()
+    ));
+    out.push_str(
+        "shape expectation: a handful of head classes covers ≥90% of vias;\n\
+         products on the same node have near-zero mutual KL while the port\n\
+         to another node diverges by orders of magnitude more.\n",
+    );
+    out
+}
+
+/// E6 (Table 4): double-patterning readiness of layout variants.
+pub fn e6_dpt() -> String {
+    let tech = Technology::n45();
+    let params = DptParams::for_min_space(tech.rules(layers::METAL1).min_space);
+
+    let variants: Vec<(&str, RoutedBlockParams)> = vec![
+        (
+            "regular (no jogs)",
+            RoutedBlockParams { jog_prob: 0.0, ..RoutedBlockParams::dense() },
+        ),
+        ("default jogs", RoutedBlockParams::dense()),
+        (
+            "heavy jogs",
+            RoutedBlockParams { jog_prob: 0.5, ..RoutedBlockParams::dense() },
+        ),
+    ];
+
+    let mut out = String::new();
+    let mut table = Table::new([
+        "layout", "features", "stitches", "conflicts", "balance", "composite score",
+    ]);
+    let mut scores = Vec::new();
+    for (name, p) in variants {
+        let p = RoutedBlockParams { width: 20_000, height: 20_000, ..p };
+        let lib = generate::routed_block(&tech, p, 616);
+        let flat = designs::flatten(&lib);
+        let layer = flat.region(layers::METAL1);
+        let features = layer.connected_components().len();
+        let d = decompose(&layer, params);
+        let s = score::evaluate(&d, &layer, params);
+        scores.push(s.composite());
+        table.row([
+            name.to_string(),
+            features.to_string(),
+            d.stitches.len().to_string(),
+            d.conflicts.len().to_string(),
+            f(s.density_balance, 3),
+            f(s.composite(), 3),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nshape expectation: regularised layout scores highest (the\n\
+         0.53 -> 0.70 'eliminate the stitches' motif); jog-heavy layout\n\
+         scores lowest.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_same_generator_kl_is_smallest() {
+        let text = e5_catalogs();
+        assert!(text.contains("KL divergence"));
+        // Top-10 coverage high for the regular generator output.
+        assert!(text.contains("%"));
+    }
+}

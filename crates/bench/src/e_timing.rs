@@ -1,0 +1,83 @@
+//! Timing experiment: E7.
+
+use crate::table::{f, Table};
+use dfm_litho::{Condition, LithoSimulator};
+use dfm_timing::{extract, spearman_rank_correlation, sta, DelayModel, Netlist};
+
+/// E7 (Fig 3): corner-based versus post-litho-extraction timing.
+///
+/// Reproduces the DAC 2005 motif: feeding as-printed gate lengths into
+/// STA moves the worst slack by tens of percent and reorders the
+/// critical endpoints relative to uniform-corner analysis.
+pub fn e7_timing() -> String {
+    let netlist = Netlist::random(12, 16, 707);
+    let model = DelayModel::default();
+    let sim = LithoSimulator::for_feature_size(75); // 60 nm gates near the cliff
+    let clock_ps = 700.0;
+
+    let runs: Vec<(&str, Vec<f64>)> = vec![
+        ("drawn (nominal)", extract::drawn(&netlist)),
+        ("corner +10% L", extract::corner(&netlist, 0.10)),
+        ("post-litho @focus", extract::post_litho(&netlist, &sim, Condition::nominal())),
+        (
+            "post-litho @120nm defocus",
+            extract::post_litho(&netlist, &sim, Condition::with_defocus(120.0)),
+        ),
+        ("Monte-Carlo σ=4%", extract::monte_carlo(&netlist, 0.04, 7)),
+    ];
+
+    let mut table = Table::new([
+        "extraction", "worst slack (ps)", "Δ vs corner", "leakage (µA)", "rank ρ vs corner",
+    ]);
+    let corner_result = sta::run(&netlist, &runs[1].1, &model, clock_ps);
+    let corner_slacks = sta::slack_by_output(&corner_result);
+
+    let mut worst_deltas = Vec::new();
+    for (name, lengths) in &runs {
+        let result = sta::run(&netlist, lengths, &model, clock_ps);
+        let slacks = sta::slack_by_output(&result);
+        let rho = spearman_rank_correlation(&corner_slacks, &slacks);
+        let delta = if corner_result.worst_slack.abs() > 1e-9 {
+            (result.worst_slack - corner_result.worst_slack) / corner_result.worst_slack.abs()
+                * 100.0
+        } else {
+            0.0
+        };
+        worst_deltas.push((name.to_string(), delta));
+        table.row([
+            name.to_string(),
+            f(result.worst_slack, 1),
+            format!("{delta:+.1}%"),
+            f(result.leakage_na / 1000.0, 2),
+            f(rho, 3),
+        ]);
+    }
+
+    let mut out = table.render();
+    let post = worst_deltas
+        .iter()
+        .find(|(n, _)| n.starts_with("post-litho @focus"))
+        .map(|(_, d)| *d)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "\npost-litho worst-slack shift vs corner: {post:+.1}% (paper motif: tens of percent)\n"
+    ));
+    out.push_str(
+        "shape expectation: post-litho slack differs sharply from the uniform\n\
+         corner; endpoint ranking reorders (ρ < 1); defocus worsens both.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_reports_all_runs() {
+        let text = e7_timing();
+        for name in ["drawn", "corner", "post-litho @focus", "Monte-Carlo"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

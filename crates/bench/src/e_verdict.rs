@@ -1,0 +1,85 @@
+//! The panel verdict experiment: E8.
+
+use crate::designs;
+use crate::table::{f, Table};
+use dfm_core::{
+    evaluate, EvaluationContext, MetalFill, PatternFixing, RedundantViaInsertion, WireSpreading,
+    WireWidening,
+};
+use dfm_layout::{layers, Technology};
+use dfm_pattern::PatternLibrary;
+use dfm_yield::DefectModel;
+
+/// E8 (Table 5): every technique evaluated on one reference design.
+pub fn e8_verdicts() -> String {
+    let tech = Technology::n65();
+    let flat = designs::reference(&tech, 808);
+    let mut ctx = EvaluationContext::for_technology(tech.clone());
+    // A stress environment representative of early yield ramp, so the
+    // deltas are visible on a block-sized design.
+    ctx.defects = DefectModel::new(ctx.defects.x0, 50_000.0);
+    ctx.via_fail_prob = 5e-5;
+
+    let empty_fix = PatternFixing {
+        library: PatternLibrary::new(4 * tech.rules(layers::METAL1).min_width, 10, 15),
+        layer: layers::METAL1,
+        anchors: Vec::new(),
+    };
+    let techniques: Vec<Box<dyn dfm_core::DfmTechnique>> = vec![
+        Box::new(RedundantViaInsertion::for_technology(&tech)),
+        Box::new(WireSpreading::from_context(&ctx)),
+        Box::new(WireWidening::from_context(&ctx)),
+        Box::new(MetalFill::from_context(&ctx)),
+        Box::new(empty_fix),
+    ];
+
+    let mut table = Table::new([
+        "technique", "yield before", "yield after", "gain (pp)", "area cost", "edits", "runtime (ms)", "verdict",
+    ]);
+    let mut verdicts = Vec::new();
+    for t in &techniques {
+        let v = evaluate(t.as_ref(), &flat, &ctx);
+        table.row([
+            v.technique.clone(),
+            f(v.yield_before, 4),
+            f(v.yield_after, 4),
+            f(v.yield_gain_pp(), 3),
+            format!("{:+.3}%", v.area_cost_percent()),
+            v.edits.to_string(),
+            f(v.runtime_ms, 0),
+            v.hit_or_hype().to_string(),
+        ]);
+        verdicts.push(v);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape expectation: redundant vias and wire widening register as HIT\n\
+         under ramp conditions (widening pays in drawn metal area, the mask-\n\
+         data proxy, not chip area); spreading is inert on dense uniform\n\
+         routing — hype *for this design style*; fill is yield-neutral here\n\
+         (its benefit is CMP uniformity, Fig 4); an empty pattern library is\n\
+         HYPE — the tool is only as good as its learned content.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_contains_all_techniques_and_verdicts() {
+        let text = e8_verdicts();
+        for t in [
+            "redundant-via",
+            "wire-spreading",
+            "wire-widening",
+            "metal-fill",
+            "pattern-fixing",
+        ] {
+            assert!(text.contains(t), "{text}");
+        }
+        assert!(text.contains("HIT") || text.contains("MARGINAL"));
+        assert!(text.contains("HYPE"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Yield-centred experiments: E1, E2, E9, E10, E12.
+
+use crate::designs;
+use crate::table::{f, pct, Table};
+use dfm_core::{DfmTechnique, EvaluationContext, MetalFill, RedundantViaInsertion, WireSpreading, WireWidening};
+use dfm_layout::{layers, FlatLayout, Technology};
+use dfm_yield::{critical_area, model, monte_carlo, via_model, DefectModel};
+
+/// E1 (Table 1): does spreading/widening buy random-defect yield?
+///
+/// For three routing densities, measures short/open critical area before
+/// and after wire spreading, wire widening, and both, and the Poisson
+/// yield at a sweep of defect densities.
+pub fn e1_spreading_widening() -> String {
+    let tech = Technology::n65();
+    let defects = DefectModel::new(tech.rules(layers::METAL1).min_width / 2, 1.0);
+    let d0_sweep = [2_000.0, 10_000.0, 40_000.0];
+
+    let mut out = String::new();
+    let mut table = Table::new([
+        "design", "variant", "short CA (µm²)", "open CA (µm²)",
+        "Y@2k/cm²", "Y@10k/cm²", "Y@40k/cm²",
+    ]);
+
+    for (name, flat) in [
+        ("sparse", designs::sparse(&tech, 101)),
+        ("default", designs::reference(&tech, 101)),
+        ("dense", designs::dense(&tech, 101)),
+    ] {
+        let ctx = EvaluationContext::for_technology(tech.clone());
+        let spread = WireSpreading::from_context(&ctx).apply(&flat, &tech).layout;
+        let widen = WireWidening::from_context(&ctx).apply(&flat, &tech).layout;
+        let both_tmp = WireSpreading::from_context(&ctx).apply(&flat, &tech).layout;
+        let both = WireWidening::from_context(&ctx).apply(&both_tmp, &tech).layout;
+
+        for (variant, layout) in [
+            ("as-drawn", &flat),
+            ("spread", &spread),
+            ("widened", &widen),
+            ("spread+widened", &both),
+        ] {
+            let ca_m1 = critical_area::analyze(&layout.region(layers::METAL1), &defects);
+            let ca_m2 = critical_area::analyze(&layout.region(layers::METAL2), &defects);
+            let short = ca_m1.short_ca_nm2 + ca_m2.short_ca_nm2;
+            let open = ca_m1.open_ca_nm2 + ca_m2.open_ca_nm2;
+            let ys: Vec<String> = d0_sweep
+                .iter()
+                .map(|&d0| pct(model::poisson_yield(short + open, d0)))
+                .collect();
+            table.row([
+                name.to_string(),
+                variant.to_string(),
+                f(short / 1e6, 3),
+                f(open / 1e6, 3),
+                ys[0].clone(),
+                ys[1].clone(),
+                ys[2].clone(),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nshape expectation: widening trades short CA for a larger cut in open\n\
+         CA and wins at every defect density; spreading only helps where wires\n\
+         are via-free and corridors are unbalanced (the sparse design), a\n\
+         panel-relevant nuance: on dense uniform routing it is nearly inert.\n",
+    );
+    out
+}
+
+/// E2 (Table 2): redundant vias across via failure rates.
+pub fn e2_redundant_vias() -> String {
+    let tech = Technology::n65();
+    let flat = designs::reference(&tech, 202);
+    let rvi = RedundantViaInsertion::for_technology(&tech);
+    let applied = rvi.apply(&flat, &tech);
+
+    let pair = tech.via_space * 2;
+    let before = via_model::classify(&flat.region(layers::VIA1), pair);
+    let after = via_model::classify(&applied.layout.region(layers::VIA1), pair);
+    let area_before = flat.total_area();
+    let area_after = applied.layout.total_area();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "connections: {} ({} single, {} redundant) -> ({} single, {} redundant)\n",
+        before.connections(),
+        before.single,
+        before.redundant,
+        after.single,
+        after.redundant
+    ));
+    out.push_str(&format!(
+        "redundancy rate: {} -> {}   area cost: {:+.3}%\n\n",
+        pct(before.redundancy_rate()),
+        pct(after.redundancy_rate()),
+        (area_after - area_before) as f64 / area_before as f64 * 100.0
+    ));
+
+    let mut table = Table::new([
+        "via fail prob", "yield before", "yield after", "gain (pp)", "fail λ before", "fail λ after",
+    ]);
+    for p in [1e-8, 1e-7, 1e-6, 1e-5, 1e-4] {
+        let yb = via_model::via_yield(before, p);
+        let ya = via_model::via_yield(after, p);
+        table.row([
+            format!("{p:.0e}"),
+            pct(yb),
+            pct(ya),
+            f((ya - yb) * 100.0, 4),
+            f(via_model::expected_failures(before, p), 5),
+            f(via_model::expected_failures(after, p), 5),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str("\nshape expectation: gain grows superlinearly with fail probability while\nthe drawn-area cost stays a few percent (pad straps).\n");
+    out
+}
+
+/// E9 (Fig 4): metal fill and density uniformity.
+pub fn e9_fill() -> String {
+    let tech = Technology::n65();
+    let flat = designs::sparse(&tech, 909);
+    let ctx = EvaluationContext::for_technology(tech.clone());
+    let filler = MetalFill::from_context(&ctx);
+    let applied = filler.apply(&flat, &tech);
+
+    let mut out = String::new();
+    let mut table = Table::new(["layer", "min density before", "min after", "max after", "fill shapes"]);
+    for (metal, fill) in [
+        (layers::METAL1, layers::FILL_M1),
+        (layers::METAL2, layers::FILL_M2),
+    ] {
+        let (min_b, _) = dfm_core::fill_density_extremes(&flat, metal, fill, tech.density_window);
+        let (min_a, max_a) =
+            dfm_core::fill_density_extremes(&applied.layout, metal, fill, tech.density_window);
+        table.row([
+            format!("{metal}"),
+            pct(min_b),
+            pct(min_a),
+            pct(max_a),
+            applied.layout.region(fill).rect_count().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!("\nfill target window: ≥ {}\n", pct(tech.min_density)));
+    out.push_str("shape expectation: minimum window density rises toward the target;\nmaximum stays below the ceiling.\n");
+    out
+}
+
+/// E10 (Table 6): does recommended-rule compliance correlate with
+/// predicted yield?
+pub fn e10_recommended_rules() -> String {
+    let tech = Technology::n65();
+    let deck = dfm_drc::recommended::RecommendedDeck::for_technology(&tech);
+    let defects = DefectModel::new(tech.rules(layers::METAL1).min_width / 2, 20_000.0);
+
+    let ctx = EvaluationContext::for_technology(tech.clone());
+    // Layout variants spanning a compliance range.
+    let base = designs::reference(&tech, 1010);
+    let widened = WireWidening::from_context(&ctx).apply(&base, &tech).layout;
+    let variants: Vec<(String, FlatLayout)> = vec![
+        ("dense".into(), designs::dense(&tech, 1010)),
+        ("default".into(), base),
+        ("default+widen".into(), widened),
+        ("sparse".into(), designs::sparse(&tech, 1010)),
+    ];
+
+    let mut scores = Vec::new();
+    let mut yields = Vec::new();
+    let mut table = Table::new(["variant", "compliance", "total CA (µm²)", "yield @20k/cm²"]);
+    for (name, flat) in &variants {
+        let compliance = deck.compliance(flat).composite();
+        let ca = critical_area::analyze(&flat.region(layers::METAL1), &defects).total_ca_nm2()
+            + critical_area::analyze(&flat.region(layers::METAL2), &defects).total_ca_nm2();
+        let y = model::poisson_yield(ca, defects.d0_per_cm2);
+        scores.push(compliance);
+        yields.push(y);
+        table.row([name.clone(), f(compliance, 4), f(ca / 1e6, 3), pct(y)]);
+    }
+    let rho = dfm_timing::spearman_rank_correlation(&scores, &yields);
+    let mut out = table.render();
+    out.push_str(&format!("\nSpearman(compliance, yield) = {rho:.3}\n"));
+    out.push_str("shape expectation: positive rank correlation — Kahng's position holds.\n");
+    out
+}
+
+/// E12 (Table 7): Monte-Carlo vs analytic short critical area.
+pub fn e12_monte_carlo() -> String {
+    let tech = Technology::n65();
+    let defects = DefectModel::new(tech.rules(layers::METAL1).min_width / 2, 1.0);
+    let mut table = Table::new([
+        "design", "analytic CA (µm²)", "MC CA (µm²)", "std err", "agreement",
+    ]);
+
+    let mut cases: Vec<(String, dfm_geom::Region)> = vec![(
+        "parallel wires".into(),
+        dfm_geom::Region::from_rects([
+            dfm_geom::Rect::new(0, 0, 100_000, 200),
+            dfm_geom::Rect::new(0, 300, 100_000, 500),
+        ]),
+    )];
+    for (name, flat) in [
+        ("routed default", designs::reference(&tech, 1212)),
+        ("routed dense", designs::dense(&tech, 1212)),
+    ] {
+        cases.push((name.into(), flat.region(layers::METAL1)));
+    }
+
+    for (name, region) in cases {
+        let analytic = critical_area::analyze(&region, &defects).short_ca_nm2;
+        let mc = monte_carlo::estimate_short_ca(&region, &defects, 120_000, 77);
+        // The analytic model sums per-pair contributions (a union bound):
+        // on multi-wire geometry a large defect bridging several pairs is
+        // counted once by MC but several times by the sum, so MC ≤
+        // analytic with the gap growing with density.
+        let ratio = mc.short_ca_nm2 / analytic.max(1e-9);
+        let ok = mc.short_ca_nm2 <= analytic + 4.0 * mc.std_err_nm2 && ratio >= 0.75;
+        table.row([
+            name,
+            f(analytic / 1e6, 4),
+            f(mc.short_ca_nm2 / 1e6, 4),
+            f(mc.std_err_nm2 / 1e6, 4),
+            if ok { format!("OK (MC/analytic {ratio:.3})") } else { format!("FAIL ({ratio:.3})") },
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape expectation: MC matches the closed form on isolated pairs and\n\
+         sits slightly below it on dense geometry (the analytic sum is a\n\
+         union bound over overlapping kill events).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_closed_form_agrees_with_mc() {
+        let text = e12_monte_carlo();
+        // Every row agrees.
+        assert!(!text.contains("FAIL"), "{text}");
+    }
+}

@@ -1,0 +1,598 @@
+//! The DRC checking engine.
+
+use crate::{DrcReport, Rule, RuleDeck, Violation};
+use dfm_geom::{GridIndex, Point, Rect, Region};
+use dfm_layout::FlatLayout;
+
+/// Runs a [`RuleDeck`] against flattened layouts.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone, Copy, Debug)]
+pub struct DrcEngine<'a> {
+    deck: &'a RuleDeck,
+}
+
+impl<'a> DrcEngine<'a> {
+    /// Creates an engine for a deck.
+    pub fn new(deck: &'a RuleDeck) -> Self {
+        DrcEngine { deck }
+    }
+
+    /// Runs every rule in the deck, returning the combined report.
+    pub fn run(&self, flat: &FlatLayout) -> DrcReport {
+        let mut report = DrcReport::new();
+        for rule in self.deck.rules() {
+            report.extend(check_rule(rule, flat));
+        }
+        report
+    }
+}
+
+/// Checks a single rule against a flattened layout.
+pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
+    let id = rule.id();
+    match rule {
+        Rule::MinWidth { layer, value } => width_violations(&flat.region(*layer), *value)
+            .into_iter()
+            .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
+            .collect(),
+        Rule::MinSpace { layer, value } => spacing_violations(&flat.region(*layer), *value)
+            .into_iter()
+            .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
+            .collect(),
+        Rule::MinSpaceTo { from, to, value } => {
+            let from_r = flat.region(*from);
+            let to_r = flat.region(*to);
+            let near = from_r.bloated(*value).intersection(&to_r);
+            near.connected_components()
+                .into_iter()
+                .map(|c| Violation {
+                    rule: id.clone(),
+                    location: c.bbox(),
+                    actual: -1, // exact separation not individually measured
+                    limit: *value,
+                })
+                .collect()
+        }
+        Rule::Enclosure { inner, outer, value } => {
+            let inner_r = flat.region(*inner);
+            let outer_r = flat.region(*outer);
+            enclosure_violations(&inner_r, &outer_r, *value)
+                .into_iter()
+                .map(|location| Violation { rule: id.clone(), location, actual: -1, limit: *value })
+                .collect()
+        }
+        Rule::MinArea { layer, value } => flat
+            .region(*layer)
+            .connected_components()
+            .into_iter()
+            .filter(|c| c.area() < *value as i128)
+            .map(|c| Violation {
+                rule: id.clone(),
+                location: c.bbox(),
+                actual: c.area() as i64,
+                limit: *value,
+            })
+            .collect(),
+        Rule::WideSpace { layer, wide_width, space } => {
+            let region = flat.region(*layer);
+            wide_space_violations(&region, *wide_width, *space)
+                .into_iter()
+                .map(|location| Violation { rule: id.clone(), location, actual: -1, limit: *space })
+                .collect()
+        }
+        Rule::Density { layer, window, min, max } => {
+            density_violations(&flat.region(*layer), flat.bbox(), *window, *min, *max)
+                .into_iter()
+                .map(|(location, density)| {
+                    let limit = if density < *min { *min } else { *max };
+                    Violation {
+                        rule: id.clone(),
+                        location,
+                        actual: (density * 1e6) as i64,
+                        limit: (limit * 1e6) as i64,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// A pair of facing boundary edges: the measured distance between them
+/// and the length over which they face each other.
+///
+/// Produced by [`interior_facing_pairs`] (feature widths) and
+/// [`exterior_facing_pairs`] (spacings); this is also the raw input to
+/// critical-area analysis in `dfm-yield`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FacingPair {
+    /// Distance between the two edges.
+    pub distance: i64,
+    /// Overlap length along the edges.
+    pub length: i64,
+    /// The box spanned between the facing edge segments.
+    pub location: Rect,
+}
+
+/// All interior-facing edge pairs with distance below `max`: every local
+/// feature *width* measurement.
+pub fn interior_facing_pairs(region: &Region, max: i64) -> Vec<FacingPair> {
+    edge_pair_violations(region, max, true)
+}
+
+/// All exterior-facing edge pairs with distance below `max`: every local
+/// *spacing* measurement (notches included, corner-to-corner excluded).
+pub fn exterior_facing_pairs(region: &Region, max: i64) -> Vec<FacingPair> {
+    edge_pair_violations(region, max, false)
+}
+
+/// Facing-interior edge pairs closer than `value`: the min-width check.
+///
+/// Returns `(violation_box, measured_width)` pairs.
+pub fn width_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
+    edge_pair_violations(region, value, true)
+        .into_iter()
+        .map(|p| (p.location, p.distance))
+        .collect()
+}
+
+/// Exterior-facing edge pairs (including notches) plus corner-to-corner
+/// gaps closer than `value`: the min-spacing check.
+///
+/// Returns `(violation_box, measured_spacing)` pairs.
+pub fn spacing_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
+    let mut out: Vec<(Rect, i64)> = edge_pair_violations(region, value, false)
+        .into_iter()
+        .map(|p| (p.location, p.distance))
+        .collect();
+    out.extend(corner_violations(region, value));
+    out
+}
+
+/// Shared edge-pair sweep. `interior_between` selects width mode (the
+/// strip between the edges is interior) versus spacing mode (exterior).
+fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> Vec<FacingPair> {
+    let mut out = Vec::new();
+    if region.is_empty() || value <= 0 {
+        return out;
+    }
+    let edges = region.boundary_edges();
+
+    // Vertical edge pairs (check along x).
+    {
+        let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
+        for (i, e) in edges.vertical.iter().enumerate() {
+            index.insert(Rect { x0: e.x, y0: e.y0, x1: e.x, y1: e.y1 }, i);
+        }
+        for a in edges.vertical.iter() {
+            // Left edge of the pair: interior to the right for width,
+            // interior to the left (exterior to the right) for spacing.
+            if a.interior_right != interior_between {
+                continue;
+            }
+            let window = Rect { x0: a.x + 1, y0: a.y0, x1: a.x + value - 1, y1: a.y1 };
+            if window.x0 > window.x1 {
+                continue;
+            }
+            for &&bi in index.query(window).iter() {
+                let b = edges.vertical[bi];
+                if b.interior_right == a.interior_right {
+                    continue;
+                }
+                if b.x <= a.x || b.x - a.x >= value {
+                    continue;
+                }
+                let ylo = a.y0.max(b.y0);
+                let yhi = a.y1.min(b.y1);
+                if ylo >= yhi {
+                    continue;
+                }
+                let mid = Point::new(a.x + (b.x - a.x) / 2, ylo + (yhi - ylo) / 2);
+                if region.contains_point(mid) == interior_between {
+                    out.push(FacingPair {
+                        distance: b.x - a.x,
+                        length: yhi - ylo,
+                        location: Rect::new(a.x, ylo, b.x, yhi),
+                    });
+                }
+            }
+        }
+    }
+
+    // Horizontal edge pairs (check along y).
+    {
+        let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
+        for (i, e) in edges.horizontal.iter().enumerate() {
+            index.insert(Rect { x0: e.x0, y0: e.y, x1: e.x1, y1: e.y }, i);
+        }
+        for a in edges.horizontal.iter() {
+            if a.interior_up != interior_between {
+                continue;
+            }
+            let window = Rect { x0: a.x0, y0: a.y + 1, x1: a.x1, y1: a.y + value - 1 };
+            if window.y0 > window.y1 {
+                continue;
+            }
+            for &&bi in index.query(window).iter() {
+                let b = edges.horizontal[bi];
+                if b.interior_up == a.interior_up {
+                    continue;
+                }
+                if b.y <= a.y || b.y - a.y >= value {
+                    continue;
+                }
+                let xlo = a.x0.max(b.x0);
+                let xhi = a.x1.min(b.x1);
+                if xlo >= xhi {
+                    continue;
+                }
+                let mid = Point::new(xlo + (xhi - xlo) / 2, a.y + (b.y - a.y) / 2);
+                if region.contains_point(mid) == interior_between {
+                    out.push(FacingPair {
+                        distance: b.y - a.y,
+                        length: xhi - xlo,
+                        location: Rect::new(xlo, a.y, xhi, b.y),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Corner-to-corner (Euclidean) gaps between region rects closer than
+/// `value`.
+fn corner_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
+    let mut out = Vec::new();
+    let rects = region.rects();
+    if rects.len() < 2 {
+        return out;
+    }
+    let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 8);
+    for (i, r) in rects.iter().enumerate() {
+        index.insert(*r, i);
+    }
+    let v2 = value as i128 * value as i128;
+    for (i, r) in rects.iter().enumerate() {
+        for &&j in index.query(r.expanded(value)).iter() {
+            if j <= i {
+                continue;
+            }
+            let o = rects[j];
+            let (dx, dy) = r.gap(&o);
+            if dx > 0 && dy > 0 {
+                let d2 = dx as i128 * dx as i128 + dy as i128 * dy as i128;
+                if d2 < v2 {
+                    // Gap box between the nearest corners.
+                    let gx0 = if r.x1 < o.x0 { r.x1 } else { o.x1 };
+                    let gx1 = if r.x1 < o.x0 { o.x0 } else { r.x0 };
+                    let gy0 = if r.y1 < o.y0 { r.y1 } else { o.y1 };
+                    let gy1 = if r.y1 < o.y0 { o.y0 } else { r.y0 };
+                    let dist = (d2 as f64).sqrt().floor() as i64;
+                    out.push((Rect::new(gx0, gy0, gx1, gy1), dist));
+                }
+            }
+        }
+    }
+    out
+}
+
+
+/// Width-dependent ("fat wire") spacing: regions of the layer closer
+/// than `space` to a feature that is at least `wide_width` across in
+/// both axes (excluding the wide feature's own connected component).
+pub fn wide_space_violations(region: &Region, wide_width: i64, space: i64) -> Vec<Rect> {
+    let wide = region.opened(wide_width / 2);
+    if wide.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for comp in region.connected_components() {
+        let wide_part = comp.intersection(&wide);
+        if wide_part.is_empty() {
+            continue;
+        }
+        let others = region.difference(&comp);
+        let near = wide_part.bloated(space).intersection(&others);
+        out.extend(near.connected_components().into_iter().map(|c| c.bbox()));
+    }
+    out
+}
+
+/// Regions where `inner` is not enclosed by `outer` with margin `value`.
+pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<Rect> {
+    if inner.is_empty() {
+        return Vec::new();
+    }
+    let safe = outer.shrunk(value);
+    inner
+        .difference(&safe)
+        .connected_components()
+        .into_iter()
+        .map(|c| c.bbox())
+        .collect()
+}
+
+/// Stepped-window density analysis: windows whose metal density falls
+/// outside `[min, max]`, with the measured density.
+pub fn density_violations(
+    region: &Region,
+    extent: Rect,
+    window: i64,
+    min: f64,
+    max: f64,
+) -> Vec<(Rect, f64)> {
+    density_map(region, extent, window)
+        .into_iter()
+        .filter(|&(_, d)| d < min || d > max)
+        .collect()
+}
+
+/// Computes the density of `region` in every `window`-sized window
+/// stepping by half a window across `extent`.
+///
+/// Windows are clamped inside `extent`; if `extent` is smaller than the
+/// window, a single window covering `extent` is used.
+pub fn density_map(region: &Region, extent: Rect, window: i64) -> Vec<(Rect, f64)> {
+    let mut out = Vec::new();
+    if extent.is_empty() || window <= 0 {
+        return out;
+    }
+    let step = (window / 2).max(1);
+    let mut y = extent.y0;
+    loop {
+        let mut x = extent.x0;
+        let y1 = (y + window).min(extent.y1);
+        let y0 = (y1 - window).max(extent.x0.min(extent.y0)).max(extent.y0);
+        loop {
+            let x1 = (x + window).min(extent.x1);
+            let x0 = (x1 - window).max(extent.x0);
+            let w = Rect::new(x0, y0, x1, y1);
+            if !w.is_empty() {
+                let covered = region.clipped(w).area();
+                out.push((w, covered as f64 / w.area() as f64));
+            }
+            if x1 >= extent.x1 {
+                break;
+            }
+            x += step;
+        }
+        if y1 >= extent.y1 {
+            break;
+        }
+        y += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_layout::{layers, Cell, Library, Technology};
+
+    fn flat_with(layer: dfm_layout::Layer, rects: &[Rect]) -> FlatLayout {
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("TOP");
+        for &r in rects {
+            c.add_rect(layer, r);
+        }
+        let id = lib.add_cell(c).expect("add");
+        lib.flatten(id).expect("flatten")
+    }
+
+    #[test]
+    fn width_violation_detected() {
+        let region = Region::from_rect(Rect::new(0, 0, 50, 1000));
+        let v = width_violations(&region, 90);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 50);
+        assert!(width_violations(&region, 50).is_empty());
+        assert!(width_violations(&region, 40).is_empty());
+    }
+
+    #[test]
+    fn width_ok_for_wide_shape() {
+        let region = Region::from_rect(Rect::new(0, 0, 200, 200));
+        assert!(width_violations(&region, 90).is_empty());
+    }
+
+    #[test]
+    fn width_violation_in_neck() {
+        // Dumbbell: two fat pads joined by a thin neck.
+        let region = Region::from_rects([
+            Rect::new(0, 0, 200, 200),
+            Rect::new(200, 80, 400, 120), // 40 tall neck
+            Rect::new(400, 0, 600, 200),
+        ]);
+        let v = width_violations(&region, 90);
+        assert!(!v.is_empty());
+        // All violations are in the neck's y-band.
+        for (r, w) in &v {
+            assert!(*w == 40, "unexpected width {w}");
+            assert!(r.y0 >= 80 && r.y1 <= 120);
+        }
+    }
+
+    #[test]
+    fn spacing_violation_detected() {
+        let region = Region::from_rects([
+            Rect::new(0, 0, 100, 100),
+            Rect::new(150, 0, 250, 100), // 50 gap
+        ]);
+        let v = spacing_violations(&region, 90);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 50);
+        assert_eq!(v[0].0, Rect::new(100, 0, 150, 100));
+        assert!(spacing_violations(&region, 50).is_empty());
+    }
+
+    #[test]
+    fn notch_is_a_spacing_violation() {
+        // U-shape: the inner notch is 40 wide.
+        let region = Region::from_rects([
+            Rect::new(0, 0, 300, 100),
+            Rect::new(0, 100, 130, 300),
+            Rect::new(170, 100, 300, 300),
+        ]);
+        let v = spacing_violations(&region, 90);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|(r, s)| *s == 40 && r.x0 == 130 && r.x1 == 170));
+    }
+
+    #[test]
+    fn corner_to_corner_spacing() {
+        let region = Region::from_rects([
+            Rect::new(0, 0, 100, 100),
+            Rect::new(120, 120, 200, 200), // diagonal gap ~28.3
+        ]);
+        let v = spacing_violations(&region, 40);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 28); // floor(sqrt(800))
+        assert!(spacing_violations(&region, 28).is_empty());
+    }
+
+    #[test]
+    fn wide_space_rule() {
+        // A fat plate (400 wide) next to a thin wire at 120: legal for
+        // the base 90 rule but violates the wide rule (270/135).
+        let region = Region::from_rects([
+            Rect::new(0, 0, 3000, 400),
+            Rect::new(0, 520, 3000, 610),
+        ]);
+        assert!(spacing_violations(&region, 90).is_empty());
+        let v = wide_space_violations(&region, 270, 135);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Narrow-only layout never fires the wide rule.
+        let thin = Region::from_rects([
+            Rect::new(0, 0, 3000, 90),
+            Rect::new(0, 180, 3000, 270),
+        ]);
+        assert!(wide_space_violations(&thin, 270, 135).is_empty());
+        // Enough spacing satisfies the rule.
+        let ok = Region::from_rects([
+            Rect::new(0, 0, 3000, 400),
+            Rect::new(0, 540, 3000, 630),
+        ]);
+        assert!(wide_space_violations(&ok, 270, 135).is_empty());
+    }
+
+    #[test]
+    fn wide_space_in_deck() {
+        let flat = flat_with(
+            layers::METAL1,
+            &[Rect::new(0, 0, 3000, 400), Rect::new(0, 520, 3000, 610)],
+        );
+        let deck = RuleDeck::new().with(Rule::WideSpace {
+            layer: layers::METAL1,
+            wide_width: 270,
+            space: 135,
+        });
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert_eq!(report.by_rule("METAL1.WS").count(), 1);
+    }
+
+    #[test]
+    fn enclosure_violations_detected() {
+        let via = Region::from_rect(Rect::new(100, 100, 190, 190));
+        let metal_good = Region::from_rect(Rect::new(60, 60, 230, 230)); // 40 enclosure
+        assert!(enclosure_violations(&via, &metal_good, 40).is_empty());
+        let metal_bad = Region::from_rect(Rect::new(80, 60, 230, 230)); // 20 on left
+        let v = enclosure_violations(&via, &metal_bad, 40);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn density_windows() {
+        // Half-covered extent.
+        let region = Region::from_rect(Rect::new(0, 0, 500, 1000));
+        let extent = Rect::new(0, 0, 1000, 1000);
+        let map = density_map(&region, extent, 1000);
+        assert_eq!(map.len(), 1);
+        assert!((map[0].1 - 0.5).abs() < 1e-9);
+        let v = density_violations(&region, extent, 1000, 0.6, 0.9);
+        assert_eq!(v.len(), 1);
+        let v = density_violations(&region, extent, 1000, 0.2, 0.9);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn engine_runs_technology_deck() {
+        let tech = Technology::n65();
+        let deck = RuleDeck::for_technology(&tech);
+        // A clean min-size wire pair.
+        let w = tech.rules(layers::METAL1).min_width;
+        let s = tech.rules(layers::METAL1).min_space;
+        let flat = flat_with(
+            layers::METAL1,
+            &[
+                Rect::new(0, 0, 4000, w),
+                Rect::new(0, w + s, 4000, 2 * w + s),
+            ],
+        );
+        let report = DrcEngine::new(&deck).run(&flat);
+        // Only density can fire on such a tiny extent; width/space/area clean.
+        for v in report.violations() {
+            assert!(v.rule.ends_with(".DEN"), "unexpected violation {v}");
+        }
+    }
+
+    #[test]
+    fn engine_flags_narrow_wire() {
+        let tech = Technology::n65();
+        let deck = RuleDeck::for_technology(&tech);
+        let w = tech.rules(layers::METAL1).min_width;
+        let flat = flat_with(layers::METAL1, &[Rect::new(0, 0, 4000, w - 10)]);
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert!(report.by_rule("METAL1.W").count() >= 1);
+    }
+
+    #[test]
+    fn engine_flags_via_enclosure() {
+        let tech = Technology::n65();
+        let deck = RuleDeck::for_technology(&tech);
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("TOP");
+        let via = Rect::new(0, 0, tech.via_size, tech.via_size);
+        c.add_rect(layers::VIA1, via);
+        // Metal-1 pad exactly flush (zero enclosure): violation.
+        c.add_rect(layers::METAL1, via);
+        c.add_rect(layers::METAL2, via.expanded(tech.via_enclosure));
+        let id = lib.add_cell(c).expect("add");
+        let flat = lib.flatten(id).expect("flatten");
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert!(report.by_rule("VIA1.EN.METAL1").count() == 1);
+        assert!(report.by_rule("VIA1.EN.METAL2").count() == 0);
+    }
+
+    #[test]
+    fn min_area_flags_small_islands() {
+        let tech = Technology::n65();
+        let deck = RuleDeck::for_technology(&tech);
+        let a = tech.rules(layers::METAL1).min_area;
+        let side = ((a as f64).sqrt() as i64) / 2; // well below min area
+        let flat = flat_with(layers::METAL1, &[Rect::new(0, 0, side, side)]);
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert_eq!(report.by_rule("METAL1.A").count(), 1);
+    }
+
+    #[test]
+    fn generated_routed_block_is_mostly_clean() {
+        // The generator is correct-by-construction for width/space/enclosure.
+        let tech = Technology::n65();
+        let lib = dfm_layout::generate::routed_block(
+            &tech,
+            dfm_layout::generate::RoutedBlockParams::default(),
+            42,
+        );
+        let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+        let deck = RuleDeck::new()
+            .with(Rule::MinWidth { layer: layers::METAL1, value: tech.rules(layers::METAL1).min_width })
+            .with(Rule::MinSpace { layer: layers::METAL2, value: tech.rules(layers::METAL2).min_space })
+            .with(Rule::Enclosure { inner: layers::VIA1, outer: layers::METAL1, value: tech.via_enclosure });
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert!(
+            report.violation_count() == 0,
+            "expected clean-by-construction block, got:\n{report}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # dfm-litho — lithography simulation, process windows, and hotspots
+//!
+//! A compact aerial-image simulator standing in for the calibrated
+//! Hopkins/TCC production models the paper's authors used (see the
+//! substitution table in `DESIGN.md`). The pipeline is the same as any
+//! printability checker:
+//!
+//! 1. **Rasterise** the drawn mask geometry onto a pixel grid
+//!    ([`Raster`]),
+//! 2. **Blur** with the optical point-spread function — a separable
+//!    Gaussian whose width is set by `λ/NA` and widened by defocus
+//!    ([`OpticalModel`]),
+//! 3. **Threshold** with a constant-threshold resist model at the given
+//!    dose ([`LithoSimulator::printed_in_window`]),
+//! 4. **Extract** the printed geometry back into exact integer
+//!    [`Region`](dfm_geom::Region)s, and measure: CDs along cutlines,
+//!    edge-placement error, Bossung curves / process-window area
+//!    ([`process_window`]), PV-bands, and pinch/bridge **hotspots**
+//!    ([`hotspots`]).
+//!
+//! The Gaussian-kernel approximation reproduces the *mechanisms* that
+//! matter for DFM experiments: proximity bias (dense vs isolated lines
+//! print differently), line-end pullback, corner rounding, pinching of
+//! sub-resolution necks and bridging of sub-resolution gaps, all of which
+//! worsen through focus — which is exactly what the pattern-matching and
+//! OPC experiments need.
+//!
+//! ```
+//! use dfm_geom::{Point, Rect, Region};
+//! use dfm_litho::{Condition, LithoSimulator, OpticalModel};
+//!
+//! let sim = LithoSimulator::for_feature_size(90);
+//! let mask = Region::from_rect(Rect::new(0, 0, 2000, 90)); // a wire
+//! let printed = sim.printed(&mask, Condition::nominal());
+//! assert!(!printed.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod hotspots;
+pub mod metrics;
+mod optics;
+pub mod process_window;
+mod raster;
+mod sim;
+
+pub use optics::{Condition, OpticalModel};
+pub use raster::Raster;
+pub use sim::LithoSimulator;

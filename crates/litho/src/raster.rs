@@ -1,0 +1,344 @@
+//! Pixel rasters: mask rasterisation and Gaussian convolution.
+
+use dfm_geom::{Coord, Rect, Region};
+
+/// A rectangular grid of intensity samples over a layout window.
+///
+/// Pixel `(ix, iy)` covers the square
+/// `[origin.x + ix·p, origin.x + (ix+1)·p) × [origin.y + iy·p, …)`
+/// where `p` is [`pixel_nm`](Raster::pixel_nm). Rasterisation is
+/// area-weighted, so features that partially cover a pixel contribute
+/// fractionally — sub-pixel feature edges survive into the aerial image.
+#[derive(Clone, Debug)]
+pub struct Raster {
+    origin_x: Coord,
+    origin_y: Coord,
+    pixel: Coord,
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Raster {
+    /// Rasterises a region within `window` at `pixel_nm` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel_nm <= 0` or the window is empty.
+    pub fn rasterize(region: &Region, window: Rect, pixel_nm: Coord) -> Self {
+        assert!(pixel_nm > 0, "pixel size must be positive");
+        assert!(!window.is_empty(), "raster window must be non-empty");
+        let nx = (window.width() + pixel_nm - 1) / pixel_nm;
+        let ny = (window.height() + pixel_nm - 1) / pixel_nm;
+        let (nx, ny) = (nx as usize, ny as usize);
+        let mut r = Raster {
+            origin_x: window.x0,
+            origin_y: window.y0,
+            pixel: pixel_nm,
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        };
+        let px_area = (pixel_nm * pixel_nm) as f64;
+        for rect in region.clipped(window).rects() {
+            // Pixel index range the rect touches.
+            let ix0 = ((rect.x0 - window.x0) / pixel_nm).max(0) as usize;
+            let iy0 = ((rect.y0 - window.y0) / pixel_nm).max(0) as usize;
+            let ix1 = (((rect.x1 - window.x0) + pixel_nm - 1) / pixel_nm).min(nx as i64) as usize;
+            let iy1 = (((rect.y1 - window.y0) + pixel_nm - 1) / pixel_nm).min(ny as i64) as usize;
+            for iy in iy0..iy1 {
+                let py0 = window.y0 + iy as i64 * pixel_nm;
+                let py1 = py0 + pixel_nm;
+                let oy = (rect.y1.min(py1) - rect.y0.max(py0)).max(0);
+                for ix in ix0..ix1 {
+                    let qx0 = window.x0 + ix as i64 * pixel_nm;
+                    let qx1 = qx0 + pixel_nm;
+                    let ox = (rect.x1.min(qx1) - rect.x0.max(qx0)).max(0);
+                    r.data[iy * nx + ix] += (ox * oy) as f64 / px_area;
+                }
+            }
+        }
+        r
+    }
+
+    /// Pixel size in nm.
+    pub fn pixel_nm(&self) -> Coord {
+        self.pixel
+    }
+
+    /// Grid width in pixels.
+    pub fn width_px(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in pixels.
+    pub fn height_px(&self) -> usize {
+        self.ny
+    }
+
+    /// Sample at pixel indices, 0.0 outside the grid.
+    pub fn get(&self, ix: isize, iy: isize) -> f64 {
+        if ix < 0 || iy < 0 || ix as usize >= self.nx || iy as usize >= self.ny {
+            0.0
+        } else {
+            self.data[iy as usize * self.nx + ix as usize]
+        }
+    }
+
+    /// Sample at a layout coordinate, 0.0 outside the raster window.
+    pub fn sample_at(&self, x: Coord, y: Coord) -> f64 {
+        let ix = (x - self.origin_x).div_euclid(self.pixel);
+        let iy = (y - self.origin_y).div_euclid(self.pixel);
+        self.get(ix as isize, iy as isize)
+    }
+
+    /// Convolves in place with an isotropic Gaussian of standard
+    /// deviation `sigma_nm`, using two separable 1-D passes.
+    pub fn gaussian_blur(&mut self, sigma_nm: f64) {
+        if sigma_nm <= 0.0 {
+            return;
+        }
+        let sigma_px = sigma_nm / self.pixel as f64;
+        let radius = (3.0 * sigma_px).ceil() as isize;
+        if radius == 0 {
+            return;
+        }
+        // Build the normalised kernel.
+        let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+        let mut sum = 0.0;
+        for i in -radius..=radius {
+            let v = (-(i as f64) * (i as f64) / (2.0 * sigma_px * sigma_px)).exp();
+            kernel.push(v);
+            sum += v;
+        }
+        for v in &mut kernel {
+            *v /= sum;
+        }
+
+        let (nx, ny) = (self.nx, self.ny);
+        // Horizontal pass.
+        let mut tmp = vec![0.0f64; nx * ny];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let mut acc = 0.0;
+                for (k, kv) in kernel.iter().enumerate() {
+                    let sx = ix as isize + (k as isize - radius);
+                    acc += kv * self.get(sx, iy as isize);
+                }
+                tmp[iy * nx + ix] = acc;
+            }
+        }
+        // Vertical pass.
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let mut acc = 0.0;
+                for (k, kv) in kernel.iter().enumerate() {
+                    let sy = iy as isize + (k as isize - radius);
+                    if sy < 0 || sy as usize >= ny {
+                        continue;
+                    }
+                    acc += kv * tmp[sy as usize * nx + ix];
+                }
+                self.data[iy * nx + ix] = acc;
+            }
+        }
+    }
+
+
+    /// Reference implementation: direct (non-separable) 2-D Gaussian
+    /// convolution. Mathematically identical to
+    /// [`gaussian_blur`](Raster::gaussian_blur) but O(k²) per pixel
+    /// instead of O(k); kept for the separability ablation bench and as
+    /// an oracle in tests.
+    pub fn gaussian_blur_full2d(&mut self, sigma_nm: f64) {
+        if sigma_nm <= 0.0 {
+            return;
+        }
+        let sigma_px = sigma_nm / self.pixel as f64;
+        let radius = (3.0 * sigma_px).ceil() as isize;
+        if radius == 0 {
+            return;
+        }
+        let mut kernel = Vec::with_capacity(((2 * radius + 1) * (2 * radius + 1)) as usize);
+        let mut sum = 0.0;
+        for j in -radius..=radius {
+            for i in -radius..=radius {
+                let v = (-((i * i + j * j) as f64) / (2.0 * sigma_px * sigma_px)).exp();
+                kernel.push(v);
+                sum += v;
+            }
+        }
+        for v in &mut kernel {
+            *v /= sum;
+        }
+        let (nx, ny) = (self.nx, self.ny);
+        let k = (2 * radius + 1) as usize;
+        let mut out = vec![0.0f64; nx * ny];
+        for y in 0..ny as isize {
+            for x in 0..nx as isize {
+                let mut acc = 0.0;
+                for (idx, kv) in kernel.iter().enumerate() {
+                    let dj = (idx / k) as isize - radius;
+                    let di = (idx % k) as isize - radius;
+                    acc += kv * self.get(x + di, y + dj);
+                }
+                out[y as usize * nx + x as usize] = acc;
+            }
+        }
+        self.data = out;
+    }
+
+    /// Subtracts `weight` times `other`'s samples (grids must match).
+    /// Used to assemble difference-of-Gaussians kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ in size.
+    pub fn subtract_scaled(&mut self, other: &Raster, weight: f64) {
+        assert_eq!(self.nx, other.nx, "raster widths must match");
+        assert_eq!(self.ny, other.ny, "raster heights must match");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= weight * b;
+        }
+    }
+
+    /// Divides every sample by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn rescale(&mut self, scale: f64) {
+        assert!(scale != 0.0, "scale must be nonzero");
+        for a in &mut self.data {
+            *a /= scale;
+        }
+    }
+
+    /// Extracts the region of pixels with `value >= threshold`, in layout
+    /// coordinates (each qualifying pixel contributes its full square).
+    pub fn threshold_region(&self, threshold: f64) -> Region {
+        let mut rects = Vec::new();
+        for iy in 0..self.ny {
+            // Merge horizontal runs.
+            let mut run_start: Option<usize> = None;
+            for ix in 0..=self.nx {
+                let on = ix < self.nx && self.data[iy * self.nx + ix] >= threshold;
+                match (on, run_start) {
+                    (true, None) => run_start = Some(ix),
+                    (false, Some(s)) => {
+                        rects.push(Rect {
+                            x0: self.origin_x + s as i64 * self.pixel,
+                            y0: self.origin_y + iy as i64 * self.pixel,
+                            x1: self.origin_x + ix as i64 * self.pixel,
+                            y1: self.origin_y + (iy as i64 + 1) * self.pixel,
+                        });
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Region::from_rects(rects)
+    }
+
+    /// Maximum sample value (0.0 for an empty raster).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rasterise_exact_pixel_alignment() {
+        let region = Region::from_rect(Rect::new(0, 0, 20, 10));
+        let r = Raster::rasterize(&region, Rect::new(0, 0, 40, 20), 10);
+        assert_eq!(r.width_px(), 4);
+        assert_eq!(r.height_px(), 2);
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(1, 0), 1.0);
+        assert_eq!(r.get(2, 0), 0.0);
+        assert_eq!(r.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rasterise_partial_pixels() {
+        let region = Region::from_rect(Rect::new(5, 0, 15, 10));
+        let r = Raster::rasterize(&region, Rect::new(0, 0, 20, 10), 10);
+        assert!((r.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((r.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blur_conserves_mass_in_interior() {
+        let region = Region::from_rect(Rect::new(200, 200, 300, 300));
+        let mut r = Raster::rasterize(&region, Rect::new(0, 0, 500, 500), 10);
+        let before: f64 = (0..r.height_px() as isize)
+            .flat_map(|y| (0..r.width_px() as isize).map(move |x| (x, y)))
+            .map(|(x, y)| r.get(x, y))
+            .sum();
+        r.gaussian_blur(30.0);
+        let after: f64 = (0..r.height_px() as isize)
+            .flat_map(|y| (0..r.width_px() as isize).map(move |x| (x, y)))
+            .map(|(x, y)| r.get(x, y))
+            .sum();
+        assert!((before - after).abs() / before < 1e-6, "mass not conserved: {before} vs {after}");
+    }
+
+    #[test]
+    fn blur_step_edge_is_half_at_edge() {
+        // A half-plane's blurred value at the edge is 0.5.
+        let region = Region::from_rect(Rect::new(0, 0, 500, 1000));
+        let mut r = Raster::rasterize(&region, Rect::new(0, 0, 1000, 1000), 10);
+        r.gaussian_blur(40.0);
+        let at_edge = r.sample_at(500, 500);
+        // Pixel centres offset by half a pixel; allow a loose band.
+        assert!((0.35..0.65).contains(&at_edge), "edge value {at_edge}");
+        assert!(r.sample_at(250, 500) > 0.95);
+        assert!(r.sample_at(750, 500) < 0.05);
+    }
+
+    #[test]
+    fn threshold_roundtrip_without_blur() {
+        let region = Region::from_rect(Rect::new(0, 0, 100, 50));
+        let r = Raster::rasterize(&region, Rect::new(0, 0, 200, 100), 10);
+        let back = r.threshold_region(0.5);
+        assert_eq!(back.area(), region.area());
+        assert_eq!(back.bbox(), region.bbox());
+    }
+
+    #[test]
+    fn full2d_matches_separable() {
+        let region = Region::from_rects([
+            Rect::new(100, 100, 260, 180),
+            Rect::new(300, 60, 380, 320),
+        ]);
+        let window = Rect::new(0, 0, 500, 400);
+        let mut a = Raster::rasterize(&region, window, 10);
+        let mut b = a.clone();
+        a.gaussian_blur(35.0);
+        b.gaussian_blur_full2d(35.0);
+        for y in 0..a.height_px() as isize {
+            for x in 0..a.width_px() as isize {
+                let (va, vb) = (a.get(x, y), b.get(x, y));
+                assert!((va - vb).abs() < 1e-9, "({x},{y}): {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_outside_is_zero() {
+        let region = Region::from_rect(Rect::new(0, 0, 10, 10));
+        let r = Raster::rasterize(&region, Rect::new(0, 0, 10, 10), 10);
+        assert_eq!(r.sample_at(-5, 5), 0.0);
+        assert_eq!(r.sample_at(5, 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel size")]
+    fn zero_pixel_panics() {
+        let _ = Raster::rasterize(&Region::new(), Rect::new(0, 0, 10, 10), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Edge fragmentation and offset application.
+//!
+//! OPC moves pieces of feature boundary ("fragments") perpendicular to
+//! themselves. A fragment displaced *outward* adds a strip of mask
+//! material along its span; displaced *inward* it removes one. The
+//! corrected mask is rebuilt exactly as
+//! `drawn ∪ (outward strips) ∖ (inward strips)`.
+
+use dfm_geom::{Coord, Rect, Region};
+
+/// One movable boundary fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// True for a fragment of a vertical edge (moves along x).
+    pub vertical: bool,
+    /// Edge position: x for vertical fragments, y for horizontal.
+    pub pos: Coord,
+    /// Span start along the edge (y for vertical, x for horizontal).
+    pub lo: Coord,
+    /// Span end along the edge.
+    pub hi: Coord,
+    /// True if the outward normal points towards +x (vertical) / +y
+    /// (horizontal); i.e. the region interior is on the negative side.
+    pub outward_positive: bool,
+}
+
+impl Fragment {
+    /// Length of the fragment along its edge.
+    pub fn len(&self) -> Coord {
+        self.hi - self.lo
+    }
+
+    /// Midpoint coordinate along the edge.
+    pub fn mid(&self) -> Coord {
+        self.lo + (self.hi - self.lo) / 2
+    }
+
+    /// Control point of the fragment (its midpoint on the edge).
+    pub fn control_point(&self) -> dfm_geom::Point {
+        if self.vertical {
+            dfm_geom::Point::new(self.pos, self.mid())
+        } else {
+            dfm_geom::Point::new(self.mid(), self.pos)
+        }
+    }
+
+    /// The strip of material swept when this fragment moves by `offset`
+    /// (positive = outward). Returns `(rect, added)`: `added` is true for
+    /// outward motion (material gained).
+    pub fn sweep(&self, offset: Coord) -> Option<(Rect, bool)> {
+        if offset == 0 {
+            return None;
+        }
+        let added = offset > 0;
+        let d = offset.abs();
+        // Outward-positive, outward move: add on [pos, pos+d).
+        // Outward-positive, inward move: remove on [pos-d, pos).
+        // Outward-negative mirrors.
+        let (a, b) = match (self.outward_positive, added) {
+            (true, true) => (self.pos, self.pos + d),
+            (true, false) => (self.pos - d, self.pos),
+            (false, true) => (self.pos - d, self.pos),
+            (false, false) => (self.pos, self.pos + d),
+        };
+        let rect = if self.vertical {
+            Rect::new(a, self.lo, b, self.hi)
+        } else {
+            Rect::new(self.lo, a, self.hi, b)
+        };
+        Some((rect, added))
+    }
+}
+
+/// Splits region boundaries into fragments no longer than `max_len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fragmenter {
+    /// Maximum fragment length; long edges are split into equal pieces.
+    pub max_len: Coord,
+}
+
+impl Fragmenter {
+    /// Creates a fragmenter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len <= 0`.
+    pub fn new(max_len: Coord) -> Self {
+        assert!(max_len > 0, "fragment length must be positive");
+        Fragmenter { max_len }
+    }
+
+    /// Fragments every boundary edge of `region`.
+    pub fn fragment(&self, region: &Region) -> Vec<Fragment> {
+        let mut out = Vec::new();
+        let edges = region.boundary_edges();
+        for e in &edges.vertical {
+            self.split(e.y0, e.y1, |lo, hi| {
+                out.push(Fragment {
+                    vertical: true,
+                    pos: e.x,
+                    lo,
+                    hi,
+                    // interior_right means outward is -x.
+                    outward_positive: !e.interior_right,
+                });
+            });
+        }
+        for e in &edges.horizontal {
+            self.split(e.x0, e.x1, |lo, hi| {
+                out.push(Fragment {
+                    vertical: false,
+                    pos: e.y,
+                    lo,
+                    hi,
+                    outward_positive: !e.interior_up,
+                });
+            });
+        }
+        out
+    }
+
+    fn split(&self, lo: Coord, hi: Coord, mut emit: impl FnMut(Coord, Coord)) {
+        let len = hi - lo;
+        if len <= 0 {
+            return;
+        }
+        let n = ((len + self.max_len - 1) / self.max_len).max(1);
+        for k in 0..n {
+            let a = lo + k * len / n;
+            let b = lo + (k + 1) * len / n;
+            if b > a {
+                emit(a, b);
+            }
+        }
+    }
+}
+
+/// Rebuilds the corrected mask from per-fragment offsets (parallel to
+/// `fragments`; positive = outward).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn apply_offsets(drawn: &Region, fragments: &[Fragment], offsets: &[Coord]) -> Region {
+    assert_eq!(
+        fragments.len(),
+        offsets.len(),
+        "one offset per fragment required"
+    );
+    let mut adds: Vec<Rect> = Vec::new();
+    let mut subs: Vec<Rect> = Vec::new();
+    for (f, &off) in fragments.iter().zip(offsets) {
+        if let Some((rect, added)) = f.sweep(off) {
+            if added {
+                adds.push(rect);
+            } else {
+                subs.push(rect);
+            }
+        }
+    }
+    let mut mask = drawn.clone();
+    if !adds.is_empty() {
+        mask = mask.union(&Region::from_rects(adds));
+    }
+    if !subs.is_empty() {
+        mask = mask.difference(&Region::from_rects(subs));
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_counts_for_square() {
+        let r = Region::from_rect(Rect::new(0, 0, 300, 300));
+        // max_len 100: each 300-long edge splits into 3.
+        let frags = Fragmenter::new(100).fragment(&r);
+        assert_eq!(frags.len(), 12);
+        assert!(frags.iter().all(|f| f.len() == 100));
+    }
+
+    #[test]
+    fn short_edges_one_fragment() {
+        let r = Region::from_rect(Rect::new(0, 0, 50, 50));
+        let frags = Fragmenter::new(100).fragment(&r);
+        assert_eq!(frags.len(), 4);
+    }
+
+    #[test]
+    fn outward_direction_is_away_from_interior() {
+        let r = Region::from_rect(Rect::new(0, 0, 100, 100));
+        let frags = Fragmenter::new(1000).fragment(&r);
+        let left = frags
+            .iter()
+            .find(|f| f.vertical && f.pos == 0)
+            .expect("left edge fragment");
+        assert!(!left.outward_positive, "outward of left edge is -x");
+        let right = frags
+            .iter()
+            .find(|f| f.vertical && f.pos == 100)
+            .expect("right edge fragment");
+        assert!(right.outward_positive);
+    }
+
+    #[test]
+    fn uniform_outward_offsets_equal_bloat() {
+        let r = Region::from_rect(Rect::new(0, 0, 200, 100));
+        let frags = Fragmenter::new(10_000).fragment(&r);
+        let offsets = vec![10; frags.len()];
+        let grown = apply_offsets(&r, &frags, &offsets);
+        // Edge strips without corner squares: bloat minus the 4 corners.
+        assert_eq!(grown.area(), r.bloated(10).area() - 4 * 100);
+        assert_eq!(grown.bbox(), Rect::new(-10, -10, 210, 110));
+    }
+
+    #[test]
+    fn uniform_inward_offsets_equal_shrink() {
+        let r = Region::from_rect(Rect::new(0, 0, 200, 100));
+        let frags = Fragmenter::new(10_000).fragment(&r);
+        let offsets = vec![-10; frags.len()];
+        let shrunk = apply_offsets(&r, &frags, &offsets);
+        assert_eq!(shrunk, r.shrunk(10));
+    }
+
+    #[test]
+    fn zero_offsets_are_identity() {
+        let r = Region::from_rects([Rect::new(0, 0, 100, 50), Rect::new(200, 0, 260, 90)]);
+        let frags = Fragmenter::new(40).fragment(&r);
+        let same = apply_offsets(&r, &frags, &vec![0; frags.len()]);
+        assert_eq!(same, r);
+    }
+
+    #[test]
+    fn single_fragment_move_makes_jog() {
+        let r = Region::from_rect(Rect::new(0, 0, 300, 100));
+        let mut frags = Fragmenter::new(100).fragment(&r);
+        frags.sort_by_key(|f| (f.vertical, f.pos, f.lo));
+        // Move one top-edge fragment outward.
+        let idx = frags
+            .iter()
+            .position(|f| !f.vertical && f.pos == 100 && f.lo == 100)
+            .expect("middle top fragment");
+        let mut offsets = vec![0; frags.len()];
+        offsets[idx] = 20;
+        let jogged = apply_offsets(&r, &frags, &offsets);
+        assert_eq!(jogged.area(), r.area() + 100 * 20);
+        assert!(jogged.contains_point(dfm_geom::Point::new(150, 110)));
+        assert!(!jogged.contains_point(dfm_geom::Point::new(50, 110)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one offset per fragment")]
+    fn mismatched_offsets_panic() {
+        let r = Region::from_rect(Rect::new(0, 0, 10, 10));
+        let frags = Fragmenter::new(100).fragment(&r);
+        let _ = apply_offsets(&r, &frags, &[0; 1]);
+    }
+}

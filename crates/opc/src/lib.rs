@@ -1,0 +1,46 @@
+//! # dfm-opc — optical proximity correction for the `dfm-practice` workspace
+//!
+//! Implements the two OPC generations whose cost/benefit the DAC 2008
+//! panel argued about, plus sub-resolution assist features and post-OPC
+//! verification:
+//!
+//! * [`fragment`] — decomposes a drawn region's boundary into movable
+//!   edge **fragments**; correction is expressed as a per-fragment
+//!   perpendicular offset and rebuilt with exact region algebra,
+//! * [`RuleOpc`] — rule-based OPC: environment-dependent edge bias from a
+//!   lookup of local width and spacing (the 1996-era approach),
+//! * [`ModelOpc`] — model-based OPC: iterative simulate → measure EPE →
+//!   move fragments feedback using the [`dfm_litho`] simulator (the
+//!   production approach at the panel date),
+//! * [`sraf`] — rule-based sub-resolution assist-feature (scatter-bar)
+//!   insertion with mask-rule cleanup,
+//! * [`orc`] — post-OPC verification: EPE statistics and residual
+//!   hotspots of the corrected mask.
+//!
+//! ```
+//! use dfm_geom::{Rect, Region};
+//! use dfm_litho::{Condition, LithoSimulator};
+//! use dfm_opc::ModelOpc;
+//!
+//! let sim = LithoSimulator::for_feature_size(90);
+//! let drawn = Region::from_rect(Rect::new(0, 0, 1500, 90));
+//! let opc = ModelOpc::new(sim.clone());
+//! let result = opc.correct(&drawn);
+//! // Corrected mask prints closer to intent than the raw mask does.
+//! assert!(result.epe_after.rms <= result.epe_before.rms);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fragment;
+pub mod layout_opc;
+mod model_based;
+pub mod orc;
+mod rule_based;
+pub mod sraf;
+
+pub use fragment::{apply_offsets, Fragment, Fragmenter};
+pub use layout_opc::{correct_layout, LayoutOpcStats, TileParams};
+pub use model_based::{ModelOpc, OpcResult};
+pub use rule_based::{RuleOpc, RuleOpcParams};

@@ -1,0 +1,334 @@
+//! Layout Pattern Catalogs: frequency statistics over a design.
+
+use crate::TopoPattern;
+use dfm_geom::{Coord, Point, Rect, Region};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One pattern class in a catalog: a canonical pattern with its
+/// occurrence statistics.
+#[derive(Clone, Debug)]
+pub struct PatternClass {
+    /// Canonical representative pattern.
+    pub pattern: TopoPattern,
+    /// Occurrences in the scanned design.
+    pub count: u64,
+    /// One example anchor where the pattern occurs.
+    pub example: Point,
+}
+
+/// A Layout Pattern Catalog: the full census of pattern classes found at
+/// a set of anchors in a design.
+///
+/// Build one with [`Catalog::build`]; compare designs with
+/// [`Catalog::kl_divergence`]; measure how head-heavy a design's pattern
+/// distribution is with [`Catalog::coverage_top_k`].
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    classes: HashMap<TopoPattern, PatternClass>,
+    total: u64,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Builds a catalog by encoding a window of `radius` around every
+    /// anchor over the given layers, with dimensions quantised by `snap`.
+    pub fn build(
+        layers: &[&Region],
+        anchors: &[Point],
+        radius: Coord,
+        snap: Coord,
+    ) -> Catalog {
+        let mut catalog = Catalog::new();
+        for &a in anchors {
+            let window = Rect::centered_at(a, 2 * radius, 2 * radius);
+            let pattern = TopoPattern::encode_quantized(layers, window, snap).canonical();
+            catalog.insert(pattern, a);
+        }
+        catalog
+    }
+
+    /// Inserts a whole pattern class (the persistence path); counts of an
+    /// existing equal class accumulate.
+    pub fn insert_class(&mut self, class: PatternClass) {
+        self.total += class.count;
+        self.classes
+            .entry(class.pattern.clone())
+            .and_modify(|c| c.count += class.count)
+            .or_insert(class);
+    }
+
+    /// Adds one occurrence of a (canonical) pattern.
+    pub fn insert(&mut self, pattern: TopoPattern, at: Point) {
+        self.total += 1;
+        self.classes
+            .entry(pattern.clone())
+            .and_modify(|c| c.count += 1)
+            .or_insert(PatternClass { pattern, count: 1, example: at });
+    }
+
+    /// Number of distinct pattern classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total occurrences scanned.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Classes sorted by descending frequency.
+    pub fn ranked(&self) -> Vec<&PatternClass> {
+        let mut v: Vec<&PatternClass> = self.classes.values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.example.cmp(&b.example)));
+        v
+    }
+
+    /// Fraction of all occurrences covered by the `k` most frequent
+    /// classes (the "top-10 categories cover ≥90% of vias" statistic).
+    pub fn coverage_top_k(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.ranked().iter().take(k).map(|c| c.count).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// The occurrence count of a specific canonical pattern.
+    pub fn count_of(&self, pattern: &TopoPattern) -> u64 {
+        self.classes.get(pattern).map_or(0, |c| c.count)
+    }
+
+    /// Kullback–Leibler divergence `D(self ‖ other)` between the two
+    /// catalogs' pattern frequency distributions, with add-one (Laplace)
+    /// smoothing over the union of classes. Asymmetric; in nats.
+    pub fn kl_divergence(&self, other: &Catalog) -> f64 {
+        let mut keys: Vec<&TopoPattern> = self.classes.keys().collect();
+        for k in other.classes.keys() {
+            if !self.classes.contains_key(k) {
+                keys.push(k);
+            }
+        }
+        let n = keys.len() as f64;
+        let self_total = self.total as f64 + n;
+        let other_total = other.total as f64 + n;
+        let mut kl = 0.0;
+        for k in keys {
+            let p = (self.count_of(k) as f64 + 1.0) / self_total;
+            let q = (other.count_of(k) as f64 + 1.0) / other_total;
+            kl += p * (p / q).ln();
+        }
+        kl
+    }
+
+    /// Classes whose frequency in `self` is at least `factor` times
+    /// their frequency in `baseline` (smoothed) — the "unexpectedly
+    /// frequent category" outlier report.
+    pub fn outliers_vs<'a>(
+        &'a self,
+        baseline: &Catalog,
+        factor: f64,
+    ) -> Vec<(&'a PatternClass, f64)> {
+        let mut out = Vec::new();
+        let self_total = self.total.max(1) as f64;
+        let base_total = baseline.total.max(1) as f64;
+        for class in self.classes.values() {
+            let p = class.count as f64 / self_total;
+            let q = (baseline.count_of(&class.pattern) as f64 + 1.0) / (base_total + 1.0);
+            let ratio = p / q;
+            if ratio >= factor {
+                out.push((class, ratio));
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Merges another catalog into this one.
+    pub fn merge(&mut self, other: Catalog) {
+        for (pattern, class) in other.classes {
+            self.total += class.count;
+            self.classes
+                .entry(pattern)
+                .and_modify(|c| c.count += class.count)
+                .or_insert(class);
+        }
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "catalog: {} classes over {} occurrences (top-10 coverage {:.1}%)",
+            self.class_count(),
+            self.total(),
+            100.0 * self.coverage_top_k(10)
+        )?;
+        for (i, c) in self.ranked().iter().take(10).enumerate() {
+            writeln!(
+                f,
+                "  #{:<2} ×{:<8} {}x{} cells, example at {}",
+                i + 1,
+                c.count,
+                c.pattern.nx(),
+                c.pattern.ny(),
+                c.example
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Anchor generators: where catalogs sample a design.
+pub mod anchors {
+    use dfm_geom::{Point, Region};
+
+    /// Centres of every rect on a layer — the natural anchors for via
+    /// and contact enclosure catalogs.
+    pub fn rect_centers(layer: &Region) -> Vec<Point> {
+        layer.rects().iter().map(|r| r.center()).collect()
+    }
+
+    /// A uniform grid of anchors across the region's bounding box.
+    pub fn grid(region: &Region, step: i64) -> Vec<Point> {
+        let b = region.bbox();
+        let mut out = Vec::new();
+        let mut y = b.y0 + step / 2;
+        while y < b.y1 {
+            let mut x = b.x0 + step / 2;
+            while x < b.x1 {
+                out.push(Point::new(x, y));
+                x += step;
+            }
+            y += step;
+        }
+        out
+    }
+
+    /// Convex-corner anchors: every corner of the region's rect
+    /// decomposition (deduplicated).
+    pub fn corners(region: &Region) -> Vec<Point> {
+        let mut pts: Vec<Point> = region
+            .rects()
+            .iter()
+            .flat_map(|r| {
+                [
+                    Point::new(r.x0, r.y0),
+                    Point::new(r.x1, r.y0),
+                    Point::new(r.x0, r.y1),
+                    Point::new(r.x1, r.y1),
+                ]
+            })
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn via_grid(n: i64, pitch: i64, via: i64, enc: i64) -> (Region, Region, Vec<Point>) {
+        let mut vias = Vec::new();
+        let mut pads = Vec::new();
+        let mut anchors = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let c = Point::new(i * pitch, j * pitch);
+                vias.push(Rect::centered_at(c, via, via));
+                pads.push(Rect::centered_at(c, via + 2 * enc, via + 2 * enc));
+                anchors.push(c);
+            }
+        }
+        (Region::from_rects(vias), Region::from_rects(pads), anchors)
+    }
+
+    #[test]
+    fn uniform_array_is_one_class() {
+        let (vias, pads, anchors) = via_grid(4, 1000, 90, 40);
+        let catalog = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        assert_eq!(catalog.class_count(), 1);
+        assert_eq!(catalog.total(), 16);
+        assert!((catalog.coverage_top_k(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_via_out_makes_second_class() {
+        let (vias, pads, mut anchors) = via_grid(3, 1000, 90, 40);
+        // One extra via with asymmetric enclosure.
+        let c = Point::new(5000, 5000);
+        let vias = vias.union(&Region::from_rect(Rect::centered_at(c, 90, 90)));
+        let pads = pads.union(&Region::from_rect(Rect::new(
+            c.x - 45,
+            c.y - 85,
+            c.x + 105,
+            c.y + 45,
+        )));
+        anchors.push(c);
+        let catalog = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        assert_eq!(catalog.class_count(), 2);
+        let ranked = catalog.ranked();
+        assert_eq!(ranked[0].count, 9);
+        assert_eq!(ranked[1].count, 1);
+        assert!((catalog.coverage_top_k(1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_identical() {
+        let (vias, pads, anchors) = via_grid(4, 1000, 90, 40);
+        let a = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        let b = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        assert!(a.kl_divergence(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_positive_for_different() {
+        let (vias_a, pads_a, anchors_a) = via_grid(4, 1000, 90, 40);
+        let (vias_b, pads_b, anchors_b) = via_grid(4, 1000, 90, 70);
+        let a = Catalog::build(&[&vias_a, &pads_a], &anchors_a, 200, 1);
+        let b = Catalog::build(&[&vias_b, &pads_b], &anchors_b, 200, 1);
+        assert!(a.kl_divergence(&b) > 0.0);
+    }
+
+    #[test]
+    fn outlier_detection() {
+        let (vias, pads, anchors) = via_grid(3, 1000, 90, 40);
+        let baseline = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+
+        // A design dominated by a strange enclosure.
+        let c = Point::new(0, 0);
+        let odd_pads = Region::from_rect(Rect::new(c.x - 45, c.y - 45, c.x + 145, c.y + 45));
+        let odd_vias = Region::from_rect(Rect::centered_at(c, 90, 90));
+        let design = Catalog::build(&[&odd_vias, &odd_pads], &[c], 200, 1);
+        let outliers = design.outliers_vs(&baseline, 2.0);
+        assert_eq!(outliers.len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (vias, pads, anchors) = via_grid(2, 1000, 90, 40);
+        let mut a = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        let b = Catalog::build(&[&vias, &pads], &anchors, 200, 1);
+        a.merge(b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.class_count(), 1);
+    }
+
+    #[test]
+    fn anchor_generators() {
+        let r = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(100, 0, 110, 10)]);
+        assert_eq!(anchors::rect_centers(&r).len(), 2);
+        assert_eq!(anchors::corners(&r).len(), 8);
+        let g = anchors::grid(&r, 5);
+        assert!(!g.is_empty());
+        // A step larger than the extent yields no anchors.
+        assert!(anchors::grid(&r, 500).is_empty());
+    }
+}

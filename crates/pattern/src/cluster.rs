@@ -1,0 +1,211 @@
+//! Clustering of patterns and layout clips.
+//!
+//! Two clusterers:
+//!
+//! * [`leader_cluster`] — single-pass leader clustering of
+//!   [`TopoPattern`]s under a dimension tolerance: the incremental
+//!   algorithm used to build million-pattern databases,
+//! * [`agglomerative_cluster`] — average-linkage hierarchical clustering
+//!   of layout clips under XOR-area distance: the classic hotspot-snippet
+//!   grouping.
+
+use crate::TopoPattern;
+use dfm_geom::{Coord, Rect, Region};
+
+/// A cluster of pattern indices with its representative.
+#[derive(Clone, Debug)]
+pub struct PatternCluster {
+    /// Index (into the input slice) of the representative pattern.
+    pub representative: usize,
+    /// Indices of all members (including the representative).
+    pub members: Vec<usize>,
+}
+
+/// Single-pass leader clustering: each pattern joins the first cluster
+/// whose representative it [`matches`](TopoPattern::matches) within
+/// `eps`, otherwise it founds a new cluster.
+///
+/// Deterministic given input order; O(n · clusters) with a topology-
+/// digest prefilter.
+pub fn leader_cluster(patterns: &[TopoPattern], eps: Coord) -> Vec<PatternCluster> {
+    let mut clusters: Vec<PatternCluster> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let d = p.topology_digest();
+        let mut placed = false;
+        for (c, cluster) in clusters.iter_mut().enumerate() {
+            if digests[c] == d && patterns[cluster.representative].matches(p, eps) {
+                cluster.members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(PatternCluster { representative: i, members: vec![i] });
+            digests.push(d);
+        }
+    }
+    clusters
+}
+
+/// Normalised XOR-area distance between two clips within a shared window
+/// frame: `area(a △ b) / area(window)`, in `[0, 1]`.
+pub fn xor_distance(a: &Region, b: &Region, window: Rect) -> f64 {
+    let wa = window.area() as f64;
+    if wa <= 0.0 {
+        return 0.0;
+    }
+    let xa = a.clipped(window);
+    let xb = b.clipped(window);
+    xa.xor(&xb).area() as f64 / wa
+}
+
+/// A cluster of clip indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClipCluster {
+    /// Member indices into the input slice.
+    pub members: Vec<usize>,
+}
+
+/// Average-linkage agglomerative clustering of layout clips under
+/// [`xor_distance`], cutting when the closest pair exceeds `cut`.
+///
+/// All clips must be expressed in a common window frame (e.g. each
+/// hotspot clip translated so its anchor is the window centre).
+pub fn agglomerative_cluster(clips: &[Region], window: Rect, cut: f64) -> Vec<ClipCluster> {
+    let n = clips.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Precompute the pairwise distance matrix.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = xor_distance(&clips[i], &clips[j], window);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    loop {
+        // Find the closest pair by average linkage.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut sum = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        sum += dist[i * n + j];
+                    }
+                }
+                let avg = sum / (clusters[a].len() * clusters[b].len()) as f64;
+                if best.map_or(true, |(_, _, d)| avg < d) {
+                    best = Some((a, b, avg));
+                }
+            }
+        }
+        match best {
+            Some((a, b, d)) if d <= cut => {
+                let merged = clusters.swap_remove(b);
+                let target = if a == clusters.len() { b } else { a };
+                clusters[target].extend(merged);
+            }
+            _ => break,
+        }
+    }
+    let mut out: Vec<ClipCluster> = clusters
+        .into_iter()
+        .map(|mut members| {
+            members.sort_unstable();
+            ClipCluster { members }
+        })
+        .collect();
+    out.sort_by_key(|c| c.members[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_geom::Point;
+
+    fn window() -> Rect {
+        Rect::centered_at(Point::new(0, 0), 400, 400)
+    }
+
+    fn bar(w: Coord) -> Region {
+        Region::from_rect(Rect::new(-150, -w / 2, 150, w / 2))
+    }
+
+    #[test]
+    fn leader_groups_similar_patterns() {
+        let pats: Vec<TopoPattern> = [60, 62, 58, 120, 118]
+            .iter()
+            .map(|&w| TopoPattern::encode(&[&bar(w)], window()).canonical())
+            .collect();
+        let clusters = leader_cluster(&pats, 4);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(clusters[1].members, vec![3, 4]);
+    }
+
+    #[test]
+    fn leader_zero_tolerance_separates() {
+        let pats: Vec<TopoPattern> = [60, 62]
+            .iter()
+            .map(|&w| TopoPattern::encode(&[&bar(w)], window()).canonical())
+            .collect();
+        let clusters = leader_cluster(&pats, 0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn xor_distance_properties() {
+        let w = window();
+        let a = bar(60);
+        let b = bar(60);
+        assert_eq!(xor_distance(&a, &b, w), 0.0);
+        let c = bar(120);
+        let d_ac = xor_distance(&a, &c, w);
+        assert!(d_ac > 0.0 && d_ac < 1.0);
+        // Symmetric.
+        assert_eq!(d_ac, xor_distance(&c, &a, w));
+    }
+
+    #[test]
+    fn agglomerative_groups_by_shape() {
+        let clips = vec![
+            bar(60),
+            bar(64),
+            bar(62),
+            // A very different clip: vertical bar.
+            Region::from_rect(Rect::new(-30, -150, 30, 150)),
+        ];
+        let clusters = agglomerative_cluster(&clips, window(), 0.05);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+        assert_eq!(clusters[1].members, vec![3]);
+    }
+
+    #[test]
+    fn agglomerative_cut_zero_keeps_singletons() {
+        let clips = vec![bar(60), bar(100)];
+        let clusters = agglomerative_cluster(&clips, window(), 0.0);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn agglomerative_cut_one_merges_all() {
+        let clips = vec![bar(60), bar(100), bar(140)];
+        let clusters = agglomerative_cluster(&clips, window(), 1.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(leader_cluster(&[], 2).is_empty());
+        assert!(agglomerative_cluster(&[], window(), 0.5).is_empty());
+    }
+}

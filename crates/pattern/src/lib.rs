@@ -1,0 +1,53 @@
+//! # dfm-pattern — topological layout pattern catalogs, matching, clustering
+//!
+//! The "layout pattern catalog" machinery the calibration notes flag as
+//! absent from open source. A **topological pattern** (Dai & Capodieci)
+//! separates a clip of layout into two components:
+//!
+//! * a *topology* — the alignment bitmap of polygon edges within the
+//!   clip, independent of exact dimensions, and
+//! * a *dimension vector* — the spacings between consecutive edge
+//!   positions (the "cut" grid).
+//!
+//! Two clips with the same topology differ only dimensionally; with a
+//! dimension tolerance they fall into the same *pattern class*. This
+//! crate implements:
+//!
+//! * [`TopoPattern`] — multi-layer topological encoding with exact D4
+//!   (rotation/mirror) canonicalisation,
+//! * [`Catalog`] — Layout Pattern Catalogs: frequency statistics over a
+//!   design, top-k coverage, and KL divergence between catalogs
+//!   (experiment E5),
+//! * [`PatternLibrary`] — fast hash-based full-chip pattern matching for
+//!   DRC-Plus-style screening (experiment E4),
+//! * [`cluster`] — leader clustering by dimension tolerance and
+//!   agglomerative clustering of hotspot clips by XOR-area distance,
+//! * [`pat`] — the Pattern Association Tree over nested context radii
+//!   (experiment E11: optimal pattern context size).
+//!
+//! ```
+//! use dfm_geom::{Point, Rect, Region};
+//! use dfm_pattern::TopoPattern;
+//!
+//! let metal = Region::from_rect(Rect::new(-50, -20, 50, 20));
+//! let window = Rect::centered_at(Point::new(0, 0), 200, 200);
+//! let p = TopoPattern::encode(&[&metal], window);
+//! // A bare horizontal bar and its 90°-rotated twin canonicalise equal.
+//! let metal_v = Region::from_rect(Rect::new(-20, -50, 20, 50));
+//! let q = TopoPattern::encode(&[&metal_v], window);
+//! assert_eq!(p.canonical(), q.canonical());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cluster;
+mod matcher;
+pub mod pat;
+pub mod pdb;
+mod topo;
+
+pub use catalog::{Catalog, PatternClass};
+pub use matcher::{Match, PatternLibrary};
+pub use topo::TopoPattern;

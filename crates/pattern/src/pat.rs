@@ -1,0 +1,252 @@
+//! Pattern Association Tree (PAT): per-pattern context-radius
+//! optimisation.
+//!
+//! Fixed-radius pattern decks face a dilemma: small windows over-merge
+//! (different process behaviour, same small pattern), large windows
+//! over-split (same behaviour, needlessly specific pattern). The PAT
+//! trains on labelled anchors at a *nest* of radii and stops growing the
+//! context as soon as a pattern becomes decisive — giving each pattern
+//! its own optimal radius (experiment E11).
+
+use crate::TopoPattern;
+use dfm_geom::{Coord, Point, Rect, Region};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    pos: u64,
+    neg: u64,
+}
+
+impl Node {
+    fn total(&self) -> u64 {
+        self.pos + self.neg
+    }
+
+    fn purity(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        let p = self.pos as f64 / self.total() as f64;
+        p.max(1.0 - p)
+    }
+
+    fn majority(&self) -> bool {
+        self.pos >= self.neg
+    }
+}
+
+/// A trained Pattern Association Tree classifier.
+#[derive(Clone, Debug)]
+pub struct PatTree {
+    radii: Vec<Coord>,
+    snap: Coord,
+    purity_threshold: f64,
+    levels: Vec<HashMap<TopoPattern, Node>>,
+}
+
+impl PatTree {
+    /// Trains on labelled anchors.
+    ///
+    /// * `layers` — the design layers the patterns are drawn from,
+    /// * `anchors`/`labels` — parallel slices; `true` marks a hotspot,
+    /// * `radii` — ascending context radii to consider,
+    /// * `snap` — dimension quantisation,
+    /// * `purity_threshold` — a pattern node is decisive once the
+    ///   majority label fraction reaches this value (e.g. 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or `radii` is empty or not
+    /// ascending.
+    pub fn train(
+        layers: &[&Region],
+        anchors: &[Point],
+        labels: &[bool],
+        radii: &[Coord],
+        snap: Coord,
+        purity_threshold: f64,
+    ) -> PatTree {
+        assert_eq!(anchors.len(), labels.len(), "one label per anchor");
+        assert!(!radii.is_empty(), "at least one radius");
+        assert!(
+            radii.windows(2).all(|w| w[0] < w[1]),
+            "radii must be ascending"
+        );
+        let mut levels: Vec<HashMap<TopoPattern, Node>> =
+            radii.iter().map(|_| HashMap::new()).collect();
+        for (&a, &label) in anchors.iter().zip(labels) {
+            for (li, &r) in radii.iter().enumerate() {
+                let window = Rect::centered_at(a, 2 * r, 2 * r);
+                let p = TopoPattern::encode_quantized(layers, window, snap).canonical();
+                let node = levels[li].entry(p).or_default();
+                if label {
+                    node.pos += 1;
+                } else {
+                    node.neg += 1;
+                }
+            }
+        }
+        PatTree {
+            radii: radii.to_vec(),
+            snap,
+            purity_threshold,
+            levels,
+        }
+    }
+
+    /// The radii the tree was trained with.
+    pub fn radii(&self) -> &[Coord] {
+        &self.radii
+    }
+
+    /// Number of pattern nodes per level.
+    pub fn nodes_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Classifies an anchor: walks the radius nest from the inside out
+    /// and answers with the first decisive node's majority label; falls
+    /// back to the deepest seen node's majority; unknown patterns
+    /// classify as `false`.
+    pub fn classify(&self, layers: &[&Region], anchor: Point) -> bool {
+        let mut fallback: Option<bool> = None;
+        for (li, &r) in self.radii.iter().enumerate() {
+            let window = Rect::centered_at(anchor, 2 * r, 2 * r);
+            let p = TopoPattern::encode_quantized(layers, window, self.snap).canonical();
+            match self.levels[li].get(&p) {
+                None => break,
+                Some(node) => {
+                    fallback = Some(node.majority());
+                    if node.purity() >= self.purity_threshold {
+                        return node.majority();
+                    }
+                }
+            }
+        }
+        fallback.unwrap_or(false)
+    }
+
+    /// The *effective radius* the classifier uses for an anchor: the
+    /// radius of the first decisive node, or the largest radius if none
+    /// is decisive, or `None` for unknown patterns.
+    pub fn effective_radius(&self, layers: &[&Region], anchor: Point) -> Option<Coord> {
+        let mut last_seen: Option<Coord> = None;
+        for (li, &r) in self.radii.iter().enumerate() {
+            let window = Rect::centered_at(anchor, 2 * r, 2 * r);
+            let p = TopoPattern::encode_quantized(layers, window, self.snap).canonical();
+            match self.levels[li].get(&p) {
+                None => break,
+                Some(node) => {
+                    last_seen = Some(r);
+                    if node.purity() >= self.purity_threshold {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+        last_seen
+    }
+}
+
+/// Accuracy of a classifier over labelled anchors: fraction correct.
+pub fn accuracy(
+    tree: &PatTree,
+    layers: &[&Region],
+    anchors: &[Point],
+    labels: &[bool],
+) -> f64 {
+    if anchors.is_empty() {
+        return 1.0;
+    }
+    let correct = anchors
+        .iter()
+        .zip(labels)
+        .filter(|(&a, &l)| tree.classify(layers, a) == l)
+        .count();
+    correct as f64 / anchors.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy design: isolated squares are "good"; squares with a close
+    /// neighbour (visible only at the larger radius) are "bad".
+    fn toy() -> (Region, Vec<Point>, Vec<bool>) {
+        let mut rects = Vec::new();
+        let mut anchors = Vec::new();
+        let mut labels = Vec::new();
+        // 6 isolated squares.
+        for i in 0..6i64 {
+            let c = Point::new(i * 5000, 0);
+            rects.push(Rect::centered_at(c, 100, 100));
+            anchors.push(c);
+            labels.push(false);
+        }
+        // 6 squares with a neighbour 250 away (outside radius 150,
+        // inside radius 400).
+        for i in 0..6i64 {
+            let c = Point::new(i * 5000, 20_000);
+            rects.push(Rect::centered_at(c, 100, 100));
+            rects.push(Rect::centered_at(c + dfm_geom::Vector::new(300, 0), 100, 100));
+            anchors.push(c);
+            labels.push(true);
+        }
+        (Region::from_rects(rects), anchors, labels)
+    }
+
+    #[test]
+    fn small_radius_cannot_separate() {
+        let (layout, anchors, labels) = toy();
+        let tree = PatTree::train(&[&layout], &anchors, &labels, &[150], 1, 0.95);
+        let acc = accuracy(&tree, &[&layout], &anchors, &labels);
+        // At radius 150 both classes look identical: accuracy ≈ 0.5.
+        assert!(acc < 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn nested_radii_separate() {
+        let (layout, anchors, labels) = toy();
+        let tree = PatTree::train(&[&layout], &anchors, &labels, &[150, 400], 1, 0.95);
+        let acc = accuracy(&tree, &[&layout], &anchors, &labels);
+        assert_eq!(acc, 1.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn effective_radius_is_minimal() {
+        let (layout, anchors, labels) = toy();
+        let tree = PatTree::train(&[&layout], &anchors, &labels, &[150, 400, 800], 1, 0.95);
+        // The bad anchors need radius 400; never 800.
+        for &a in &anchors {
+            let r = tree.effective_radius(&[&layout], a).expect("seen in training");
+            assert!(r <= 400, "effective radius {r}");
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_classifies_negative() {
+        let (layout, anchors, labels) = toy();
+        let tree = PatTree::train(&[&layout], &anchors, &labels, &[150, 400], 1, 0.95);
+        // A completely different neighbourhood.
+        let strange = Region::from_rect(Rect::new(-100, -100, 900, 900));
+        assert!(!tree.classify(&[&strange], Point::new(0, 0)));
+    }
+
+    #[test]
+    fn node_counts_grow_with_radius() {
+        let (layout, anchors, labels) = toy();
+        let tree = PatTree::train(&[&layout], &anchors, &labels, &[150, 400], 1, 0.95);
+        let nodes = tree.nodes_per_level();
+        assert_eq!(nodes.len(), 2);
+        // Radius 150: one pattern class; radius 400: at least two.
+        assert!(nodes[0] < nodes[1], "{nodes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_radii_panic() {
+        let (layout, anchors, labels) = toy();
+        let _ = PatTree::train(&[&layout], &anchors, &labels, &[400, 150], 1, 0.95);
+    }
+}

@@ -1,0 +1,244 @@
+//! Pattern database (PDB) persistence.
+//!
+//! Production flows accumulate pattern knowledge across design and
+//! technology cycles in a persistent database (the GLOBALFOUNDRIES "PDB"
+//! of the companion publications): each pattern class keeps a stable
+//! identity so printability results, failure analysis and occurrence
+//! counts can be attached over time. This module provides a compact,
+//! versioned binary serialisation for [`Catalog`]s.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  "DFMPDB1\0"            8 bytes
+//! total  u64                    total occurrences
+//! count  u64                    number of classes
+//! per class:
+//!   nx, ny     u32, u32
+//!   cells      nx·ny bytes
+//!   dims_x     nx × i64
+//!   dims_y     ny × i64
+//!   count      u64
+//!   example    i64, i64
+//! ```
+
+use crate::catalog::{Catalog, PatternClass};
+use crate::TopoPattern;
+use dfm_geom::Point;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"DFMPDB1\0";
+
+/// Error parsing a pattern database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePdbError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed pattern database at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParsePdbError {}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParsePdbError> {
+        if self.pos + n > self.data.len() {
+            return Err(ParsePdbError {
+                offset: self.pos,
+                message: format!("truncated: needed {n} bytes"),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ParsePdbError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ParsePdbError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ParsePdbError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Serialises a catalog to the PDB byte format.
+pub fn to_bytes(catalog: &Catalog) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&catalog.total().to_le_bytes());
+    let ranked = catalog.ranked();
+    out.extend_from_slice(&(ranked.len() as u64).to_le_bytes());
+    for class in ranked {
+        let p = &class.pattern;
+        out.extend_from_slice(&(p.nx() as u32).to_le_bytes());
+        out.extend_from_slice(&(p.ny() as u32).to_le_bytes());
+        out.extend_from_slice(p.cells_raw());
+        for &d in p.dims_x_raw() {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        for &d in p.dims_y_raw() {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out.extend_from_slice(&class.count.to_le_bytes());
+        out.extend_from_slice(&class.example.x.to_le_bytes());
+        out.extend_from_slice(&class.example.y.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a catalog from the PDB byte format.
+///
+/// # Errors
+///
+/// [`ParsePdbError`] on bad magic, truncation, or impossible geometry.
+pub fn from_bytes(data: &[u8]) -> Result<Catalog, ParsePdbError> {
+    let mut c = Cursor { data, pos: 0 };
+    let magic = c.take(8)?;
+    if magic != MAGIC {
+        return Err(ParsePdbError { offset: 0, message: "bad magic".into() });
+    }
+    let declared_total = c.u64()?;
+    let count = c.u64()?;
+    let mut catalog = Catalog::new();
+    for _ in 0..count {
+        let nx = c.u32()? as usize;
+        let ny = c.u32()? as usize;
+        if nx == 0 || ny == 0 || nx.saturating_mul(ny) > 1 << 24 {
+            return Err(ParsePdbError {
+                offset: c.pos,
+                message: format!("implausible grid {nx}x{ny}"),
+            });
+        }
+        let cells = c.take(nx * ny)?.to_vec();
+        let mut dims_x = Vec::with_capacity(nx);
+        for _ in 0..nx {
+            dims_x.push(c.i64()?);
+        }
+        let mut dims_y = Vec::with_capacity(ny);
+        for _ in 0..ny {
+            dims_y.push(c.i64()?);
+        }
+        let pattern = TopoPattern::from_raw_parts(nx, ny, cells, dims_x, dims_y).map_err(
+            |message| ParsePdbError { offset: c.pos, message },
+        )?;
+        let class_count = c.u64()?;
+        let ex = Point::new(c.i64()?, c.i64()?);
+        catalog.insert_class(PatternClass { pattern, count: class_count, example: ex });
+    }
+    if catalog.total() != declared_total {
+        return Err(ParsePdbError {
+            offset: data.len(),
+            message: format!(
+                "total mismatch: header {declared_total}, classes sum to {}",
+                catalog.total()
+            ),
+        });
+    }
+    Ok(catalog)
+}
+
+/// Writes a catalog to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_file(catalog: &Catalog, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(catalog))
+}
+
+/// Reads a catalog from a file.
+///
+/// # Errors
+///
+/// I/O failures or [`ParsePdbError`] (wrapped in `io::Error`).
+pub fn read_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Catalog> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_geom::{Rect, Region};
+
+    fn sample_catalog() -> Catalog {
+        let window = Rect::centered_at(Point::new(0, 0), 400, 400);
+        let mut c = Catalog::new();
+        for w in [60, 60, 60, 120, 120, 200] {
+            let bar = Region::from_rect(Rect::new(-150, -w / 2, 150, w / 2));
+            let p = TopoPattern::encode(&[&bar], window).canonical();
+            c.insert(p, Point::new(w, w));
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let catalog = sample_catalog();
+        let bytes = to_bytes(&catalog);
+        let back = from_bytes(&bytes).expect("parses");
+        assert_eq!(back.total(), catalog.total());
+        assert_eq!(back.class_count(), catalog.class_count());
+        for class in catalog.ranked() {
+            assert_eq!(back.count_of(&class.pattern), class.count);
+        }
+        // KL divergence between a catalog and its roundtrip is zero.
+        assert!(catalog.kl_divergence(&back).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let catalog = sample_catalog();
+        assert_eq!(to_bytes(&catalog), to_bytes(&catalog));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(b"NOTAPDB\0rest").expect_err("must fail");
+        assert!(err.message.contains("magic"));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&sample_catalog());
+        let err = from_bytes(&bytes[..bytes.len() - 3]).expect_err("must fail");
+        assert!(err.message.contains("truncated") || err.message.contains("mismatch"));
+    }
+
+    #[test]
+    fn total_mismatch_rejected() {
+        let mut bytes = to_bytes(&sample_catalog());
+        bytes[8] ^= 0xFF; // corrupt the declared total
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let catalog = sample_catalog();
+        let path = std::env::temp_dir().join("dfm_pattern_pdb_test.bin");
+        write_file(&catalog, &path).expect("write");
+        let back = read_file(&path).expect("read");
+        assert_eq!(back.class_count(), catalog.class_count());
+        let _ = std::fs::remove_file(&path);
+    }
+}

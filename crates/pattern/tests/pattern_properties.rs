@@ -1,0 +1,89 @@
+//! Property-based tests for topological pattern invariants.
+
+use dfm_geom::{Point, Rect, Region, Rotation, Transform, Vector};
+use dfm_pattern::TopoPattern;
+use proptest::prelude::*;
+
+fn arb_clip() -> impl Strategy<Value = Region> {
+    prop::collection::vec((-3i64..3, -3i64..3, 1i64..4, 1i64..4), 1..6).prop_map(|specs| {
+        Region::from_rects(specs.into_iter().map(|(x, y, w, h)| {
+            Rect::new(x * 60, y * 60, x * 60 + w * 45, y * 60 + h * 45)
+        }))
+    })
+}
+
+fn window() -> Rect {
+    Rect::centered_at(Point::origin(), 800, 800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalisation is invariant under every D4 symmetry of the clip.
+    #[test]
+    fn canonical_is_d4_invariant(clip in arb_clip(), q in 0u8..4, m in any::<bool>()) {
+        let t = Transform::new(Vector::zero(), Rotation::from_quarter_turns(q), m);
+        let moved = Region::from_rects(clip.rects().iter().map(|&r| t.apply_rect(r)));
+        let a = TopoPattern::encode(&[&clip], window()).canonical();
+        let b = TopoPattern::encode(&[&moved], window()).canonical();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Encoding is translation-invariant when the window moves with the
+    /// geometry.
+    #[test]
+    fn encoding_is_translation_invariant(clip in arb_clip(), dx in -5000i64..5000, dy in -5000i64..5000) {
+        let v = Vector::new(dx, dy);
+        let moved = clip.translated(v);
+        let a = TopoPattern::encode(&[&clip], window());
+        let b = TopoPattern::encode(&[&moved], window().translated(v));
+        prop_assert_eq!(a, b);
+    }
+
+    /// `matches` is reflexive at any tolerance and symmetric.
+    #[test]
+    fn matches_reflexive_and_symmetric(a in arb_clip(), b in arb_clip(), eps in 0i64..30) {
+        let pa = TopoPattern::encode(&[&a], window());
+        let pb = TopoPattern::encode(&[&b], window());
+        prop_assert!(pa.matches(&pa, eps));
+        prop_assert_eq!(pa.matches(&pb, eps), pb.matches(&pa, eps));
+    }
+
+    /// Equal canonical forms have equal topology digests, and matching at
+    /// zero tolerance implies canonical equality.
+    #[test]
+    fn digest_consistency(a in arb_clip(), b in arb_clip()) {
+        let pa = TopoPattern::encode(&[&a], window()).canonical();
+        let pb = TopoPattern::encode(&[&b], window()).canonical();
+        if pa == pb {
+            prop_assert_eq!(pa.topology_digest(), pb.topology_digest());
+        }
+        if pa.matches(&pb, 0) {
+            prop_assert_eq!(pa, pb);
+        }
+    }
+
+    /// The dimension vectors always sum to the window extent.
+    #[test]
+    fn dims_cover_window(clip in arb_clip()) {
+        let p = TopoPattern::encode(&[&clip], window());
+        let (w, h) = p.extent();
+        prop_assert_eq!(w, window().width());
+        prop_assert_eq!(h, window().height());
+    }
+
+    /// Persistence round-trip via the raw-parts API preserves equality.
+    #[test]
+    fn raw_parts_roundtrip(clip in arb_clip()) {
+        let p = TopoPattern::encode(&[&clip], window());
+        let q = TopoPattern::from_raw_parts(
+            p.nx(),
+            p.ny(),
+            p.cells_raw().to_vec(),
+            p.dims_x_raw().to_vec(),
+            p.dims_y_raw().to_vec(),
+        )
+        .expect("valid parts");
+        prop_assert_eq!(p, q);
+    }
+}

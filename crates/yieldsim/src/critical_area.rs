@@ -1,0 +1,155 @@
+//! Critical-area extraction and the closed-form average critical area.
+
+use crate::DefectModel;
+use dfm_drc::{exterior_facing_pairs, interior_facing_pairs, FacingPair};
+use dfm_geom::Region;
+
+/// The result of a critical-area analysis of one layer.
+#[derive(Clone, Debug)]
+pub struct CaResult {
+    /// Average critical area for shorts (defects bridging a spacing), nm².
+    pub short_ca_nm2: f64,
+    /// Average critical area for opens (defects severing a width), nm².
+    pub open_ca_nm2: f64,
+    /// The facing spacing pairs that contributed (distance, length).
+    pub short_pairs: Vec<FacingPair>,
+    /// The facing width pairs that contributed.
+    pub open_pairs: Vec<FacingPair>,
+}
+
+impl CaResult {
+    /// Combined average critical area, nm².
+    pub fn total_ca_nm2(&self) -> f64 {
+        self.short_ca_nm2 + self.open_ca_nm2
+    }
+}
+
+/// Closed-form average critical area of one facing pair under the
+/// `2·x₀²/x³` size distribution:
+///
+/// * distance `s ≥ x₀`:  `L · x₀² / s`
+/// * distance `s < x₀`:  `L · (2·x₀ − s)`
+pub fn pair_average_ca(distance: i64, length: i64, x0: i64) -> f64 {
+    let (s, l, x0f) = (distance as f64, length as f64, x0 as f64);
+    if distance >= x0 {
+        l * x0f * x0f / s
+    } else {
+        l * (2.0 * x0f - s)
+    }
+}
+
+/// Analyses a layer with the default extraction range of `10·x₀`
+/// (pairs farther apart contribute under 1% each and are truncated).
+pub fn analyze(region: &Region, defects: &DefectModel) -> CaResult {
+    analyze_with_range(region, defects, 10 * defects.x0)
+}
+
+/// Analyses a layer considering facing pairs up to `max_range` apart.
+pub fn analyze_with_range(region: &Region, defects: &DefectModel, max_range: i64) -> CaResult {
+    let short_pairs = exterior_facing_pairs(region, max_range);
+    let open_pairs = interior_facing_pairs(region, max_range);
+    let short_ca_nm2 = short_pairs
+        .iter()
+        .map(|p| pair_average_ca(p.distance, p.length, defects.x0))
+        .sum();
+    let open_ca_nm2 = open_pairs
+        .iter()
+        .map(|p| pair_average_ca(p.distance, p.length, defects.x0))
+        .sum();
+    CaResult { short_ca_nm2, open_ca_nm2, short_pairs, open_pairs }
+}
+
+/// Critical area for a *specific* defect diameter `x` (not averaged):
+/// `Σ L · max(0, x − distance)` over the given pairs. Used by the
+/// Monte-Carlo validation.
+pub fn ca_at_diameter(pairs: &[FacingPair], x: i64) -> f64 {
+    pairs
+        .iter()
+        .map(|p| (p.length * (x - p.distance).max(0)) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_geom::Rect;
+
+    fn two_wires(spacing: i64, width: i64, len: i64) -> Region {
+        Region::from_rects([
+            Rect::new(0, 0, len, width),
+            Rect::new(0, width + spacing, len, 2 * width + spacing),
+        ])
+    }
+
+    #[test]
+    fn closed_form_matches_hand_calculation() {
+        // Two 100k-long wires, 100 apart, x0=50:
+        // short CA = L · x0²/s = 1e5 · 2500/100 = 2.5e6.
+        let region = two_wires(100, 200, 100_000);
+        let defects = DefectModel::new(50, 1.0);
+        let ca = analyze(&region, &defects);
+        assert!(
+            (ca.short_ca_nm2 - 2.5e6).abs() < 1e-6,
+            "short CA {}",
+            ca.short_ca_nm2
+        );
+        // Open CA: two widths of 200: 2 · 1e5 · 2500/200 = 2.5e6.
+        assert!(
+            (ca.open_ca_nm2 - 2.5e6).abs() < 1e-6,
+            "open CA {}",
+            ca.open_ca_nm2
+        );
+    }
+
+    #[test]
+    fn closer_wires_have_more_short_ca() {
+        let defects = DefectModel::new(50, 1.0);
+        let close = analyze(&two_wires(100, 200, 100_000), &defects);
+        let far = analyze(&two_wires(400, 200, 100_000), &defects);
+        assert!(close.short_ca_nm2 > far.short_ca_nm2);
+        // Open CA identical (same widths).
+        assert!((close.open_ca_nm2 - far.open_ca_nm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_wires_have_less_open_ca() {
+        let defects = DefectModel::new(50, 1.0);
+        let narrow = analyze(&two_wires(200, 100, 100_000), &defects);
+        let wide = analyze(&two_wires(200, 300, 100_000), &defects);
+        assert!(wide.open_ca_nm2 < narrow.open_ca_nm2);
+    }
+
+    #[test]
+    fn sub_x0_distance_uses_linear_form() {
+        // s < x0: contribution L(2·x0 − s).
+        assert_eq!(pair_average_ca(30, 1000, 50), 1000.0 * 70.0);
+        // Continuity at s = x0: both forms give L·x0.
+        assert_eq!(pair_average_ca(50, 1000, 50), 1000.0 * 50.0);
+    }
+
+    #[test]
+    fn ca_at_diameter_is_piecewise_linear() {
+        let region = two_wires(100, 200, 100_000);
+        let defects = DefectModel::new(50, 1.0);
+        let ca = analyze(&region, &defects);
+        assert_eq!(ca_at_diameter(&ca.short_pairs, 100), 0.0);
+        assert_eq!(ca_at_diameter(&ca.short_pairs, 150), 100_000.0 * 50.0);
+    }
+
+    #[test]
+    fn empty_region_zero_ca() {
+        let defects = DefectModel::new(50, 1.0);
+        let ca = analyze(&Region::new(), &defects);
+        assert_eq!(ca.total_ca_nm2(), 0.0);
+        assert!(ca.short_pairs.is_empty());
+    }
+
+    #[test]
+    fn isolated_wire_has_open_ca_only() {
+        let region = Region::from_rect(Rect::new(0, 0, 100_000, 100));
+        let defects = DefectModel::new(50, 1.0);
+        let ca = analyze(&region, &defects);
+        assert_eq!(ca.short_ca_nm2, 0.0);
+        assert!(ca.open_ca_nm2 > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # dfm-yield — critical area analysis and yield models
+//!
+//! The quantitative backbone of the "hit or hype" question: every DFM
+//! technique's *benefit* is ultimately a yield number. This crate
+//! implements the industry-standard random-defect machinery:
+//!
+//! * [`DefectModel`] — the `k/x³` defect size distribution with total
+//!   density `D0`,
+//! * [`critical_area`] — exact critical-area extraction for **shorts**
+//!   (facing spacings) and **opens** (facing widths) from layout
+//!   geometry, with the closed-form average critical area under the
+//!   `1/x³` distribution,
+//! * [`model`] — Poisson and negative-binomial yield models,
+//! * [`via_model`] — via-failure statistics for single versus redundant
+//!   vias (experiment E2),
+//! * [`monte_carlo`] — random defect injection that independently
+//!   validates the analytic critical area (experiment E12).
+//!
+//! ```
+//! use dfm_geom::{Rect, Region};
+//! use dfm_yield::{critical_area, model, DefectModel};
+//!
+//! // Two long parallel wires at 100 nm spacing.
+//! let metal = Region::from_rects([
+//!     Rect::new(0, 0, 100_000, 100),
+//!     Rect::new(0, 200, 100_000, 300),
+//! ]);
+//! let defects = DefectModel::new(50, 1.0); // x₀=50 nm, D0=1/cm²
+//! let ca = critical_area::analyze(&metal, &defects);
+//! assert!(ca.short_ca_nm2 > 0.0);
+//! let y = model::poisson_yield(ca.total_ca_nm2(), defects.d0_per_cm2);
+//! assert!(y > 0.99); // tiny structure, almost no yield loss
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod critical_area;
+pub mod model;
+pub mod monte_carlo;
+pub mod via_model;
+
+mod defect;
+
+pub use defect::DefectModel;

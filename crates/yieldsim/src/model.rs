@@ -1,0 +1,77 @@
+//! Yield models: Poisson and negative binomial.
+
+use crate::defect::NM2_PER_CM2;
+
+/// Poisson yield: `Y = exp(−D0 · Ac)` with `Ac` in nm² and `D0` in
+/// defects/cm².
+pub fn poisson_yield(ac_nm2: f64, d0_per_cm2: f64) -> f64 {
+    (-d0_per_cm2 * ac_nm2 / NM2_PER_CM2).exp()
+}
+
+/// Negative-binomial yield with clustering parameter `alpha`:
+/// `Y = (1 + D0·Ac/α)^(−α)`. As `α → ∞` this converges to Poisson;
+/// small `α` models clustered defects (higher yield at equal density).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn negative_binomial_yield(ac_nm2: f64, d0_per_cm2: f64, alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "clustering parameter must be positive");
+    let lambda = d0_per_cm2 * ac_nm2 / NM2_PER_CM2;
+    (1.0 + lambda / alpha).powf(-alpha)
+}
+
+/// Combines independent yield mechanisms multiplicatively.
+pub fn combined_yield<I: IntoIterator<Item = f64>>(yields: I) -> f64 {
+    yields.into_iter().product()
+}
+
+/// Converts a yield into defectivity loss in percent.
+pub fn loss_percent(y: f64) -> f64 {
+    (1.0 - y) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_basics() {
+        assert_eq!(poisson_yield(0.0, 100.0), 1.0);
+        // Ac = 1 cm², D0 = 1/cm² → Y = 1/e.
+        let y = poisson_yield(NM2_PER_CM2, 1.0);
+        assert!((y - (-1.0f64).exp()).abs() < 1e-12);
+        // Monotone decreasing in both arguments.
+        assert!(poisson_yield(1e10, 100.0) > poisson_yield(2e10, 100.0));
+        assert!(poisson_yield(1e10, 100.0) > poisson_yield(1e10, 200.0));
+    }
+
+    #[test]
+    fn negative_binomial_clusters_help() {
+        let ac = 0.5 * NM2_PER_CM2;
+        let d0 = 1.0;
+        let poisson = poisson_yield(ac, d0);
+        let clustered = negative_binomial_yield(ac, d0, 0.5);
+        let nearly_poisson = negative_binomial_yield(ac, d0, 1e6);
+        assert!(clustered > poisson);
+        assert!((nearly_poisson - poisson).abs() < 1e-4);
+    }
+
+    #[test]
+    fn combined_multiplies() {
+        let y = combined_yield([0.9, 0.8, 0.5]);
+        assert!((y - 0.36).abs() < 1e-12);
+        assert_eq!(combined_yield(std::iter::empty::<f64>()), 1.0);
+    }
+
+    #[test]
+    fn loss_percent_complement() {
+        assert!((loss_percent(0.95) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_alpha_panics() {
+        let _ = negative_binomial_yield(1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Monte-Carlo defect injection: an independent check on the analytic
+//! critical area (experiment E12).
+//!
+//! The estimator follows standard practice: estimate the critical-area
+//! *curve* `CA(d)` by Monte Carlo at a geometric grid of defect sizes
+//! (each size has a finite-variance binomial estimator), then average
+//! over the `2x₀²/x³` size distribution in closed form, extrapolating the
+//! tail linearly (CA grows asymptotically linearly in defect size). A
+//! naive single-pass estimator that samples sizes *and* positions jointly
+//! has a log-divergent second moment — rare giant defects carry huge
+//! position-window weights — and converges erratically.
+
+use crate::DefectModel;
+use dfm_geom::{GridIndex, Point, Rect, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte-Carlo short-critical-area estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McResult {
+    /// Estimated average short critical area, nm².
+    pub short_ca_nm2: f64,
+    /// Standard error of the estimate, nm².
+    pub std_err_nm2: f64,
+    /// Total defects sampled (across all size strata).
+    pub samples: usize,
+    /// Defects that caused a short.
+    pub kills: usize,
+}
+
+struct ComponentIndex {
+    index: GridIndex<usize>,
+}
+
+impl ComponentIndex {
+    fn build(metal: &Region, cell: i64) -> Self {
+        let components = metal.connected_components();
+        let mut index: GridIndex<usize> = GridIndex::new(cell.max(64));
+        for (ci, comp) in components.iter().enumerate() {
+            for r in comp.rects() {
+                index.insert(*r, ci);
+            }
+        }
+        ComponentIndex { index }
+    }
+
+    /// True if `square` strictly overlaps at least two distinct
+    /// components.
+    fn bridges(&self, square: Rect) -> bool {
+        let mut first: Option<usize> = None;
+        for (rect, &ci) in self.index.query_with_rects(square) {
+            if !rect.overlaps(&square) {
+                continue;
+            }
+            match first {
+                None => first = Some(ci),
+                Some(f) if f != ci => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Monte-Carlo estimate of the short critical area for one fixed defect
+/// diameter `d`: positions uniform over the bounding box expanded by
+/// `d/2 + 1`. Returns `(ca_nm2, std_err_nm2, kills)`.
+pub fn estimate_ca_at_diameter(
+    metal: &Region,
+    d: i64,
+    samples: usize,
+    rng: &mut StdRng,
+) -> (f64, f64, usize) {
+    let bbox = metal.bbox();
+    if bbox.is_empty() || samples == 0 || d <= 0 {
+        return (0.0, 0.0, 0);
+    }
+    let components = ComponentIndex::build(metal, d.max(256) * 2);
+    let window = bbox.expanded(d / 2 + 1);
+    let area = window.area() as f64;
+    let mut kills = 0usize;
+    for _ in 0..samples {
+        let cx = rng.random_range(window.x0..window.x1);
+        let cy = rng.random_range(window.y0..window.y1);
+        let square = Rect::centered_at(Point::new(cx, cy), d, d);
+        if components.bridges(square) {
+            kills += 1;
+        }
+    }
+    let p = kills as f64 / samples as f64;
+    let var = p * (1.0 - p) / samples as f64;
+    (area * p, area * var.sqrt(), kills)
+}
+
+/// Estimates the distribution-averaged short critical area of `metal`,
+/// comparable to [`crate::critical_area::analyze`]'s `short_ca_nm2`.
+///
+/// `samples` is the total position-sample budget, split evenly across a
+/// geometric grid of defect sizes from `x₀` to `64·x₀`; the size average
+/// is taken in closed form with a linear tail extrapolation.
+pub fn estimate_short_ca(
+    metal: &Region,
+    defects: &DefectModel,
+    samples: usize,
+    seed: u64,
+) -> McResult {
+    let bbox = metal.bbox();
+    if bbox.is_empty() || samples == 0 {
+        return McResult { short_ca_nm2: 0.0, std_err_nm2: 0.0, samples, kills: 0 };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Size grid: x0 · 2^(j/2), j = 0..12 (up to 64·x0).
+    let x0 = defects.x0 as f64;
+    let sizes: Vec<i64> = (0..=12)
+        .map(|j| (x0 * 2f64.powf(j as f64 / 2.0)).round() as i64)
+        .collect();
+    let per_size = (samples / sizes.len()).max(100);
+
+    let mut ca: Vec<f64> = Vec::with_capacity(sizes.len());
+    let mut se: Vec<f64> = Vec::with_capacity(sizes.len());
+    let mut total_kills = 0usize;
+    for &d in &sizes {
+        let (c, s, k) = estimate_ca_at_diameter(metal, d, per_size, &mut rng);
+        ca.push(c);
+        se.push(s);
+        total_kills += k;
+    }
+
+    let (mean, var) = integrate_size_distribution(&sizes, &ca, &se, x0);
+    McResult {
+        short_ca_nm2: mean,
+        std_err_nm2: var.sqrt(),
+        samples: per_size * sizes.len(),
+        kills: total_kills,
+    }
+}
+
+
+/// Monte-Carlo estimate of the *open* critical area for one fixed defect
+/// diameter: a defect kills when it severs a connected component (the
+/// local clip minus the defect splits into more pieces than before).
+pub fn estimate_open_ca_at_diameter(
+    metal: &Region,
+    d: i64,
+    samples: usize,
+    rng: &mut StdRng,
+) -> (f64, f64, usize) {
+    let bbox = metal.bbox();
+    if bbox.is_empty() || samples == 0 || d <= 0 {
+        return (0.0, 0.0, 0);
+    }
+    let window = bbox.expanded(d / 2 + 1);
+    let area = window.area() as f64;
+    let mut kills = 0usize;
+    for _ in 0..samples {
+        let cx = rng.random_range(window.x0..window.x1);
+        let cy = rng.random_range(window.y0..window.y1);
+        let square = Rect::centered_at(Point::new(cx, cy), d, d);
+        let local_window = square.expanded(2 * d);
+        let local = metal.clipped(local_window);
+        if local.is_empty() {
+            continue;
+        }
+        let before = local.connected_components().len();
+        let after_region = local.difference(&Region::from_rect(square));
+        let after = after_region.connected_components().len();
+        if after > before {
+            kills += 1;
+        }
+    }
+    let p = kills as f64 / samples as f64;
+    let var = p * (1.0 - p) / samples as f64;
+    (area * p, area * var.sqrt(), kills)
+}
+
+/// Distribution-averaged *open* critical area, comparable to
+/// [`crate::critical_area::analyze`]'s `open_ca_nm2` (same size-grid
+/// strategy as [`estimate_short_ca`]).
+pub fn estimate_open_ca(
+    metal: &Region,
+    defects: &DefectModel,
+    samples: usize,
+    seed: u64,
+) -> McResult {
+    let bbox = metal.bbox();
+    if bbox.is_empty() || samples == 0 {
+        return McResult { short_ca_nm2: 0.0, std_err_nm2: 0.0, samples, kills: 0 };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x0 = defects.x0 as f64;
+    let sizes: Vec<i64> = (0..=12)
+        .map(|j| (x0 * 2f64.powf(j as f64 / 2.0)).round() as i64)
+        .collect();
+    let per_size = (samples / sizes.len()).max(100);
+    let mut ca = Vec::with_capacity(sizes.len());
+    let mut se = Vec::with_capacity(sizes.len());
+    let mut total_kills = 0usize;
+    for &d in &sizes {
+        let (c, s, k) = estimate_open_ca_at_diameter(metal, d, per_size, &mut rng);
+        ca.push(c);
+        se.push(s);
+        total_kills += k;
+    }
+    let (mean, var) = integrate_size_distribution(&sizes, &ca, &se, x0);
+    McResult {
+        short_ca_nm2: mean,
+        std_err_nm2: var.sqrt(),
+        samples: per_size * sizes.len(),
+        kills: total_kills,
+    }
+}
+
+/// Shared closed-form integration of a CA(d) curve against the 2x0²/x³
+/// size distribution with a linear tail. Returns `(mean, variance)`.
+fn integrate_size_distribution(
+    sizes: &[i64],
+    ca: &[f64],
+    se: &[f64],
+    x0: f64,
+) -> (f64, f64) {
+    let survival = |x: f64| -> f64 {
+        if x <= x0 {
+            1.0
+        } else {
+            (x0 / x) * (x0 / x)
+        }
+    };
+    let n = sizes.len();
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(x0);
+    for j in 1..n {
+        bounds.push((sizes[j - 1] as f64 * sizes[j] as f64).sqrt());
+    }
+    let b_last = sizes[n - 1] as f64 * 2f64.sqrt();
+    bounds.push(b_last);
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for j in 0..n {
+        let w = survival(bounds[j]) - survival(bounds[j + 1]);
+        mean += w * ca[j];
+        var += (w * se[j]) * (w * se[j]);
+    }
+    if n >= 2 {
+        let (d1, d2) = (sizes[n - 2] as f64, sizes[n - 1] as f64);
+        let c1 = (ca[n - 1] - ca[n - 2]) / (d2 - d1);
+        let c0 = ca[n - 1] - c1 * d2;
+        let tail = c0 * survival(b_last) + c1 * 2.0 * x0 * x0 / b_last;
+        mean += tail.max(0.0);
+        var += (survival(b_last) * se[n - 1]) * (survival(b_last) * se[n - 1]);
+    }
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical_area;
+
+    #[test]
+    fn mc_matches_analytic_on_parallel_wires() {
+        let metal = Region::from_rects([
+            Rect::new(0, 0, 100_000, 200),
+            Rect::new(0, 300, 100_000, 500),
+        ]);
+        let defects = DefectModel::new(50, 1.0);
+        let analytic = critical_area::analyze(&metal, &defects).short_ca_nm2;
+        let mc = estimate_short_ca(&metal, &defects, 120_000, 7);
+        let err = (mc.short_ca_nm2 - analytic).abs();
+        assert!(
+            err < 4.0 * mc.std_err_nm2 + 0.05 * analytic,
+            "MC {} vs analytic {analytic} (stderr {})",
+            mc.short_ca_nm2,
+            mc.std_err_nm2
+        );
+    }
+
+    #[test]
+    fn fixed_size_curve_is_monotone() {
+        let metal = Region::from_rects([
+            Rect::new(0, 0, 100_000, 200),
+            Rect::new(0, 300, 100_000, 500),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (small, _, _) = estimate_ca_at_diameter(&metal, 150, 20_000, &mut rng);
+        let (large, _, _) = estimate_ca_at_diameter(&metal, 400, 20_000, &mut rng);
+        assert!(large > small, "CA(d) must grow with d: {small} vs {large}");
+        // Sub-gap defects never short.
+        let (zero, _, k) = estimate_ca_at_diameter(&metal, 90, 5_000, &mut rng);
+        assert_eq!(zero, 0.0);
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn open_mc_matches_analytic_on_single_wire() {
+        let metal = Region::from_rect(Rect::new(0, 0, 100_000, 200));
+        let defects = DefectModel::new(50, 1.0);
+        let analytic = critical_area::analyze(&metal, &defects).open_ca_nm2;
+        let mc = estimate_open_ca(&metal, &defects, 16_000, 5);
+        let err = (mc.short_ca_nm2 - analytic).abs();
+        assert!(
+            err < 4.0 * mc.std_err_nm2 + 0.10 * analytic,
+            "open MC {} vs analytic {analytic} (stderr {})",
+            mc.short_ca_nm2,
+            mc.std_err_nm2
+        );
+    }
+
+    #[test]
+    fn narrower_wire_has_more_open_ca() {
+        let defects = DefectModel::new(50, 1.0);
+        let narrow = Region::from_rect(Rect::new(0, 0, 100_000, 100));
+        let wide = Region::from_rect(Rect::new(0, 0, 100_000, 400));
+        let mc_n = estimate_open_ca(&narrow, &defects, 8_000, 9);
+        let mc_w = estimate_open_ca(&wide, &defects, 8_000, 9);
+        assert!(mc_n.short_ca_nm2 > mc_w.short_ca_nm2);
+    }
+
+    #[test]
+    fn single_wire_has_no_short_ca() {
+        let metal = Region::from_rect(Rect::new(0, 0, 100_000, 200));
+        let defects = DefectModel::new(50, 1.0);
+        let mc = estimate_short_ca(&metal, &defects, 5_000, 3);
+        assert_eq!(mc.kills, 0);
+        assert_eq!(mc.short_ca_nm2, 0.0);
+    }
+
+    #[test]
+    fn closer_wires_kill_more() {
+        let defects = DefectModel::new(50, 1.0);
+        let close = Region::from_rects([
+            Rect::new(0, 0, 100_000, 200),
+            Rect::new(0, 280, 100_000, 480),
+        ]);
+        let far = Region::from_rects([
+            Rect::new(0, 0, 100_000, 200),
+            Rect::new(0, 700, 100_000, 900),
+        ]);
+        let mc_close = estimate_short_ca(&close, &defects, 30_000, 11);
+        let mc_far = estimate_short_ca(&far, &defects, 30_000, 11);
+        assert!(mc_close.short_ca_nm2 > mc_far.short_ca_nm2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let metal = Region::from_rects([
+            Rect::new(0, 0, 10_000, 100),
+            Rect::new(0, 200, 10_000, 300),
+        ]);
+        let defects = DefectModel::new(50, 1.0);
+        let a = estimate_short_ca(&metal, &defects, 10_000, 42);
+        let b = estimate_short_ca(&metal, &defects, 10_000, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+//! DFM sign-off: apply the full technique suite to a generated block and
+//! print the hit-or-hype verdict for each — the paper's question on one
+//! page.
+//!
+//! ```text
+//! cargo run --release --example dfm_signoff
+//! ```
+
+use dfm_core::{
+    evaluate, EvaluationContext, MetalFill, RedundantViaInsertion, WireSpreading, WireWidening,
+};
+use dfm_layout::{generate, Technology};
+use dfm_yield::DefectModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n65();
+    let params = generate::RoutedBlockParams {
+        width: 25_000,
+        height: 25_000,
+        ..generate::RoutedBlockParams::default()
+    };
+    let lib = generate::routed_block(&tech, params, 99);
+    let flat = lib.flatten(lib.top().expect("top"))?;
+
+    // Yield-ramp conditions: defects are plentiful, via failures real.
+    let mut ctx = EvaluationContext::for_technology(tech.clone());
+    ctx.defects = DefectModel::new(ctx.defects.x0, 50_000.0);
+    ctx.via_fail_prob = 5e-5;
+
+    let baseline = ctx.predicted_yield(&flat);
+    println!(
+        "baseline: metal yield {:.4} × via yield {:.4} = {:.4}  ({} via connections)",
+        baseline.metal_yield,
+        baseline.via_yield,
+        baseline.total(),
+        baseline.via_stats.connections()
+    );
+    println!();
+
+    let techniques: Vec<Box<dyn dfm_core::DfmTechnique>> = vec![
+        Box::new(RedundantViaInsertion::for_technology(&tech)),
+        Box::new(WireSpreading::from_context(&ctx)),
+        Box::new(WireWidening::from_context(&ctx)),
+        Box::new(MetalFill::from_context(&ctx)),
+    ];
+    for t in &techniques {
+        let verdict = evaluate(t.as_ref(), &flat, &ctx);
+        println!("{verdict}");
+        for note in &verdict.notes {
+            println!("    {note}");
+        }
+    }
+    println!("\n(the full twelve-experiment evaluation: cargo run --release -p dfm-bench --bin experiments)");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Hotspot hunt: find printability hotspots by simulation, cluster them
+//! into failure classes, learn a pattern library, and rescan the design —
+//! the DRC-Plus flow end to end.
+//!
+//! ```text
+//! cargo run --release --example hotspot_hunt
+//! ```
+
+use dfm_geom::{Point, Rect, Region};
+use dfm_layout::{generate, layers, Technology};
+use dfm_litho::hotspots::{find_hotspots, HotspotParams};
+use dfm_litho::{Condition, LithoSimulator};
+use dfm_pattern::cluster::agglomerative_cluster;
+use dfm_pattern::PatternLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n45();
+    let params = generate::RoutedBlockParams {
+        width: 20_000,
+        height: 20_000,
+        ..generate::RoutedBlockParams::dense()
+    };
+    let lib = generate::routed_block(&tech, params, 4242);
+    let flat = lib.flatten(lib.top().expect("top"))?;
+    let m1 = flat.region(layers::METAL1);
+    let w = tech.rules(layers::METAL1).min_width;
+
+    // 1. Golden hotspots from simulation at a defocus stress condition.
+    let sim = LithoSimulator::for_feature_size(w * 14 / 10);
+    let cond = Condition::with_defocus(140.0);
+    let hotspots = find_hotspots(&sim, &m1, cond, HotspotParams::for_min_width(w));
+    println!("simulation found {} hotspots at {cond}", hotspots.len());
+    for h in hotspots.iter().take(5) {
+        println!("  {} at {} severity {}", h.kind, h.location, h.severity);
+    }
+
+    // 2. Cluster the hotspot clips into failure classes.
+    let radius = 6 * w;
+    let window = Rect::centered_at(Point::origin(), 2 * radius, 2 * radius);
+    let clips: Vec<Region> = hotspots
+        .iter()
+        .take(60) // clustering is quadratic; a sample suffices
+        .map(|h| {
+            let c = h.location.center();
+            m1.clipped(Rect::centered_at(c, 2 * radius, 2 * radius))
+                .translated(dfm_geom::Vector::new(-c.x, -c.y))
+        })
+        .collect();
+    let clusters = agglomerative_cluster(&clips, window, 0.04);
+    println!(
+        "\n{} hotspot clips fall into {} geometric classes",
+        clips.len(),
+        clusters.len()
+    );
+    for (i, c) in clusters.iter().take(8).enumerate() {
+        println!("  class {i}: {} members", c.members.len());
+    }
+
+    // 3. Learn one pattern per hotspot and rescan the design.
+    let mut library: PatternLibrary<()> = PatternLibrary::new(radius, w / 8, w / 6);
+    for h in &hotspots {
+        library.learn(&[&m1], h.location.center(), ());
+    }
+    println!("\nlearned {library}");
+
+    let anchors: Vec<Point> = hotspots.iter().map(|h| h.location.center()).collect();
+    let t = std::time::Instant::now();
+    let matches = library.scan(&[&m1], &anchors);
+    println!(
+        "rescan of {} sites matched {} in {:.1} ms (no simulation needed)",
+        anchors.len(),
+        matches.len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}

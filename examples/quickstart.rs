@@ -1,0 +1,70 @@
+//! Quickstart: build a small layout, write real GDSII, run DRC, simulate
+//! printing, and predict yield — the whole stack in one page.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dfm_drc::{DrcEngine, RuleDeck};
+use dfm_geom::Rect;
+use dfm_layout::{gds, layers, Cell, Library, Technology};
+use dfm_litho::{Condition, LithoSimulator};
+use dfm_yield::{critical_area, model, DefectModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A technology and a hand-built cell: two wires and a via.
+    let tech = Technology::n65();
+    let w = tech.rules(layers::METAL1).min_width;
+    let s = tech.rules(layers::METAL1).min_space;
+
+    let mut lib = Library::new("quickstart");
+    let mut cell = Cell::new("TOP");
+    cell.add_rect(layers::METAL1, Rect::new(0, 0, 6000, w));
+    // The second wire keeps clear of the via landing pad below.
+    cell.add_rect(layers::METAL1, Rect::new(0, 2 * w + 2 * s, 6000, 3 * w + 2 * s));
+    let via_center = dfm_geom::Point::new(3000, w / 2);
+    cell.add_rect(layers::VIA1, tech.via_rect_at(via_center));
+    cell.add_rect(layers::METAL1, tech.via_pad_at(via_center));
+    cell.add_rect(layers::METAL2, tech.via_pad_at(via_center));
+    cell.add_rect(layers::METAL2, Rect::new(2955, -2000, 3045, 2000));
+    let top = lib.add_cell(cell)?;
+    lib.set_top(top)?;
+
+    // 2. Round-trip through binary GDSII.
+    let path = std::env::temp_dir().join("dfm_quickstart.gds");
+    gds::write_file(&lib, &path)?;
+    let lib = gds::read_file(&path)?;
+    println!("wrote and re-read {} ({} cells)", path.display(), lib.cell_count());
+
+    // 3. DRC sign-off.
+    let flat = lib.flatten(lib.top().expect("top cell"))?;
+    let deck = RuleDeck::for_technology(&tech);
+    let report = DrcEngine::new(&deck).run(&flat);
+    println!("\n{report}");
+
+    // 4. Lithography: print the metal-1 layer at nominal and defocus.
+    let sim = LithoSimulator::for_feature_size(w);
+    let drawn = flat.region(layers::METAL1);
+    for cond in [Condition::nominal(), Condition::with_defocus(120.0)] {
+        let printed = sim.printed(&drawn, cond);
+        println!(
+            "printed M1 at {cond}: {:.1}% of drawn area",
+            100.0 * printed.area() as f64 / drawn.area() as f64
+        );
+    }
+
+    // 5. Yield prediction.
+    let defects = DefectModel::new(w / 2, 2000.0);
+    let ca = critical_area::analyze(&drawn, &defects);
+    println!(
+        "\ncritical area: shorts {:.3} µm², opens {:.3} µm²",
+        ca.short_ca_nm2 / 1e6,
+        ca.open_ca_nm2 / 1e6
+    );
+    println!(
+        "random-defect yield of this toy block: {:.6}",
+        model::poisson_yield(ca.total_ca_nm2(), defects.d0_per_cm2)
+    );
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

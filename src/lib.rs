@@ -1,0 +1,33 @@
+//! # dfm-practice — umbrella crate
+//!
+//! Re-exports every subsystem of the `dfm-practice` workspace, the
+//! reproduction of *"DFM in practice: hit or hype?"* (DAC 2008). The
+//! runnable examples under `examples/` and the cross-crate integration
+//! tests under `tests/` use this crate; library consumers may prefer to
+//! depend on the individual subsystem crates directly.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`geom`] | `dfm-geom` | integer Manhattan geometry kernel |
+//! | [`layout`] | `dfm-layout` | layout database, GDSII I/O, generators |
+//! | [`drc`] | `dfm-drc` | design-rule checking |
+//! | [`litho`] | `dfm-litho` | lithography simulation & hotspots |
+//! | [`opc`] | `dfm-opc` | optical proximity correction |
+//! | [`pattern`] | `dfm-pattern` | topological pattern catalogs |
+//! | [`yieldsim`] | `dfm-yield` | critical area & yield models |
+//! | [`dpt`] | `dfm-dpt` | double patterning |
+//! | [`timing`] | `dfm-timing` | variability-aware STA |
+//! | [`dfm`] | `dfm-core` | DFM techniques & hit-or-hype evaluator |
+
+#![forbid(unsafe_code)]
+
+pub use dfm_core as dfm;
+pub use dfm_dpt as dpt;
+pub use dfm_drc as drc;
+pub use dfm_geom as geom;
+pub use dfm_layout as layout;
+pub use dfm_litho as litho;
+pub use dfm_opc as opc;
+pub use dfm_pattern as pattern;
+pub use dfm_timing as timing;
+pub use dfm_yield as yieldsim;

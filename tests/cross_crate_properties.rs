@@ -1,0 +1,124 @@
+//! Cross-crate property-based tests: invariants that span the geometry,
+//! DRC, yield and DFM layers.
+
+use dfm_practice::geom::{Rect, Region, Vector};
+use dfm_practice::layout::{layers, Cell, FlatLayout, Library, Technology};
+use proptest::prelude::*;
+
+fn arb_wires() -> impl Strategy<Value = Vec<Rect>> {
+    // Horizontal wires on random tracks with random spans: a plausible
+    // mini routing layer.
+    prop::collection::vec((0i64..12, 0i64..30, 5i64..40), 1..10).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(track, start, len)| {
+                Rect::new(start * 100, track * 300, (start + len) * 100, track * 300 + 90)
+            })
+            .collect()
+    })
+}
+
+fn flat_of(rects: &[Rect]) -> FlatLayout {
+    let mut lib = Library::new("prop");
+    let mut c = Cell::new("TOP");
+    for &r in rects {
+        c.add_rect(layers::METAL1, r);
+    }
+    let id = lib.add_cell(c).expect("add");
+    lib.flatten(id).expect("flatten")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DRC results are translation-invariant.
+    #[test]
+    fn drc_translation_invariant(rects in arb_wires(), dx in -5000i64..5000, dy in -5000i64..5000) {
+        let region = Region::from_rects(rects.iter().copied());
+        let moved = region.translated(Vector::new(dx, dy));
+        let a = dfm_practice::drc::spacing_violations(&region, 120);
+        let b = dfm_practice::drc::spacing_violations(&moved, 120);
+        prop_assert_eq!(a.len(), b.len());
+        let aw = dfm_practice::drc::width_violations(&region, 120);
+        let bw = dfm_practice::drc::width_violations(&moved, 120);
+        prop_assert_eq!(aw.len(), bw.len());
+    }
+
+    /// Critical area is translation-invariant and monotone under erasure.
+    #[test]
+    fn critical_area_invariants(rects in arb_wires()) {
+        let defects = dfm_practice::yieldsim::DefectModel::new(45, 1.0);
+        let region = Region::from_rects(rects.iter().copied());
+        let ca = dfm_practice::yieldsim::critical_area::analyze(&region, &defects);
+        prop_assert!(ca.short_ca_nm2 >= 0.0);
+        prop_assert!(ca.open_ca_nm2 >= 0.0);
+
+        let moved = region.translated(Vector::new(1234, -777));
+        let ca2 = dfm_practice::yieldsim::critical_area::analyze(&moved, &defects);
+        prop_assert!((ca.total_ca_nm2() - ca2.total_ca_nm2()).abs() < 1e-6);
+
+        // Removing a wire never increases the short CA.
+        if rects.len() > 1 {
+            let fewer = Region::from_rects(rects[1..].iter().copied());
+            let ca3 = dfm_practice::yieldsim::critical_area::analyze(&fewer, &defects);
+            prop_assert!(ca3.short_ca_nm2 <= ca.short_ca_nm2 + 1e-9);
+        }
+    }
+
+    /// Wire widening is additive, deterministic, and never creates
+    /// spacing violations that were not already present.
+    #[test]
+    fn widening_is_safe(rects in arb_wires()) {
+        let tech = Technology::n65();
+        let flat = flat_of(&rects);
+        let before_region = flat.region(layers::METAL1);
+        let min_space = tech.rules(layers::METAL1).min_space;
+        let before = dfm_practice::drc::spacing_violations(&before_region, min_space).len();
+
+        let w = dfm_practice::dfm::WireWidening {
+            delta: 22,
+            metal_layers: [layers::METAL1, layers::METAL2],
+        };
+        use dfm_practice::dfm::DfmTechnique;
+        let out = w.apply(&flat, &tech);
+        let after_region = out.layout.region(layers::METAL1);
+        prop_assert!(before_region.difference(&after_region).is_empty(), "additive");
+        let after = dfm_practice::drc::spacing_violations(&after_region, min_space).len();
+        prop_assert!(after <= before, "violations {before} -> {after}");
+
+        let out2 = w.apply(&flat, &tech);
+        prop_assert_eq!(after_region, out2.layout.region(layers::METAL1));
+    }
+
+    /// DPT decomposition always preserves geometry and produces
+    /// non-overlapping masks, regardless of input.
+    #[test]
+    fn dpt_partition_invariant(rects in arb_wires()) {
+        let layer = Region::from_rects(rects.iter().copied());
+        let d = dfm_practice::dpt::decompose(&layer, dfm_practice::dpt::DptParams::default());
+        prop_assert!(d.mask_a.intersection(&d.mask_b).area() <= layer.area());
+        // Union may lose only dropped (conflicted) features.
+        let union = d.mask_a.union(&d.mask_b);
+        prop_assert!(union.difference(&layer).is_empty(), "masks within layer");
+        if d.conflicts.is_empty() {
+            prop_assert_eq!(union, layer);
+        }
+    }
+
+    /// Pattern encode/match round-trip: a clip always matches itself and
+    /// its own translation.
+    #[test]
+    fn pattern_self_match(rects in arb_wires(), shift in 0i64..5000) {
+        let region = Region::from_rects(rects.iter().copied());
+        let anchor = region.bbox().center();
+        let mut lib: dfm_practice::pattern::PatternLibrary<()> =
+            dfm_practice::pattern::PatternLibrary::new(600, 10, 5);
+        lib.learn(&[&region], anchor, ());
+        let moved = region.translated(Vector::new(shift, 0));
+        let matches = lib.scan(
+            &[&moved],
+            &[anchor + Vector::new(shift, 0)],
+        );
+        prop_assert_eq!(matches.len(), 1);
+    }
+}

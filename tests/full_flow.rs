@@ -1,0 +1,109 @@
+//! End-to-end integration: generate → GDSII → DRC → litho → techniques →
+//! yield, across every crate in the workspace.
+
+use dfm_practice::dfm::{evaluate, DfmTechnique, EvaluationContext, RedundantViaInsertion, WireWidening};
+use dfm_practice::drc::{DrcEngine, RuleDeck};
+use dfm_practice::layout::{gds, generate, layers, Technology};
+use dfm_practice::litho::{Condition, LithoSimulator};
+use dfm_practice::yieldsim::DefectModel;
+
+fn block() -> (Technology, dfm_practice::layout::Library) {
+    let tech = Technology::n65();
+    let params = generate::RoutedBlockParams {
+        width: 15_000,
+        height: 15_000,
+        ..Default::default()
+    };
+    let lib = generate::routed_block(&tech, params, 7777);
+    (tech, lib)
+}
+
+#[test]
+fn generated_block_survives_gds_roundtrip_exactly() {
+    let (_, lib) = block();
+    let bytes = gds::to_bytes(&lib).expect("serialise");
+    let back = gds::from_bytes(&bytes).expect("parse");
+    let fa = lib.flatten(lib.top().expect("top")).expect("flatten a");
+    let fb = back.flatten(back.top().expect("top")).expect("flatten b");
+    for layer in [layers::METAL1, layers::METAL2, layers::VIA1] {
+        assert_eq!(fa.region(layer), fb.region(layer), "layer {layer}");
+    }
+}
+
+#[test]
+fn generated_block_is_signoff_clean_except_density() {
+    let (tech, lib) = block();
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let deck = RuleDeck::for_technology(&tech);
+    let report = DrcEngine::new(&deck).run(&flat);
+    for v in report.violations() {
+        assert!(
+            v.rule.ends_with(".DEN"),
+            "unexpected hard-rule violation: {v}"
+        );
+    }
+}
+
+#[test]
+fn techniques_compose_and_improve_yield() {
+    let (tech, lib) = block();
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let mut ctx = EvaluationContext::for_technology(tech.clone());
+    ctx.defects = DefectModel::new(ctx.defects.x0, 50_000.0);
+    ctx.via_fail_prob = 1e-4;
+
+    let v1 = evaluate(&RedundantViaInsertion::for_technology(&tech), &flat, &ctx);
+    assert!(v1.yield_after > v1.yield_before, "{v1}");
+
+    // Compose: widen after via insertion; the result must stay DRC-clean
+    // on hard rules and must not lose the via-yield gain.
+    let widened = WireWidening::from_context(&ctx)
+        .apply(
+            &RedundantViaInsertion::for_technology(&tech)
+                .apply(&flat, &tech)
+                .layout,
+            &tech,
+        )
+        .layout;
+    let deck = RuleDeck::for_technology(&tech);
+    let report = DrcEngine::new(&deck).run(&widened);
+    for v in report.violations() {
+        assert!(v.rule.ends_with(".DEN"), "composition broke DRC: {v}");
+    }
+    let composed = ctx.predicted_yield(&widened);
+    let baseline = ctx.predicted_yield(&flat);
+    assert!(composed.total() > baseline.total());
+}
+
+#[test]
+fn printed_image_covers_most_of_drawn_metal() {
+    let (tech, lib) = block();
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let m1 = flat.region(layers::METAL1);
+    let sim = LithoSimulator::for_feature_size(tech.rules(layers::METAL1).min_width);
+    // Nominal condition on a clean min-pitch layout: the print covers the
+    // bulk of the drawn metal (corner rounding and line ends lose a little).
+    let printed = sim.printed(&m1, Condition::nominal());
+    let covered = m1.intersection(&printed).area() as f64 / m1.area() as f64;
+    assert!(covered > 0.85, "printed covers only {:.1}%", covered * 100.0);
+}
+
+#[test]
+fn sram_array_flattens_and_catalogs() {
+    let tech = Technology::n65();
+    let lib = generate::sram_array(&tech, 16, 16);
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let contacts = flat.region(layers::CONTACT);
+    assert_eq!(contacts.rect_count(), 256);
+    // All 256 contacts share one pattern class: a perfectly regular array.
+    let anchors = dfm_practice::pattern::catalog::anchors::rect_centers(&contacts);
+    let poly = flat.region(layers::POLY);
+    let m1 = flat.region(layers::METAL1);
+    let catalog = dfm_practice::pattern::Catalog::build(&[&contacts, &poly, &m1], &anchors, 250, 5);
+    assert!(
+        catalog.class_count() <= 4,
+        "regular array should have few classes, got {}",
+        catalog.class_count()
+    );
+    assert!(catalog.coverage_top_k(1) > 0.5);
+}
