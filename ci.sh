@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build, test, and bench-compile with no
+# network and no registry. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== guard: workspace dependencies are path-only =="
+# `cargo tree` prints registry packages as `name vX.Y.Z` with no source
+# suffix, path packages as `name vX.Y.Z (/abs/path)`. Any dependency
+# line lacking a local-path suffix means someone reintroduced a
+# registry/git dependency — fail loudly before the build masks it with
+# a cached copy.
+# A dependency that cannot resolve offline (i.e. a registry dep with no
+# cached copy) makes `cargo tree` itself fail, which must also fail the
+# guard — so check its exit status before filtering.
+tree=$(cargo tree --workspace --edges normal,build,dev --prefix none --offline)
+non_path=$(printf '%s\n' "$tree" | sort -u | grep -v '^\s*$' | grep -v ' (/' || true)
+if [[ -n "$non_path" ]]; then
+    echo "error: non-path dependencies found:" >&2
+    echo "$non_path" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "== benches compile (offline) =="
+cargo bench --no-run --offline
+
+echo "CI OK"

@@ -1,7 +1,9 @@
-//! Criterion benches over the core engines, one per experiment family,
-//! plus the ablations DESIGN.md calls out.
+//! Benches over the core engines, one per experiment family, plus the
+//! ablations DESIGN.md calls out. Runs on the in-repo
+//! `dfm_bench::microbench` harness (warmup + median-of-N, optional JSON
+//! via `DFM_BENCH_JSON=<path>`): `cargo bench -p dfm-bench [-- filter]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dfm_bench::microbench::Bencher;
 use dfm_geom::{GridIndex, Point, Rect, Region};
 use dfm_layout::{layers, Technology};
 use std::hint::black_box;
@@ -22,51 +24,43 @@ fn routed_m1(seed: u64) -> Region {
 }
 
 /// Boolean engine: full-layer union/difference (powers everything).
-fn bench_region_boolean(c: &mut Criterion) {
+fn bench_region_boolean(b: &mut Bencher) {
     let a = routed_m1(1);
-    let b = routed_m1(2);
-    c.bench_function("region_union", |bench| {
-        bench.iter(|| black_box(a.union(&b)).area())
-    });
-    c.bench_function("region_difference", |bench| {
-        bench.iter(|| black_box(a.difference(&b)).area())
-    });
+    let other = routed_m1(2);
+    b.bench("region_union", || black_box(a.union(&other)).area());
+    b.bench("region_difference", || black_box(a.difference(&other)).area());
 }
 
 /// DRC spacing sweep (E1/E8 substrate; bench `caa` pairs with it).
-fn bench_drc(c: &mut Criterion) {
+fn bench_drc(b: &mut Bencher) {
     let region = routed_m1(3);
-    c.bench_function("drc_spacing_sweep", |bench| {
-        bench.iter(|| dfm_drc::spacing_violations(black_box(&region), 90).len())
+    b.bench("drc_spacing_sweep", || {
+        dfm_drc::spacing_violations(black_box(&region), 90).len()
     });
 }
 
 /// Critical-area extraction (Table 1 / Table 7).
-fn bench_caa(c: &mut Criterion) {
+fn bench_caa(b: &mut Bencher) {
     let region = routed_m1(4);
     let defects = dfm_yield::DefectModel::new(45, 1.0);
-    c.bench_function("caa_analyze", |bench| {
-        bench.iter(|| {
-            dfm_yield::critical_area::analyze(black_box(&region), &defects).total_ca_nm2()
-        })
+    b.bench("caa_analyze", || {
+        dfm_yield::critical_area::analyze(black_box(&region), &defects).total_ca_nm2()
     });
 }
 
 /// Aerial-image simulation of one tile (Fig 1 substrate).
-fn bench_litho(c: &mut Criterion) {
+fn bench_litho(b: &mut Bencher) {
     let sim = dfm_litho::LithoSimulator::for_feature_size(90);
     let mask = Region::from_rects((0..10).map(|i| Rect::new(0, i * 180, 4000, i * 180 + 90)));
     let window = mask.bbox().expanded(200);
-    c.bench_function("litho_print_tile", |bench| {
-        bench.iter(|| {
-            sim.printed_in_window(black_box(&mask), window, dfm_litho::Condition::nominal())
-                .area()
-        })
+    b.bench("litho_print_tile", || {
+        sim.printed_in_window(black_box(&mask), window, dfm_litho::Condition::nominal())
+            .area()
     });
 }
 
 /// Pattern encode+match throughput (Table 3 substrate).
-fn bench_pattern_match(c: &mut Criterion) {
+fn bench_pattern_match(b: &mut Bencher) {
     let region = routed_m1(5);
     let mut library: dfm_pattern::PatternLibrary<()> = dfm_pattern::PatternLibrary::new(540, 10, 15);
     let rects: Vec<Rect> = region.rects().iter().copied().take(64).collect();
@@ -74,43 +68,39 @@ fn bench_pattern_match(c: &mut Criterion) {
         library.learn(&[&region], r.center(), ());
     }
     let anchors: Vec<Point> = region.rects().iter().map(|r| r.center()).take(512).collect();
-    c.bench_function("pattern_scan_512_anchors", |bench| {
-        bench.iter(|| library.scan(black_box(&[&region]), &anchors).len())
+    b.bench("pattern_scan_512_anchors", || {
+        library.scan(black_box(&[&region]), &anchors).len()
     });
 }
 
 /// DPT decomposition (Table 4 substrate).
-fn bench_dpt(c: &mut Criterion) {
+fn bench_dpt(b: &mut Bencher) {
     let region = routed_m1(6);
     let params = dfm_dpt::DptParams::for_min_space(90);
-    c.bench_function("dpt_decompose", |bench| {
-        bench.iter(|| dfm_dpt::decompose(black_box(&region), params).piece_count())
+    b.bench("dpt_decompose", || {
+        dfm_dpt::decompose(black_box(&region), params).piece_count()
     });
 }
 
 /// Ablation: separable vs full 2-D Gaussian convolution.
-fn bench_conv_ablation(c: &mut Criterion) {
+fn bench_conv_ablation(b: &mut Bencher) {
     let mask = Region::from_rects((0..6).map(|i| Rect::new(0, i * 200, 2000, i * 200 + 90)));
     let window = mask.bbox().expanded(150);
     let base = dfm_litho::Raster::rasterize(&mask, window, 10);
-    c.bench_function("conv_separable", |bench| {
-        bench.iter(|| {
-            let mut r = base.clone();
-            r.gaussian_blur(black_box(40.0));
-            r.max_value()
-        })
+    b.bench("conv_separable", || {
+        let mut r = base.clone();
+        r.gaussian_blur(black_box(40.0));
+        r.max_value()
     });
-    c.bench_function("conv_full2d", |bench| {
-        bench.iter(|| {
-            let mut r = base.clone();
-            r.gaussian_blur_full2d(black_box(40.0));
-            r.max_value()
-        })
+    b.bench("conv_full2d", || {
+        let mut r = base.clone();
+        r.gaussian_blur_full2d(black_box(40.0));
+        r.max_value()
     });
 }
 
 /// Ablation: grid spatial index vs brute-force pair scan.
-fn bench_index_ablation(c: &mut Criterion) {
+fn bench_index_ablation(b: &mut Bencher) {
     let region = routed_m1(7);
     let rects: Vec<Rect> = region.rects().to_vec();
     let mut index = GridIndex::new(1080);
@@ -118,31 +108,31 @@ fn bench_index_ablation(c: &mut Criterion) {
         index.insert(*r, i);
     }
     let probes: Vec<Rect> = rects.iter().step_by(10).map(|r| r.expanded(200)).collect();
-    c.bench_function("index_grid_queries", |bench| {
-        bench.iter(|| {
-            let mut n = 0usize;
-            for p in &probes {
-                n += index.query(black_box(*p)).len();
-            }
-            n
-        })
+    b.bench("index_grid_queries", || {
+        let mut n = 0usize;
+        for p in &probes {
+            n += index.query(black_box(*p)).len();
+        }
+        n
     });
-    c.bench_function("index_bruteforce_queries", |bench| {
-        bench.iter(|| {
-            let mut n = 0usize;
-            for p in &probes {
-                n += rects.iter().filter(|r| r.touches(black_box(p))).count();
-            }
-            n
-        })
+    b.bench("index_bruteforce_queries", || {
+        let mut n = 0usize;
+        for p in &probes {
+            n += rects.iter().filter(|r| r.touches(black_box(p))).count();
+        }
+        n
     });
 }
 
-criterion_group! {
-    name = engines;
-    config = Criterion::default().sample_size(10);
-    targets = bench_region_boolean, bench_drc, bench_caa, bench_litho,
-              bench_pattern_match, bench_dpt, bench_index_ablation,
-              bench_conv_ablation
+fn main() {
+    let mut b = Bencher::from_env();
+    bench_region_boolean(&mut b);
+    bench_drc(&mut b);
+    bench_caa(&mut b);
+    bench_litho(&mut b);
+    bench_pattern_match(&mut b);
+    bench_dpt(&mut b);
+    bench_index_ablation(&mut b);
+    bench_conv_ablation(&mut b);
+    b.finish();
 }
-criterion_main!(engines);

@@ -3,7 +3,8 @@
 //! One function per experiment (E1–E12 in `DESIGN.md`); each returns the
 //! table/figure text it regenerates. The `experiments` binary prints
 //! them; the integration tests assert their headline shapes; the
-//! Criterion benches (`benches/engines.rs`) time the underlying engines.
+//! [`microbench`]-based benches (`benches/engines.rs`) time the
+//! underlying engines with no external harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +15,7 @@ pub mod e_pattern;
 pub mod e_timing;
 pub mod e_verdict;
 pub mod e_yield;
+pub mod microbench;
 pub mod table;
 
 /// The type of one experiment generator.

@@ -1,0 +1,219 @@
+//! Self-contained microbenchmark harness (criterion replacement).
+//!
+//! Registry-free by design: warmup, fixed sample count, median-of-N
+//! reporting, and machine-readable JSON output. Timing uses
+//! [`std::time::Instant`] only, so the harness works offline and adds
+//! zero dependencies.
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use dfm_bench::microbench::Bencher;
+//!
+//! let mut b = Bencher::from_env();
+//! b.bench("region_union", || 2 + 2);
+//! b.finish();
+//! ```
+//!
+//! Run with `cargo bench -p dfm-bench`. Filter by substring with
+//! `cargo bench -p dfm-bench -- union`; write a JSON report with
+//! `DFM_BENCH_JSON=target/bench.json cargo bench -p dfm-bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name as registered with [`Bencher::bench`].
+    pub name: String,
+    /// Median over samples of (batch time / batch iterations).
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations executed per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark runner: collects [`Sample`]s, prints a human-readable
+/// line per bench, optionally writes a JSON report at the end.
+pub struct Bencher {
+    /// Target wall time per timed sample; iteration count is calibrated
+    /// during warmup so one sample is roughly this long.
+    pub sample_time: Duration,
+    /// Number of timed samples (median is taken over these).
+    pub samples: usize,
+    /// Substring filter (from CLI args); empty = run everything.
+    pub filter: String,
+    /// JSON output path (from `DFM_BENCH_JSON`); empty = no report.
+    pub json_path: String,
+    results: Vec<Sample>,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            sample_time: Duration::from_millis(50),
+            samples: 11,
+            filter: String::new(),
+            json_path: String::new(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Bencher {
+    /// Build a runner configured from the process environment: the first
+    /// non-flag CLI argument is a substring filter (cargo bench passes
+    /// `--bench` and similar flags; those are ignored), and
+    /// `DFM_BENCH_JSON=<path>` requests a JSON report.
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .unwrap_or_default();
+        let json_path = std::env::var("DFM_BENCH_JSON").unwrap_or_default();
+        Bencher { filter, json_path, ..Bencher::default() }
+    }
+
+    /// Time `f`, print one result line, and record the sample. The
+    /// return value of `f` is passed through [`black_box`] so the
+    /// optimiser cannot delete the work.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if !self.filter.is_empty() && !name.contains(&self.filter) {
+            return;
+        }
+        // Warmup + calibration: run until sample_time has elapsed once,
+        // counting iterations to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.sample_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let iters = warm_iters.max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let sample = Sample {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters_per_sample: iters,
+            samples: per_iter.len(),
+        };
+        println!(
+            "{name:<32} median {:>12}  (min {}, max {}, {} iters x {} samples)",
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+            sample.iters_per_sample,
+            sample.samples,
+        );
+        self.results.push(sample);
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Render all results as a JSON array (hand-rolled — no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
+                s.name, s.median_ns, s.min_ns, s.max_ns, s.iters_per_sample, s.samples
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write the JSON report if `DFM_BENCH_JSON` was set.
+    pub fn finish(&self) {
+        if self.json_path.is_empty() {
+            return;
+        }
+        match std::fs::write(&self.json_path, self.to_json()) {
+            Ok(()) => println!("wrote {} results to {}", self.results.len(), self.json_path),
+            Err(e) => eprintln!("failed to write {}: {e}", self.json_path),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bencher {
+        Bencher {
+            sample_time: Duration::from_micros(200),
+            samples: 3,
+            ..Bencher::default()
+        }
+    }
+
+    #[test]
+    fn bench_records_positive_median() {
+        let mut b = quick();
+        b.bench("sum", || (0..100u64).sum::<u64>());
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut b = quick();
+        b.filter = "union".to_string();
+        b.bench("drc_sweep", || 1);
+        assert!(b.results().is_empty());
+        b.bench("region_union", || 1);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut b = quick();
+        b.bench("a", || 1);
+        b.bench("b", || 2);
+        let json = b.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert!(json.contains("\"median_ns\""));
+    }
+}

@@ -1,95 +1,124 @@
 //! Property-based tests for the DRC engine: detection must agree with
-//! construction.
+//! construction (dfm-check harness).
+//!
+//! The seed corpus in `engine_properties.seeds` is replayed before any
+//! random cases — it carries the regression cases inherited from the
+//! old proptest suite.
 
+use dfm_check::{check, prop_assert, prop_assert_eq, Config};
 use dfm_drc::{exterior_facing_pairs, spacing_violations, width_violations};
 use dfm_geom::{Rect, Region};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cfg() -> Config {
+    Config::with_cases(64)
+        .corpus(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/engine_properties.seeds"))
+}
 
-    /// A lone rectangle's width violations fire exactly when either side
-    /// is below the rule.
-    #[test]
-    fn width_detection_matches_construction(
-        w in 10i64..400,
-        h in 10i64..400,
-        rule in 10i64..400,
-    ) {
-        let region = Region::from_rect(Rect::new(0, 0, w, h));
-        let viols = width_violations(&region, rule);
-        let expect = w < rule || h < rule;
-        prop_assert_eq!(!viols.is_empty(), expect, "w={} h={} rule={}", w, h, rule);
-        // Measured value equals the true dimension.
-        if expect {
-            let min_dim = w.min(h);
-            prop_assert!(viols.iter().any(|&(_, v)| v == min_dim));
-        }
-    }
+/// A lone rectangle's width violations fire exactly when either side
+/// is below the rule.
+#[test]
+fn width_detection_matches_construction() {
+    check(
+        "width_detection_matches_construction",
+        &cfg(),
+        &(10i64..400, 10i64..400, 10i64..400),
+        |v| {
+            let (w, h, rule) = (v.0, v.1, v.2);
+            let region = Region::from_rect(Rect::new(0, 0, w, h));
+            let viols = width_violations(&region, rule);
+            let expect = w < rule || h < rule;
+            prop_assert_eq!(!viols.is_empty(), expect, "w={} h={} rule={}", w, h, rule);
+            // Measured value equals the true dimension.
+            if expect {
+                let min_dim = w.min(h);
+                prop_assert!(viols.iter().any(|&(_, v)| v == min_dim));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Two parallel bars' spacing violations fire exactly when the gap is
-    /// below the rule.
-    #[test]
-    fn spacing_detection_matches_construction(
-        gap in 1i64..400,
-        rule in 1i64..400,
-        len in 100i64..3000,
-    ) {
-        let region = Region::from_rects([
-            Rect::new(0, 0, len, 100),
-            Rect::new(0, 100 + gap, len, 200 + gap),
-        ]);
-        let viols = spacing_violations(&region, rule);
-        prop_assert_eq!(!viols.is_empty(), gap < rule, "gap={} rule={}", gap, rule);
-        if gap < rule {
-            prop_assert!(viols.iter().all(|&(_, v)| v == gap));
-        }
-    }
+/// Two parallel bars' spacing violations fire exactly when the gap is
+/// below the rule.
+#[test]
+fn spacing_detection_matches_construction() {
+    check(
+        "spacing_detection_matches_construction",
+        &cfg(),
+        &(1i64..400, 1i64..400, 100i64..3000),
+        |v| {
+            let (gap, rule, len) = (v.0, v.1, v.2);
+            let region = Region::from_rects([
+                Rect::new(0, 0, len, 100),
+                Rect::new(0, 100 + gap, len, 200 + gap),
+            ]);
+            let viols = spacing_violations(&region, rule);
+            prop_assert_eq!(!viols.is_empty(), gap < rule, "gap={} rule={}", gap, rule);
+            if gap < rule {
+                prop_assert!(viols.iter().all(|&(_, v)| v == gap));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Facing-pair extraction reports every parallel-bar gap below the
-    /// range, with its exact length.
-    #[test]
-    fn facing_pairs_exact(gaps in prop::collection::vec(20i64..300, 1..6)) {
-        let mut rects = Vec::new();
-        let mut y = 0i64;
-        for &g in &gaps {
+/// Facing-pair extraction reports every parallel-bar gap below the
+/// range, with its exact length.
+#[test]
+fn facing_pairs_exact() {
+    check(
+        "facing_pairs_exact",
+        &cfg(),
+        &dfm_check::vec(20i64..300, 1..6),
+        |gaps| {
+            let mut rects = Vec::new();
+            let mut y = 0i64;
+            for &g in gaps {
+                rects.push(Rect::new(0, y, 2000, y + 100));
+                y += 100 + g;
+            }
             rects.push(Rect::new(0, y, 2000, y + 100));
-            y += 100 + g;
-        }
-        rects.push(Rect::new(0, y, 2000, y + 100));
-        let region = Region::from_rects(rects);
-        let pairs = exterior_facing_pairs(&region, 400);
-        // Every adjacent gap is reported with full overlap length. (The
-        // midpoint heuristic may additionally report a "through" pair
-        // when the midpoint between non-adjacent bars lands on empty
-        // space — a documented over-count the critical-area union bound
-        // absorbs.)
-        let seen: Vec<i64> = pairs.iter().map(|p| p.distance).collect();
-        for &g in &gaps {
-            prop_assert!(seen.contains(&g), "gap {} missing from {:?}", g, seen);
-        }
-        let n = gaps.len() + 1;
-        prop_assert!(pairs.len() <= n * (n - 1) / 2);
-        prop_assert!(pairs.iter().all(|p| p.length == 2000));
-    }
+            let region = Region::from_rects(rects);
+            let pairs = exterior_facing_pairs(&region, 400);
+            // Every adjacent gap is reported with full overlap length. (The
+            // midpoint heuristic may additionally report a "through" pair
+            // when the midpoint between non-adjacent bars lands on empty
+            // space — a documented over-count the critical-area union bound
+            // absorbs.)
+            let seen: Vec<i64> = pairs.iter().map(|p| p.distance).collect();
+            for &g in gaps {
+                prop_assert!(seen.contains(&g), "gap {} missing from {:?}", g, seen);
+            }
+            let n = gaps.len() + 1;
+            prop_assert!(pairs.len() <= n * (n - 1) / 2);
+            prop_assert!(pairs.iter().all(|p| p.length == 2000));
+            Ok(())
+        },
+    );
+}
 
-    /// Violation positions always lie within the layout bounding box
-    /// (nothing is reported out of thin air).
-    #[test]
-    fn violations_are_localised(rects in prop::collection::vec(
-        (0i64..20, 0i64..20, 1i64..8, 1i64..8), 1..10)
-    ) {
-        let rects: Vec<Rect> = rects
-            .into_iter()
-            .map(|(x, y, w, h)| Rect::new(x * 50, y * 50, x * 50 + w * 25, y * 50 + h * 25))
-            .collect();
-        let region = Region::from_rects(rects);
-        let bbox = region.bbox();
-        for (loc, _) in spacing_violations(&region, 60) {
-            prop_assert!(bbox.expanded(60).contains_rect(&loc), "{:?} outside {:?}", loc, bbox);
-        }
-        for (loc, _) in width_violations(&region, 60) {
-            prop_assert!(bbox.contains_rect(&loc));
-        }
-    }
+/// Violation positions always lie within the layout bounding box
+/// (nothing is reported out of thin air).
+#[test]
+fn violations_are_localised() {
+    check(
+        "violations_are_localised",
+        &cfg(),
+        &dfm_check::vec((0i64..20, 0i64..20, 1i64..8, 1i64..8), 1..10),
+        |specs| {
+            let rects: Vec<Rect> = specs
+                .iter()
+                .map(|&(x, y, w, h)| Rect::new(x * 50, y * 50, x * 50 + w * 25, y * 50 + h * 25))
+                .collect();
+            let region = Region::from_rects(rects);
+            let bbox = region.bbox();
+            for (loc, _) in spacing_violations(&region, 60) {
+                prop_assert!(bbox.expanded(60).contains_rect(&loc), "{:?} outside {:?}", loc, bbox);
+            }
+            for (loc, _) in width_violations(&region, 60) {
+                prop_assert!(bbox.contains_rect(&loc));
+            }
+            Ok(())
+        },
+    );
 }

@@ -8,8 +8,7 @@
 
 use crate::{layers, ArrayParams, Cell, CellRef, Label, Library, Technology};
 use dfm_geom::{Point, Rect, Transform, Vector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dfm_rand::Rng;
 
 /// Parameters for [`routed_block`].
 #[derive(Clone, Copy, Debug)]
@@ -84,16 +83,16 @@ struct Span {
 /// Fills one track with wire runs on an integer slot grid. Runs are
 /// `[lo, hi)` in dbu; at least one empty slot separates consecutive runs,
 /// which guarantees along-track spacing ≥ `grid`.
-fn fill_track(rng: &mut StdRng, slots: i64, fill: f64, grid: i64) -> Vec<(i64, i64)> {
+fn fill_track(rng: &mut Rng, slots: i64, fill: f64, grid: i64) -> Vec<(i64, i64)> {
     let mut out = Vec::new();
     let mut pos = 0i64;
     while pos + 2 <= slots {
-        if rng.random::<f64>() < fill {
-            let len = 2 + rng.random_range(0..10i64).min(slots - pos - 2);
+        if rng.f64() < fill {
+            let len = 2 + rng.range(0..10i64).min(slots - pos - 2);
             out.push((pos * grid, (pos + len) * grid));
             pos += len + 1;
         } else {
-            pos += 1 + rng.random_range(0..4i64);
+            pos += 1 + rng.range(0..4i64);
         }
     }
     out
@@ -111,7 +110,7 @@ fn fill_track(rng: &mut StdRng, slots: i64, fill: f64, grid: i64) -> Vec<(i64, i
 ///
 /// The output is a flat single-cell library named `ROUTED`.
 pub fn routed_block(tech: &Technology, params: RoutedBlockParams, seed: u64) -> Library {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut cell = Cell::new("ROUTED");
     let w1 = tech.rules(layers::METAL1).min_width;
     let w2 = tech.rules(layers::METAL2).min_width;
@@ -128,8 +127,8 @@ pub fn routed_block(tech: &Technology, params: RoutedBlockParams, seed: u64) -> 
     for t in 0..n1 {
         let y = t * p1 + p1 / 2;
         for (lo, hi) in fill_track(&mut rng, x_slots, params.m1_fill, p2) {
-            let half = if rng.random::<f64>() < params.wide_prob { w1 } else { w1 / 2 };
-            let jog = rng.random::<f64>() < params.jog_prob
+            let half = if rng.f64() < params.wide_prob { w1 } else { w1 / 2 };
+            let jog = rng.f64() < params.jog_prob
                 && hi - lo >= 4 * p2
                 && t + 1 < n1;
             if jog {
@@ -154,7 +153,7 @@ pub fn routed_block(tech: &Technology, params: RoutedBlockParams, seed: u64) -> 
     for t in 1..n2 {
         let x = t * p2;
         for (lo, hi) in fill_track(&mut rng, y_slots, params.m2_fill, p1) {
-            let half = if rng.random::<f64>() < params.wide_prob { w2 } else { w2 / 2 };
+            let half = if rng.f64() < params.wide_prob { w2 } else { w2 / 2 };
             m2_spans.push(Span { center: x, lo, hi, half });
         }
     }
@@ -177,7 +176,7 @@ pub fn routed_block(tech: &Technology, params: RoutedBlockParams, seed: u64) -> 
                 && x + pad_half <= m1.hi
                 && y - pad_half >= m2.lo
                 && y + pad_half <= m2.hi
-                && rng.random::<f64>() < params.via_prob
+                && rng.f64() < params.via_prob
             {
                 let c = Point::new(x, y);
                 cell.add_rect(layers::VIA1, tech.via_rect_at(c));
@@ -263,7 +262,7 @@ fn build_std_cells(tech: &Technology, lib: &mut Library) {
 ///
 /// Returns a hierarchical library with top cell `BLOCK`.
 pub fn standard_cell_block(tech: &Technology, rows: usize, row_width: i64, seed: u64) -> Library {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut lib = Library::new(format!("stdcells_{}", tech.node_nm));
     build_std_cells(tech, &mut lib);
     let widths = [
@@ -277,7 +276,7 @@ pub fn standard_cell_block(tech: &Technology, rows: usize, row_width: i64, seed:
         let flipped = row % 2 == 1;
         let mut x = 0i64;
         while x < row_width {
-            let (name, w) = widths[rng.random_range(0..widths.len())];
+            let (name, w) = widths[rng.range(0..widths.len())];
             let t = if flipped {
                 // Flip about x then shift so the cell occupies [y, y+h).
                 Transform::new(

@@ -1,29 +1,33 @@
 //! Property-based tests for the GDSII codec: arbitrary libraries must
-//! round-trip exactly.
+//! round-trip exactly (dfm-check harness).
 
+use dfm_check::{bools, check, lowercase_string, prop_assert_eq, Config, Gen};
 use dfm_geom::{Rect, Rotation, Transform, Vector};
 use dfm_layout::{gds, ArrayParams, Cell, CellRef, Label, Layer, Library};
-use proptest::prelude::*;
 
-fn arb_layer() -> impl Strategy<Value = Layer> {
+fn cfg() -> Config {
+    Config::with_cases(48)
+}
+
+fn arb_layer() -> impl Gen<Value = Layer> {
     (0u16..64, 0u16..4).prop_map(|(l, d)| Layer::new(l, d))
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
+fn arb_rect() -> impl Gen<Value = Rect> {
     (-10_000i64..10_000, -10_000i64..10_000, 1i64..2_000, 1i64..2_000)
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 
-fn arb_transform() -> impl Strategy<Value = Transform> {
-    (-5_000i64..5_000, -5_000i64..5_000, 0u8..4, any::<bool>()).prop_map(|(x, y, r, m)| {
+fn arb_transform() -> impl Gen<Value = Transform> {
+    (-5_000i64..5_000, -5_000i64..5_000, 0u8..4, bools()).prop_map(|(x, y, r, m)| {
         Transform::new(Vector::new(x, y), Rotation::from_quarter_turns(r), m)
     })
 }
 
-fn arb_leaf() -> impl Strategy<Value = Cell> {
+fn arb_leaf() -> impl Gen<Value = Cell> {
     (
-        prop::collection::vec((arb_layer(), arb_rect()), 1..12),
-        prop::collection::vec(("[a-z]{1,8}", -1000i64..1000, -1000i64..1000), 0..3),
+        dfm_check::vec((arb_layer(), arb_rect()), 1..12),
+        dfm_check::vec((lowercase_string(1..9), -1000i64..1000, -1000i64..1000), 0..3),
     )
         .prop_map(|(shapes, labels)| {
             let mut c = Cell::new("LEAF");
@@ -41,10 +45,10 @@ fn arb_leaf() -> impl Strategy<Value = Cell> {
         })
 }
 
-fn arb_library() -> impl Strategy<Value = Library> {
+fn arb_library() -> impl Gen<Value = Library> {
     (
         arb_leaf(),
-        prop::collection::vec(arb_transform(), 1..5),
+        dfm_check::vec(arb_transform(), 1..5),
         (1u16..4, 1u16..4, 100i64..5_000, 100i64..5_000),
     )
         .prop_map(|(leaf, srefs, (cols, rows, cp, rp))| {
@@ -64,13 +68,11 @@ fn arb_library() -> impl Strategy<Value = Library> {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Serialise → parse reproduces every flattened layer exactly.
-    #[test]
-    fn gds_roundtrip_exact(lib in arb_library()) {
-        let bytes = gds::to_bytes(&lib).expect("serialise");
+/// Serialise → parse reproduces every flattened layer exactly.
+#[test]
+fn gds_roundtrip_exact() {
+    check("gds_roundtrip_exact", &cfg(), &arb_library(), |lib| {
+        let bytes = gds::to_bytes(lib).expect("serialise");
         let back = gds::from_bytes(&bytes).expect("parse");
         prop_assert_eq!(back.cell_count(), lib.cell_count());
         let top_a = lib.cell_id("TOP").expect("top");
@@ -87,20 +89,26 @@ proptest! {
         let leaf_a = lib.cell(lib.cell_id("LEAF").expect("leaf"));
         let leaf_b = back.cell(back.cell_id("LEAF").expect("leaf"));
         prop_assert_eq!(&leaf_a.labels, &leaf_b.labels);
-    }
+        Ok(())
+    });
+}
 
-    /// Serialisation is deterministic.
-    #[test]
-    fn gds_bytes_deterministic(lib in arb_library()) {
+/// Serialisation is deterministic.
+#[test]
+fn gds_bytes_deterministic() {
+    check("gds_bytes_deterministic", &cfg(), &arb_library(), |lib| {
         prop_assert_eq!(
-            gds::to_bytes(&lib).expect("a"),
-            gds::to_bytes(&lib).expect("b")
+            gds::to_bytes(lib).expect("a"),
+            gds::to_bytes(lib).expect("b")
         );
-    }
+        Ok(())
+    });
+}
 
-    /// The flat write-back library reproduces the flat geometry.
-    #[test]
-    fn flat_writeback_roundtrip(lib in arb_library()) {
+/// The flat write-back library reproduces the flat geometry.
+#[test]
+fn flat_writeback_roundtrip() {
+    check("flat_writeback_roundtrip", &cfg(), &arb_library(), |lib| {
         let top = lib.cell_id("TOP").expect("top");
         let flat = lib.flatten(top).expect("flatten");
         let out = flat.to_library("o", "F");
@@ -112,5 +120,6 @@ proptest! {
         for layer in flat.used_layers() {
             prop_assert_eq!(flat.region(layer), reflat.region(layer), "layer {}", layer);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,11 +1,16 @@
-//! Property-based tests for topological pattern invariants.
+//! Property-based tests for topological pattern invariants
+//! (dfm-check harness).
 
+use dfm_check::{bools, check, prop_assert, prop_assert_eq, Config, Gen};
 use dfm_geom::{Point, Rect, Region, Rotation, Transform, Vector};
 use dfm_pattern::TopoPattern;
-use proptest::prelude::*;
 
-fn arb_clip() -> impl Strategy<Value = Region> {
-    prop::collection::vec((-3i64..3, -3i64..3, 1i64..4, 1i64..4), 1..6).prop_map(|specs| {
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
+
+fn arb_clip() -> impl Gen<Value = Region> {
+    dfm_check::vec((-3i64..3, -3i64..3, 1i64..4, 1i64..4), 1..6).prop_map(|specs| {
         Region::from_rects(specs.into_iter().map(|(x, y, w, h)| {
             Rect::new(x * 60, y * 60, x * 60 + w * 45, y * 60 + h * 45)
         }))
@@ -16,66 +21,98 @@ fn window() -> Rect {
     Rect::centered_at(Point::origin(), 800, 800)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Canonicalisation is invariant under every D4 symmetry of the clip.
+#[test]
+fn canonical_is_d4_invariant() {
+    check(
+        "canonical_is_d4_invariant",
+        &cfg(),
+        &(arb_clip(), 0u8..4, bools()),
+        |v| {
+            let (clip, q, m) = v;
+            let t = Transform::new(Vector::zero(), Rotation::from_quarter_turns(*q), *m);
+            let moved = Region::from_rects(clip.rects().iter().map(|&r| t.apply_rect(r)));
+            let a = TopoPattern::encode(&[clip], window()).canonical();
+            let b = TopoPattern::encode(&[&moved], window()).canonical();
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// Canonicalisation is invariant under every D4 symmetry of the clip.
-    #[test]
-    fn canonical_is_d4_invariant(clip in arb_clip(), q in 0u8..4, m in any::<bool>()) {
-        let t = Transform::new(Vector::zero(), Rotation::from_quarter_turns(q), m);
-        let moved = Region::from_rects(clip.rects().iter().map(|&r| t.apply_rect(r)));
-        let a = TopoPattern::encode(&[&clip], window()).canonical();
-        let b = TopoPattern::encode(&[&moved], window()).canonical();
-        prop_assert_eq!(a, b);
-    }
+/// Encoding is translation-invariant when the window moves with the
+/// geometry.
+#[test]
+fn encoding_is_translation_invariant() {
+    check(
+        "encoding_is_translation_invariant",
+        &cfg(),
+        &(arb_clip(), -5000i64..5000, -5000i64..5000),
+        |v| {
+            let (clip, dx, dy) = v;
+            let shift = Vector::new(*dx, *dy);
+            let moved = clip.translated(shift);
+            let a = TopoPattern::encode(&[clip], window());
+            let b = TopoPattern::encode(&[&moved], window().translated(shift));
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// Encoding is translation-invariant when the window moves with the
-    /// geometry.
-    #[test]
-    fn encoding_is_translation_invariant(clip in arb_clip(), dx in -5000i64..5000, dy in -5000i64..5000) {
-        let v = Vector::new(dx, dy);
-        let moved = clip.translated(v);
-        let a = TopoPattern::encode(&[&clip], window());
-        let b = TopoPattern::encode(&[&moved], window().translated(v));
-        prop_assert_eq!(a, b);
-    }
+/// `matches` is reflexive at any tolerance and symmetric.
+#[test]
+fn matches_reflexive_and_symmetric() {
+    check(
+        "matches_reflexive_and_symmetric",
+        &cfg(),
+        &(arb_clip(), arb_clip(), 0i64..30),
+        |v| {
+            let (a, b, eps) = v;
+            let pa = TopoPattern::encode(&[a], window());
+            let pb = TopoPattern::encode(&[b], window());
+            prop_assert!(pa.matches(&pa, *eps));
+            prop_assert_eq!(pa.matches(&pb, *eps), pb.matches(&pa, *eps));
+            Ok(())
+        },
+    );
+}
 
-    /// `matches` is reflexive at any tolerance and symmetric.
-    #[test]
-    fn matches_reflexive_and_symmetric(a in arb_clip(), b in arb_clip(), eps in 0i64..30) {
-        let pa = TopoPattern::encode(&[&a], window());
-        let pb = TopoPattern::encode(&[&b], window());
-        prop_assert!(pa.matches(&pa, eps));
-        prop_assert_eq!(pa.matches(&pb, eps), pb.matches(&pa, eps));
-    }
-
-    /// Equal canonical forms have equal topology digests, and matching at
-    /// zero tolerance implies canonical equality.
-    #[test]
-    fn digest_consistency(a in arb_clip(), b in arb_clip()) {
-        let pa = TopoPattern::encode(&[&a], window()).canonical();
-        let pb = TopoPattern::encode(&[&b], window()).canonical();
+/// Equal canonical forms have equal topology digests, and matching at
+/// zero tolerance implies canonical equality.
+#[test]
+fn digest_consistency() {
+    check("digest_consistency", &cfg(), &(arb_clip(), arb_clip()), |v| {
+        let (a, b) = v;
+        let pa = TopoPattern::encode(&[a], window()).canonical();
+        let pb = TopoPattern::encode(&[b], window()).canonical();
         if pa == pb {
             prop_assert_eq!(pa.topology_digest(), pb.topology_digest());
         }
         if pa.matches(&pb, 0) {
             prop_assert_eq!(pa, pb);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The dimension vectors always sum to the window extent.
-    #[test]
-    fn dims_cover_window(clip in arb_clip()) {
-        let p = TopoPattern::encode(&[&clip], window());
+/// The dimension vectors always sum to the window extent.
+#[test]
+fn dims_cover_window() {
+    check("dims_cover_window", &cfg(), &arb_clip(), |clip| {
+        let p = TopoPattern::encode(&[clip], window());
         let (w, h) = p.extent();
         prop_assert_eq!(w, window().width());
         prop_assert_eq!(h, window().height());
-    }
+        Ok(())
+    });
+}
 
-    /// Persistence round-trip via the raw-parts API preserves equality.
-    #[test]
-    fn raw_parts_roundtrip(clip in arb_clip()) {
-        let p = TopoPattern::encode(&[&clip], window());
+/// Persistence round-trip via the raw-parts API preserves equality.
+#[test]
+fn raw_parts_roundtrip() {
+    check("raw_parts_roundtrip", &cfg(), &arb_clip(), |clip| {
+        let p = TopoPattern::encode(&[clip], window());
         let q = TopoPattern::from_raw_parts(
             p.nx(),
             p.ny(),
@@ -85,5 +122,6 @@ proptest! {
         )
         .expect("valid parts");
         prop_assert_eq!(p, q);
-    }
+        Ok(())
+    });
 }

@@ -30,8 +30,7 @@
 #![warn(missing_docs)]
 
 use dfm_geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dfm_rand::Rng;
 
 /// Index of a gate within a [`Netlist`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -99,7 +98,7 @@ impl Netlist {
     /// lengths are physical.
     pub fn random(levels: usize, width: usize, seed: u64) -> Netlist {
         assert!(levels >= 1 && width >= 1, "need at least a 1x1 netlist");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let pitch_x: i64 = 2_000;
         let pitch_y: i64 = 1_200;
         let lnom: i64 = 60;
@@ -121,7 +120,7 @@ impl Netlist {
         for level in 1..=levels {
             let mut this_level = Vec::new();
             for w in 0..width {
-                let kind = match rng.random_range(0..4u32) {
+                let kind = match rng.range(0..4u32) {
                     0 => GateKind::Inv,
                     1 => GateKind::Nand2,
                     2 => GateKind::Nor2,
@@ -133,7 +132,7 @@ impl Netlist {
                 };
                 let mut ins = Vec::new();
                 for _ in 0..n_in {
-                    ins.push(prev_level[rng.random_range(0..prev_level.len())]);
+                    ins.push(prev_level[rng.range(0..prev_level.len())]);
                 }
                 gates.push(Gate {
                     kind,
@@ -492,8 +491,7 @@ pub mod extract {
     use super::{GateKind, Netlist};
     use dfm_geom::{Point, Rect, Region};
     use dfm_litho::{metrics, Condition, LithoSimulator};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use dfm_rand::Rng;
 
     /// Drawn (nominal) lengths.
     pub fn drawn(netlist: &Netlist) -> Vec<f64> {
@@ -512,17 +510,11 @@ pub mod extract {
 
     /// Independent Gaussian CD variation with relative sigma.
     pub fn monte_carlo(netlist: &Netlist, rel_sigma: f64, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         netlist
             .gates()
             .iter()
-            .map(|g| {
-                // Box-Muller.
-                let u1: f64 = rng.random::<f64>().max(1e-12);
-                let u2: f64 = rng.random();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                (g.drawn_l as f64 * (1.0 + rel_sigma * z)).max(1.0)
-            })
+            .map(|g| (g.drawn_l as f64 * (1.0 + rel_sigma * rng.standard_normal())).max(1.0))
             .collect()
     }
 

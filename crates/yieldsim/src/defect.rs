@@ -1,6 +1,6 @@
 //! The random-defect model: size distribution and density.
 
-use rand::Rng;
+use dfm_rand::Rng;
 
 /// Square nanometres per square centimetre.
 pub const NM2_PER_CM2: f64 = 1e14;
@@ -44,8 +44,8 @@ impl DefectModel {
     }
 
     /// Samples a defect diameter by inverse-CDF: `x = x₀ / √(1−u)`.
-    pub fn sample_diameter<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
-        let u: f64 = rng.random::<f64>().min(1.0 - 1e-12);
+    pub fn sample_diameter(&self, rng: &mut Rng) -> i64 {
+        let u: f64 = rng.f64().min(1.0 - 1e-12);
         (self.x0 as f64 / (1.0 - u).sqrt()).round() as i64
     }
 
@@ -58,8 +58,6 @@ impl DefectModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn survival_function() {
@@ -73,7 +71,7 @@ mod tests {
     #[test]
     fn sampled_sizes_match_distribution() {
         let m = DefectModel::new(50, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let n = 50_000;
         let samples: Vec<i64> = (0..n).map(|_| m.sample_diameter(&mut rng)).collect();
         assert!(samples.iter().all(|&x| x >= m.x0));

@@ -12,8 +12,7 @@
 
 use crate::DefectModel;
 use dfm_geom::{GridIndex, Point, Rect, Region};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dfm_rand::Rng;
 
 /// Result of a Monte-Carlo short-critical-area estimation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,7 +68,7 @@ pub fn estimate_ca_at_diameter(
     metal: &Region,
     d: i64,
     samples: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (f64, f64, usize) {
     let bbox = metal.bbox();
     if bbox.is_empty() || samples == 0 || d <= 0 {
@@ -80,8 +79,8 @@ pub fn estimate_ca_at_diameter(
     let area = window.area() as f64;
     let mut kills = 0usize;
     for _ in 0..samples {
-        let cx = rng.random_range(window.x0..window.x1);
-        let cy = rng.random_range(window.y0..window.y1);
+        let cx = rng.range(window.x0..window.x1);
+        let cy = rng.range(window.y0..window.y1);
         let square = Rect::centered_at(Point::new(cx, cy), d, d);
         if components.bridges(square) {
             kills += 1;
@@ -108,7 +107,7 @@ pub fn estimate_short_ca(
     if bbox.is_empty() || samples == 0 {
         return McResult { short_ca_nm2: 0.0, std_err_nm2: 0.0, samples, kills: 0 };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Size grid: x0 · 2^(j/2), j = 0..12 (up to 64·x0).
     let x0 = defects.x0 as f64;
@@ -144,7 +143,7 @@ pub fn estimate_open_ca_at_diameter(
     metal: &Region,
     d: i64,
     samples: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (f64, f64, usize) {
     let bbox = metal.bbox();
     if bbox.is_empty() || samples == 0 || d <= 0 {
@@ -154,8 +153,8 @@ pub fn estimate_open_ca_at_diameter(
     let area = window.area() as f64;
     let mut kills = 0usize;
     for _ in 0..samples {
-        let cx = rng.random_range(window.x0..window.x1);
-        let cy = rng.random_range(window.y0..window.y1);
+        let cx = rng.range(window.x0..window.x1);
+        let cy = rng.range(window.y0..window.y1);
         let square = Rect::centered_at(Point::new(cx, cy), d, d);
         let local_window = square.expanded(2 * d);
         let local = metal.clipped(local_window);
@@ -187,7 +186,7 @@ pub fn estimate_open_ca(
     if bbox.is_empty() || samples == 0 {
         return McResult { short_ca_nm2: 0.0, std_err_nm2: 0.0, samples, kills: 0 };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let x0 = defects.x0 as f64;
     let sizes: Vec<i64> = (0..=12)
         .map(|j| (x0 * 2f64.powf(j as f64 / 2.0)).round() as i64)
@@ -281,7 +280,7 @@ mod tests {
             Rect::new(0, 0, 100_000, 200),
             Rect::new(0, 300, 100_000, 500),
         ]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let (small, _, _) = estimate_ca_at_diameter(&metal, 150, 20_000, &mut rng);
         let (large, _, _) = estimate_ca_at_diameter(&metal, 400, 20_000, &mut rng);
         assert!(large > small, "CA(d) must grow with d: {small} vs {large}");

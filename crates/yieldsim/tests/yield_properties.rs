@@ -1,82 +1,127 @@
-//! Property-based tests for the yield models.
+//! Property-based tests for the yield models (dfm-check harness).
 
+use dfm_check::{check, prop_assert, prop_assume, Config};
 use dfm_geom::{Rect, Region};
 use dfm_yield::{critical_area, model, via_model, DefectModel};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
 
-    /// Yield models stay in (0, 1] and are monotone in their arguments.
-    #[test]
-    fn yield_model_bounds(ac in 0.0f64..1e12, d0 in 0.0f64..1e5, alpha in 0.1f64..100.0) {
-        let y = model::poisson_yield(ac, d0);
-        prop_assert!((0.0..=1.0).contains(&y));
-        let nb = model::negative_binomial_yield(ac, d0, alpha);
-        prop_assert!((0.0..=1.0).contains(&nb));
-        // Clustering never hurts yield relative to Poisson.
-        prop_assert!(nb >= y - 1e-12);
-        // Monotone in critical area.
-        prop_assert!(model::poisson_yield(ac * 2.0, d0) <= y + 1e-12);
-    }
+/// Yield models stay in (0, 1] and are monotone in their arguments.
+#[test]
+fn yield_model_bounds() {
+    check(
+        "yield_model_bounds",
+        &cfg(),
+        &(0.0f64..1e12, 0.0f64..1e5, 0.1f64..100.0),
+        |v| {
+            let (ac, d0, alpha) = *v;
+            let y = model::poisson_yield(ac, d0);
+            prop_assert!((0.0..=1.0).contains(&y));
+            let nb = model::negative_binomial_yield(ac, d0, alpha);
+            prop_assert!((0.0..=1.0).contains(&nb));
+            // Clustering never hurts yield relative to Poisson.
+            prop_assert!(nb >= y - 1e-12);
+            // Monotone in critical area.
+            prop_assert!(model::poisson_yield(ac * 2.0, d0) <= y + 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Short CA grows monotonically as wires move closer.
-    #[test]
-    fn short_ca_monotone_in_spacing(s1 in 60i64..200, delta in 1i64..200, len in 1_000i64..50_000) {
-        let defects = DefectModel::new(45, 1.0);
-        let make = |gap: i64| {
-            Region::from_rects([
-                Rect::new(0, 0, len, 100),
-                Rect::new(0, 100 + gap, len, 200 + gap),
-            ])
-        };
-        let close = critical_area::analyze(&make(s1), &defects).short_ca_nm2;
-        let far = critical_area::analyze(&make(s1 + delta), &defects).short_ca_nm2;
-        prop_assert!(close >= far, "closer {close} < farther {far}");
-    }
+/// Short CA grows monotonically as wires move closer.
+#[test]
+fn short_ca_monotone_in_spacing() {
+    check(
+        "short_ca_monotone_in_spacing",
+        &cfg(),
+        &(60i64..200, 1i64..200, 1_000i64..50_000),
+        |v| {
+            let (s1, delta, len) = *v;
+            let defects = DefectModel::new(45, 1.0);
+            let make = |gap: i64| {
+                Region::from_rects([
+                    Rect::new(0, 0, len, 100),
+                    Rect::new(0, 100 + gap, len, 200 + gap),
+                ])
+            };
+            let close = critical_area::analyze(&make(s1), &defects).short_ca_nm2;
+            let far = critical_area::analyze(&make(s1 + delta), &defects).short_ca_nm2;
+            prop_assert!(close >= far, "closer {close} < farther {far}");
+            Ok(())
+        },
+    );
+}
 
-    /// The closed form matches the hand formula on a single pair.
-    #[test]
-    fn pair_formula_exact(s in 50i64..400, len in 100i64..10_000, x0 in 10i64..50) {
-        // For s >= x0 the average CA of one pair is L·x0²/s.
-        prop_assume!(s >= x0);
-        let got = critical_area::pair_average_ca(s, len, x0);
-        let want = len as f64 * (x0 * x0) as f64 / s as f64;
-        prop_assert!((got - want).abs() < 1e-9);
-    }
+/// The closed form matches the hand formula on a single pair.
+#[test]
+fn pair_formula_exact() {
+    check(
+        "pair_formula_exact",
+        &cfg(),
+        &(50i64..400, 100i64..10_000, 10i64..50),
+        |v| {
+            let (s, len, x0) = *v;
+            // For s >= x0 the average CA of one pair is L·x0²/s.
+            prop_assume!(s >= x0);
+            let got = critical_area::pair_average_ca(s, len, x0);
+            let want = len as f64 * (x0 * x0) as f64 / s as f64;
+            prop_assert!((got - want).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Via yield: redundancy monotone, bounds respected.
-    #[test]
-    fn via_yield_properties(single in 0usize..1000, redundant in 0usize..1000, p in 0.0f64..0.5) {
-        let stats = via_model::ViaStats { single, redundant };
-        let y = via_model::via_yield(stats, p);
-        prop_assert!((0.0..=1.0).contains(&y));
-        // Converting singles to redundant pairs never lowers yield.
-        if single > 0 {
-            let improved = via_model::ViaStats { single: single - 1, redundant: redundant + 1 };
-            prop_assert!(via_model::via_yield(improved, p) >= y - 1e-12);
-        }
-        // λ is consistent with the yield to first order at small p.
-        let lambda = via_model::expected_failures(stats, p);
-        if lambda < 0.01 {
-            prop_assert!((y - (-lambda).exp()).abs() < 1e-3);
-        }
-    }
+/// Via yield: redundancy monotone, bounds respected.
+#[test]
+fn via_yield_properties() {
+    check(
+        "via_yield_properties",
+        &cfg(),
+        &(0usize..1000, 0usize..1000, 0.0f64..0.5),
+        |v| {
+            let (single, redundant, p) = *v;
+            let stats = via_model::ViaStats { single, redundant };
+            let y = via_model::via_yield(stats, p);
+            prop_assert!((0.0..=1.0).contains(&y));
+            // Converting singles to redundant pairs never lowers yield.
+            if single > 0 {
+                let improved =
+                    via_model::ViaStats { single: single - 1, redundant: redundant + 1 };
+                prop_assert!(via_model::via_yield(improved, p) >= y - 1e-12);
+            }
+            // λ is consistent with the yield to first order at small p.
+            let lambda = via_model::expected_failures(stats, p);
+            if lambda < 0.01 {
+                prop_assert!((y - (-lambda).exp()).abs() < 1e-3);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The defect survival function integrates the sampler: empirical
-    /// exceedance matches (x0/x)² within Monte-Carlo noise.
-    #[test]
-    fn sampler_matches_survival(x0 in 10i64..100, factor in 2i64..6) {
-        use rand::SeedableRng;
-        let m = DefectModel::new(x0, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let n = 20_000;
-        let threshold = x0 * factor;
-        let over = (0..n)
-            .filter(|_| m.sample_diameter(&mut rng) > threshold)
-            .count() as f64
-            / n as f64;
-        let want = m.survival(threshold);
-        prop_assert!((over - want).abs() < 0.02, "{over} vs {want}");
-    }
+/// The defect survival function integrates the sampler: empirical
+/// exceedance matches (x0/x)² within Monte-Carlo noise.
+#[test]
+fn sampler_matches_survival() {
+    check(
+        "sampler_matches_survival",
+        &cfg(),
+        &(10i64..100, 2i64..6),
+        |v| {
+            let (x0, factor) = *v;
+            let m = DefectModel::new(x0, 1.0);
+            let mut rng = dfm_rand::Rng::seed_from_u64(9);
+            let n = 20_000;
+            let threshold = x0 * factor;
+            let over = (0..n)
+                .filter(|_| m.sample_diameter(&mut rng) > threshold)
+                .count() as f64
+                / n as f64;
+            let want = m.survival(threshold);
+            prop_assert!((over - want).abs() < 0.02, "{over} vs {want}");
+            Ok(())
+        },
+    );
 }

@@ -18,6 +18,7 @@
 //! | [`dpt`] | `dfm-dpt` | double patterning |
 //! | [`timing`] | `dfm-timing` | variability-aware STA |
 //! | [`dfm`] | `dfm-core` | DFM techniques & hit-or-hype evaluator |
+//! | [`rand`] | `dfm-rand` | deterministic PRNG (hermetic, seed-everywhere) |
 
 #![forbid(unsafe_code)]
 
@@ -29,5 +30,6 @@ pub use dfm_layout as layout;
 pub use dfm_litho as litho;
 pub use dfm_opc as opc;
 pub use dfm_pattern as pattern;
+pub use dfm_rand as rand;
 pub use dfm_timing as timing;
 pub use dfm_yield as yieldsim;

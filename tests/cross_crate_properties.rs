@@ -1,14 +1,18 @@
 //! Cross-crate property-based tests: invariants that span the geometry,
-//! DRC, yield and DFM layers.
+//! DRC, yield and DFM layers (dfm-check harness).
 
+use dfm_check::{check, prop_assert, prop_assert_eq, Config, Gen};
 use dfm_practice::geom::{Rect, Region, Vector};
 use dfm_practice::layout::{layers, Cell, FlatLayout, Library, Technology};
-use proptest::prelude::*;
 
-fn arb_wires() -> impl Strategy<Value = Vec<Rect>> {
+fn cfg() -> Config {
+    Config::with_cases(32)
+}
+
+fn arb_wires() -> impl Gen<Value = Vec<Rect>> {
     // Horizontal wires on random tracks with random spans: a plausible
     // mini routing layer.
-    prop::collection::vec((0i64..12, 0i64..30, 5i64..40), 1..10).prop_map(|specs| {
+    dfm_check::vec((0i64..12, 0i64..30, 5i64..40), 1..10).prop_map(|specs| {
         specs
             .into_iter()
             .map(|(track, start, len)| {
@@ -28,25 +32,32 @@ fn flat_of(rects: &[Rect]) -> FlatLayout {
     lib.flatten(id).expect("flatten")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// DRC results are translation-invariant.
+#[test]
+fn drc_translation_invariant() {
+    check(
+        "drc_translation_invariant",
+        &cfg(),
+        &(arb_wires(), -5000i64..5000, -5000i64..5000),
+        |v| {
+            let (rects, dx, dy) = v;
+            let region = Region::from_rects(rects.iter().copied());
+            let moved = region.translated(Vector::new(*dx, *dy));
+            let a = dfm_practice::drc::spacing_violations(&region, 120);
+            let b = dfm_practice::drc::spacing_violations(&moved, 120);
+            prop_assert_eq!(a.len(), b.len());
+            let aw = dfm_practice::drc::width_violations(&region, 120);
+            let bw = dfm_practice::drc::width_violations(&moved, 120);
+            prop_assert_eq!(aw.len(), bw.len());
+            Ok(())
+        },
+    );
+}
 
-    /// DRC results are translation-invariant.
-    #[test]
-    fn drc_translation_invariant(rects in arb_wires(), dx in -5000i64..5000, dy in -5000i64..5000) {
-        let region = Region::from_rects(rects.iter().copied());
-        let moved = region.translated(Vector::new(dx, dy));
-        let a = dfm_practice::drc::spacing_violations(&region, 120);
-        let b = dfm_practice::drc::spacing_violations(&moved, 120);
-        prop_assert_eq!(a.len(), b.len());
-        let aw = dfm_practice::drc::width_violations(&region, 120);
-        let bw = dfm_practice::drc::width_violations(&moved, 120);
-        prop_assert_eq!(aw.len(), bw.len());
-    }
-
-    /// Critical area is translation-invariant and monotone under erasure.
-    #[test]
-    fn critical_area_invariants(rects in arb_wires()) {
+/// Critical area is translation-invariant and monotone under erasure.
+#[test]
+fn critical_area_invariants() {
+    check("critical_area_invariants", &cfg(), &arb_wires(), |rects| {
         let defects = dfm_practice::yieldsim::DefectModel::new(45, 1.0);
         let region = Region::from_rects(rects.iter().copied());
         let ca = dfm_practice::yieldsim::critical_area::analyze(&region, &defects);
@@ -63,14 +74,17 @@ proptest! {
             let ca3 = dfm_practice::yieldsim::critical_area::analyze(&fewer, &defects);
             prop_assert!(ca3.short_ca_nm2 <= ca.short_ca_nm2 + 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Wire widening is additive, deterministic, and never creates
-    /// spacing violations that were not already present.
-    #[test]
-    fn widening_is_safe(rects in arb_wires()) {
+/// Wire widening is additive, deterministic, and never creates
+/// spacing violations that were not already present.
+#[test]
+fn widening_is_safe() {
+    check("widening_is_safe", &cfg(), &arb_wires(), |rects| {
         let tech = Technology::n65();
-        let flat = flat_of(&rects);
+        let flat = flat_of(rects);
         let before_region = flat.region(layers::METAL1);
         let min_space = tech.rules(layers::METAL1).min_space;
         let before = dfm_practice::drc::spacing_violations(&before_region, min_space).len();
@@ -88,12 +102,15 @@ proptest! {
 
         let out2 = w.apply(&flat, &tech);
         prop_assert_eq!(after_region, out2.layout.region(layers::METAL1));
-    }
+        Ok(())
+    });
+}
 
-    /// DPT decomposition always preserves geometry and produces
-    /// non-overlapping masks, regardless of input.
-    #[test]
-    fn dpt_partition_invariant(rects in arb_wires()) {
+/// DPT decomposition always preserves geometry and produces
+/// non-overlapping masks, regardless of input.
+#[test]
+fn dpt_partition_invariant() {
+    check("dpt_partition_invariant", &cfg(), &arb_wires(), |rects| {
         let layer = Region::from_rects(rects.iter().copied());
         let d = dfm_practice::dpt::decompose(&layer, dfm_practice::dpt::DptParams::default());
         prop_assert!(d.mask_a.intersection(&d.mask_b).area() <= layer.area());
@@ -103,22 +120,29 @@ proptest! {
         if d.conflicts.is_empty() {
             prop_assert_eq!(union, layer);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Pattern encode/match round-trip: a clip always matches itself and
-    /// its own translation.
-    #[test]
-    fn pattern_self_match(rects in arb_wires(), shift in 0i64..5000) {
-        let region = Region::from_rects(rects.iter().copied());
-        let anchor = region.bbox().center();
-        let mut lib: dfm_practice::pattern::PatternLibrary<()> =
-            dfm_practice::pattern::PatternLibrary::new(600, 10, 5);
-        lib.learn(&[&region], anchor, ());
-        let moved = region.translated(Vector::new(shift, 0));
-        let matches = lib.scan(
-            &[&moved],
-            &[anchor + Vector::new(shift, 0)],
-        );
-        prop_assert_eq!(matches.len(), 1);
-    }
+/// Pattern encode/match round-trip: a clip always matches itself and
+/// its own translation.
+#[test]
+fn pattern_self_match() {
+    check(
+        "pattern_self_match",
+        &cfg(),
+        &(arb_wires(), 0i64..5000),
+        |v| {
+            let (rects, shift) = v;
+            let region = Region::from_rects(rects.iter().copied());
+            let anchor = region.bbox().center();
+            let mut lib: dfm_practice::pattern::PatternLibrary<()> =
+                dfm_practice::pattern::PatternLibrary::new(600, 10, 5);
+            lib.learn(&[&region], anchor, ());
+            let moved = region.translated(Vector::new(*shift, 0));
+            let matches = lib.scan(&[&moved], &[anchor + Vector::new(*shift, 0)]);
+            prop_assert_eq!(matches.len(), 1);
+            Ok(())
+        },
+    );
 }
