@@ -22,11 +22,19 @@ if [[ -n "$non_path" ]]; then
 fi
 echo "ok"
 
+echo "== lint (clippy, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== test (offline) =="
-cargo test -q --offline
+echo "== test (offline, DFM_THREADS=1) =="
+DFM_THREADS=1 cargo test -q --offline
+
+echo "== test (offline, DFM_THREADS=4) =="
+# Same suite under a parallel pool: the determinism contract says the
+# results — including every golden digest — must not change.
+DFM_THREADS=4 cargo test -q --offline
 
 echo "== benches compile (offline) =="
 cargo bench --no-run --offline

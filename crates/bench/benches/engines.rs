@@ -39,6 +39,26 @@ fn bench_drc(b: &mut Bencher) {
     });
 }
 
+/// Full rule-deck signoff run: rule fan-out + chunked edge sweeps, the
+/// DRC-layer beneficiary of `dfm-par`.
+fn bench_drc_full_deck(b: &mut Bencher) {
+    let tech = Technology::n65();
+    let lib = dfm_layout::generate::routed_block(
+        &tech,
+        dfm_layout::generate::RoutedBlockParams {
+            width: 15_000,
+            height: 15_000,
+            ..Default::default()
+        },
+        8,
+    );
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let deck = dfm_drc::RuleDeck::for_technology(&tech);
+    b.bench("drc_full_deck", || {
+        dfm_drc::DrcEngine::new(&deck).run(black_box(&flat)).violation_count()
+    });
+}
+
 /// Critical-area extraction (Table 1 / Table 7).
 fn bench_caa(b: &mut Bencher) {
     let region = routed_m1(4);
@@ -70,6 +90,26 @@ fn bench_pattern_match(b: &mut Bencher) {
     let anchors: Vec<Point> = region.rects().iter().map(|r| r.center()).take(512).collect();
     b.bench("pattern_scan_512_anchors", || {
         library.scan(black_box(&[&region]), &anchors).len()
+    });
+}
+
+/// Stratified Monte-Carlo critical-area sampling (E12 substrate): the
+/// per-stratum fork-join in `dfm-yield`.
+fn bench_mc_short_ca(b: &mut Bencher) {
+    let region = routed_m1(9);
+    let defects = dfm_yield::DefectModel::new(45, 1.0);
+    b.bench("mc_short_ca_20k", || {
+        dfm_yield::monte_carlo::estimate_short_ca(black_box(&region), &defects, 20_000, 7)
+            .short_ca_nm2
+    });
+}
+
+/// Timing Monte-Carlo gate-length sampling (E7 substrate): the chunked
+/// per-gate RNG streams in `dfm-timing`.
+fn bench_timing_mc(b: &mut Bencher) {
+    let netlist = dfm_timing::Netlist::random(12, 16, 707);
+    b.bench("timing_mc_extract", || {
+        dfm_timing::extract::monte_carlo(black_box(&netlist), 0.04, 7).len()
     });
 }
 
@@ -128,9 +168,12 @@ fn main() {
     let mut b = Bencher::from_env();
     bench_region_boolean(&mut b);
     bench_drc(&mut b);
+    bench_drc_full_deck(&mut b);
     bench_caa(&mut b);
     bench_litho(&mut b);
     bench_pattern_match(&mut b);
+    bench_mc_short_ca(&mut b);
+    bench_timing_mc(&mut b);
     bench_dpt(&mut b);
     bench_index_ablation(&mut b);
     bench_conv_ablation(&mut b);

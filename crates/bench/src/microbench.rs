@@ -37,6 +37,9 @@ pub struct Sample {
     pub iters_per_sample: u64,
     /// Number of timed samples taken.
     pub samples: usize,
+    /// Worker threads in effect while the bench ran (the resolved
+    /// `DFM_THREADS`), so speedup claims are recorded, not hand-asserted.
+    pub threads: usize,
 }
 
 /// Benchmark runner: collects [`Sample`]s, prints a human-readable
@@ -114,6 +117,7 @@ impl Bencher {
             max_ns: per_iter[per_iter.len() - 1],
             iters_per_sample: iters,
             samples: per_iter.len(),
+            threads: dfm_par::thread_count(),
         };
         println!(
             "{name:<32} median {:>12}  (min {}, max {}, {} iters x {} samples)",
@@ -140,8 +144,9 @@ impl Bencher {
             }
             out.push_str(&format!(
                 "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
-                s.name, s.median_ns, s.min_ns, s.max_ns, s.iters_per_sample, s.samples
+                 \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"threads\": {}}}",
+                s.name, s.median_ns, s.min_ns, s.max_ns, s.iters_per_sample, s.samples, s.threads
             ));
         }
         out.push_str("\n]\n");
@@ -215,5 +220,13 @@ mod tests {
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(json.matches("\"name\"").count(), 2);
         assert!(json.contains("\"median_ns\""));
+        assert_eq!(json.matches("\"threads\"").count(), 2);
+    }
+
+    #[test]
+    fn sample_records_effective_thread_count() {
+        let mut b = quick();
+        dfm_par::with_threads(3, || b.bench("threaded", || 1));
+        assert_eq!(b.results()[0].threads, 3);
     }
 }

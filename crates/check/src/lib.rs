@@ -223,7 +223,7 @@ impl<G: Gen> Gen for VecGen<G> {
             }
             // Remove single elements.
             for i in 0..v.len() {
-                if v.len() - 1 >= min {
+                if v.len() > min {
                     let mut c = v.clone();
                     c.remove(i);
                     out.push(c);

@@ -1,7 +1,7 @@
 //! Redundant-via insertion (experiment E2).
 
 use crate::{AppliedResult, DfmTechnique};
-use dfm_geom::{GridIndex, Rect, Region, Vector};
+use dfm_geom::{GridIndex, Rect, Region, Searcher, Vector};
 use dfm_layout::{layers, FlatLayout, Technology};
 use dfm_yield::via_model;
 
@@ -68,8 +68,12 @@ impl DfmTechnique for RedundantViaInsertion {
         };
         let m1_ix = comp_index(&m1_comps);
         let m2_ix = comp_index(&m2_comps);
-        let owner = |ix: &GridIndex<usize>, probe: Rect| -> Option<usize> {
-            ix.query(probe).first().map(|&&ci| ci)
+        // Reusable searchers: these indexes are immutable for the rest
+        // of the pass (cut/pad indexes grow, so they use cold queries).
+        let mut m1_s = m1_ix.searcher();
+        let mut m2_s = m2_ix.searcher();
+        let owner = |s: &mut Searcher<'_, usize>, probe: Rect| -> Option<usize> {
+            s.query(probe).first().map(|&&ci| ci)
         };
 
         // Existing + added cuts, indexed for spacing checks.
@@ -93,8 +97,8 @@ impl DfmTechnique for RedundantViaInsertion {
 
         'via: for v in singles {
             let c = v.center();
-            let own1 = owner(&m1_ix, v);
-            let own2 = owner(&m2_ix, v);
+            let own1 = owner(&mut m1_s, v);
+            let own2 = owner(&mut m2_s, v);
             for dir in [
                 Vector::new(step, 0),
                 Vector::new(-step, 0),
@@ -143,11 +147,11 @@ impl DfmTechnique for RedundantViaInsertion {
                 }
                 let strap = tech.via_pad_at(c).bounding_union(&pad);
                 let danger = strap.expanded(metal_space);
-                let m1_ok = m1_ix
+                let m1_ok = m1_s
                     .query(danger)
                     .iter()
                     .all(|&&ci| Some(ci) == own1);
-                let m2_ok = m2_ix
+                let m2_ok = m2_s
                     .query(danger)
                     .iter()
                     .all(|&&ci| Some(ci) == own2);
@@ -196,11 +200,12 @@ fn singles_of(vias: &Region, pair_distance: i64) -> Vec<Rect> {
     for (i, r) in rects.iter().enumerate() {
         ix.insert(*r, i);
     }
+    let mut searcher = ix.searcher();
     rects
         .iter()
         .enumerate()
         .filter(|(i, r)| {
-            !ix.query_with_rects(r.expanded(pair_distance)).iter().any(|(o, &j)| {
+            !searcher.query_with_rects(r.expanded(pair_distance)).iter().any(|(o, &j)| {
                 if j == *i {
                     return false;
                 }

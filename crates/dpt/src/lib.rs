@@ -363,7 +363,7 @@ pub mod multi {
     /// Returns one colour per node, `None` marking nodes that could not
     /// be coloured within `k` colours.
     pub fn color_k(n: usize, edges: &[(usize, usize)], k: usize) -> Vec<Option<u8>> {
-        assert!(k >= 1 && k <= 8, "1..=8 masks supported");
+        assert!((1..=8).contains(&k), "1..=8 masks supported");
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(a, b) in edges {
             adj[a].push(b);
@@ -387,7 +387,7 @@ pub mod multi {
                 }
                 let sat = seen.iter().filter(|&&s| s).count();
                 let key = (sat, adj[v].len(), usize::MAX - v);
-                if best.map_or(true, |(s, d, i)| key > (s, d, i)) {
+                if best.is_none_or(|(s, d, i)| key > (s, d, i)) {
                     best = Some(key);
                 }
             }

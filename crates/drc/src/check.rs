@@ -19,14 +19,25 @@ impl<'a> DrcEngine<'a> {
     }
 
     /// Runs every rule in the deck, returning the combined report.
+    ///
+    /// Rules are checked in parallel (`DFM_THREADS`) and the per-rule
+    /// results merged in deck order, so the report is bit-identical at
+    /// any thread count.
     pub fn run(&self, flat: &FlatLayout) -> DrcReport {
+        let per_rule = dfm_par::par_map(self.deck.rules(), |_, rule| check_rule(rule, flat));
         let mut report = DrcReport::new();
-        for rule in self.deck.rules() {
-            report.extend(check_rule(rule, flat));
+        for violations in per_rule {
+            report.extend(violations);
         }
         report
     }
 }
+
+/// Edges per work chunk in the parallel sweeps. Chunk boundaries depend
+/// only on this constant, never on the thread count, and per-chunk
+/// outputs are concatenated in chunk order — the sweep output is the
+/// sequential output at any `DFM_THREADS`.
+const EDGE_CHUNK: usize = 256;
 
 /// Checks a single rule against a flattened layout.
 pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
@@ -46,11 +57,14 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
             let near = from_r.bloated(*value).intersection(&to_r);
             near.connected_components()
                 .into_iter()
-                .map(|c| Violation {
-                    rule: id.clone(),
-                    location: c.bbox(),
-                    actual: -1, // exact separation not individually measured
-                    limit: *value,
+                .map(|c| {
+                    let from_local = from_r.interacting(&c.bloated(*value));
+                    Violation {
+                        rule: id.clone(),
+                        location: c.bbox(),
+                        actual: min_separation(&from_local, &c, *value),
+                        limit: *value,
+                    }
                 })
                 .collect()
         }
@@ -59,7 +73,7 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
             let outer_r = flat.region(*outer);
             enclosure_violations(&inner_r, &outer_r, *value)
                 .into_iter()
-                .map(|location| Violation { rule: id.clone(), location, actual: -1, limit: *value })
+                .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
                 .collect()
         }
         Rule::MinArea { layer, value } => flat
@@ -78,7 +92,7 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
             let region = flat.region(*layer);
             wide_space_violations(&region, *wide_width, *space)
                 .into_iter()
-                .map(|location| Violation { rule: id.clone(), location, actual: -1, limit: *space })
+                .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *space })
                 .collect()
         }
         Rule::Density { layer, window, min, max } => {
@@ -86,16 +100,48 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
                 .into_iter()
                 .map(|(location, density)| {
                     let limit = if density < *min { *min } else { *max };
+                    // Round half-to-even: `as i64` truncation made a
+                    // limit like 0.3 misreport as 299999 ppm.
                     Violation {
                         rule: id.clone(),
                         location,
-                        actual: (density * 1e6) as i64,
-                        limit: (limit * 1e6) as i64,
+                        actual: (density * 1e6).round_ties_even() as i64,
+                        limit: (limit * 1e6).round_ties_even() as i64,
                     }
                 })
                 .collect()
         }
     }
+}
+
+/// Smallest Chebyshev (per-axis) separation between `a` and `b`, given
+/// that they are known to come within `max` of each other. Returns 0
+/// when the regions overlap or touch.
+///
+/// Binary search on the bloat radius: `a.bloated(k)` gains area overlap
+/// with `b` exactly when `k` exceeds the true gap, so the smallest such
+/// `k` minus one is the separation.
+fn min_separation(a: &Region, b: &Region, max: i64) -> i64 {
+    if a.is_empty() || b.is_empty() {
+        return max;
+    }
+    if !a.intersection(b).is_empty() {
+        return 0;
+    }
+    // Invariant: a.bloated(hi) overlaps b, a.bloated(lo) does not.
+    let (mut lo, mut hi) = (0i64, max);
+    if a.bloated(hi).intersection(b).is_empty() {
+        return max;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if a.bloated(mid).intersection(b).is_empty() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi - 1
 }
 
 /// A pair of facing boundary edges: the measured distance between them
@@ -151,6 +197,11 @@ pub fn spacing_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
 
 /// Shared edge-pair sweep. `interior_between` selects width mode (the
 /// strip between the edges is interior) versus spacing mode (exterior).
+///
+/// Both directional sweeps run chunk-parallel: the edge list is split
+/// into fixed [`EDGE_CHUNK`] pieces, each chunk probes a shared
+/// [`GridIndex`] through its own [`dfm_geom::Searcher`], and per-chunk
+/// hits are concatenated in chunk order.
 fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> Vec<FacingPair> {
     let mut out = Vec::new();
     if region.is_empty() || value <= 0 {
@@ -164,39 +215,45 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
         for (i, e) in edges.vertical.iter().enumerate() {
             index.insert(Rect { x0: e.x, y0: e.y0, x1: e.x, y1: e.y1 }, i);
         }
-        for a in edges.vertical.iter() {
-            // Left edge of the pair: interior to the right for width,
-            // interior to the left (exterior to the right) for spacing.
-            if a.interior_right != interior_between {
-                continue;
-            }
-            let window = Rect { x0: a.x + 1, y0: a.y0, x1: a.x + value - 1, y1: a.y1 };
-            if window.x0 > window.x1 {
-                continue;
-            }
-            for &&bi in index.query(window).iter() {
-                let b = edges.vertical[bi];
-                if b.interior_right == a.interior_right {
+        let chunks = dfm_par::par_chunks(&edges.vertical, EDGE_CHUNK, |_, chunk| {
+            let mut searcher = index.searcher();
+            let mut hits = Vec::new();
+            for a in chunk {
+                // Left edge of the pair: interior to the right for width,
+                // interior to the left (exterior to the right) for spacing.
+                if a.interior_right != interior_between {
                     continue;
                 }
-                if b.x <= a.x || b.x - a.x >= value {
+                let window = Rect { x0: a.x + 1, y0: a.y0, x1: a.x + value - 1, y1: a.y1 };
+                if window.x0 > window.x1 {
                     continue;
                 }
-                let ylo = a.y0.max(b.y0);
-                let yhi = a.y1.min(b.y1);
-                if ylo >= yhi {
-                    continue;
-                }
-                let mid = Point::new(a.x + (b.x - a.x) / 2, ylo + (yhi - ylo) / 2);
-                if region.contains_point(mid) == interior_between {
-                    out.push(FacingPair {
-                        distance: b.x - a.x,
-                        length: yhi - ylo,
-                        location: Rect::new(a.x, ylo, b.x, yhi),
-                    });
+                for &&bi in searcher.query(window).iter() {
+                    let b = edges.vertical[bi];
+                    if b.interior_right == a.interior_right {
+                        continue;
+                    }
+                    if b.x <= a.x || b.x - a.x >= value {
+                        continue;
+                    }
+                    let ylo = a.y0.max(b.y0);
+                    let yhi = a.y1.min(b.y1);
+                    if ylo >= yhi {
+                        continue;
+                    }
+                    let mid = Point::new(a.x + (b.x - a.x) / 2, ylo + (yhi - ylo) / 2);
+                    if region.contains_point(mid) == interior_between {
+                        hits.push(FacingPair {
+                            distance: b.x - a.x,
+                            length: yhi - ylo,
+                            location: Rect::new(a.x, ylo, b.x, yhi),
+                        });
+                    }
                 }
             }
-        }
+            hits
+        });
+        out.extend(chunks.into_iter().flatten());
     }
 
     // Horizontal edge pairs (check along y).
@@ -205,37 +262,43 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
         for (i, e) in edges.horizontal.iter().enumerate() {
             index.insert(Rect { x0: e.x0, y0: e.y, x1: e.x1, y1: e.y }, i);
         }
-        for a in edges.horizontal.iter() {
-            if a.interior_up != interior_between {
-                continue;
-            }
-            let window = Rect { x0: a.x0, y0: a.y + 1, x1: a.x1, y1: a.y + value - 1 };
-            if window.y0 > window.y1 {
-                continue;
-            }
-            for &&bi in index.query(window).iter() {
-                let b = edges.horizontal[bi];
-                if b.interior_up == a.interior_up {
+        let chunks = dfm_par::par_chunks(&edges.horizontal, EDGE_CHUNK, |_, chunk| {
+            let mut searcher = index.searcher();
+            let mut hits = Vec::new();
+            for a in chunk {
+                if a.interior_up != interior_between {
                     continue;
                 }
-                if b.y <= a.y || b.y - a.y >= value {
+                let window = Rect { x0: a.x0, y0: a.y + 1, x1: a.x1, y1: a.y + value - 1 };
+                if window.y0 > window.y1 {
                     continue;
                 }
-                let xlo = a.x0.max(b.x0);
-                let xhi = a.x1.min(b.x1);
-                if xlo >= xhi {
-                    continue;
-                }
-                let mid = Point::new(xlo + (xhi - xlo) / 2, a.y + (b.y - a.y) / 2);
-                if region.contains_point(mid) == interior_between {
-                    out.push(FacingPair {
-                        distance: b.y - a.y,
-                        length: xhi - xlo,
-                        location: Rect::new(xlo, a.y, xhi, b.y),
-                    });
+                for &&bi in searcher.query(window).iter() {
+                    let b = edges.horizontal[bi];
+                    if b.interior_up == a.interior_up {
+                        continue;
+                    }
+                    if b.y <= a.y || b.y - a.y >= value {
+                        continue;
+                    }
+                    let xlo = a.x0.max(b.x0);
+                    let xhi = a.x1.min(b.x1);
+                    if xlo >= xhi {
+                        continue;
+                    }
+                    let mid = Point::new(xlo + (xhi - xlo) / 2, a.y + (b.y - a.y) / 2);
+                    if region.contains_point(mid) == interior_between {
+                        hits.push(FacingPair {
+                            distance: b.y - a.y,
+                            length: xhi - xlo,
+                            location: Rect::new(xlo, a.y, xhi, b.y),
+                        });
+                    }
                 }
             }
-        }
+            hits
+        });
+        out.extend(chunks.into_iter().flatten());
     }
     out
 }
@@ -253,27 +316,34 @@ fn corner_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
         index.insert(*r, i);
     }
     let v2 = value as i128 * value as i128;
-    for (i, r) in rects.iter().enumerate() {
-        for &&j in index.query(r.expanded(value)).iter() {
-            if j <= i {
-                continue;
-            }
-            let o = rects[j];
-            let (dx, dy) = r.gap(&o);
-            if dx > 0 && dy > 0 {
-                let d2 = dx as i128 * dx as i128 + dy as i128 * dy as i128;
-                if d2 < v2 {
-                    // Gap box between the nearest corners.
-                    let gx0 = if r.x1 < o.x0 { r.x1 } else { o.x1 };
-                    let gx1 = if r.x1 < o.x0 { o.x0 } else { r.x0 };
-                    let gy0 = if r.y1 < o.y0 { r.y1 } else { o.y1 };
-                    let gy1 = if r.y1 < o.y0 { o.y0 } else { r.y0 };
-                    let dist = (d2 as f64).sqrt().floor() as i64;
-                    out.push((Rect::new(gx0, gy0, gx1, gy1), dist));
+    let chunks = dfm_par::par_chunks(rects, EDGE_CHUNK, |ci, chunk| {
+        let mut searcher = index.searcher();
+        let mut hits = Vec::new();
+        for (k, r) in chunk.iter().enumerate() {
+            let i = ci * EDGE_CHUNK + k;
+            for &&j in searcher.query(r.expanded(value)).iter() {
+                if j <= i {
+                    continue;
+                }
+                let o = rects[j];
+                let (dx, dy) = r.gap(&o);
+                if dx > 0 && dy > 0 {
+                    let d2 = dx as i128 * dx as i128 + dy as i128 * dy as i128;
+                    if d2 < v2 {
+                        // Gap box between the nearest corners.
+                        let gx0 = if r.x1 < o.x0 { r.x1 } else { o.x1 };
+                        let gx1 = if r.x1 < o.x0 { o.x0 } else { r.x0 };
+                        let gy0 = if r.y1 < o.y0 { r.y1 } else { o.y1 };
+                        let gy1 = if r.y1 < o.y0 { o.y0 } else { r.y0 };
+                        let dist = (d2 as f64).sqrt().floor() as i64;
+                        hits.push((Rect::new(gx0, gy0, gx1, gy1), dist));
+                    }
                 }
             }
         }
-    }
+        hits
+    });
+    out.extend(chunks.into_iter().flatten());
     out
 }
 
@@ -281,7 +351,10 @@ fn corner_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
 /// Width-dependent ("fat wire") spacing: regions of the layer closer
 /// than `space` to a feature that is at least `wide_width` across in
 /// both axes (excluding the wide feature's own connected component).
-pub fn wide_space_violations(region: &Region, wide_width: i64, space: i64) -> Vec<Rect> {
+///
+/// Returns `(violation_box, measured_separation)` pairs: the real worst
+/// separation between the wide feature and the offending neighbour.
+pub fn wide_space_violations(region: &Region, wide_width: i64, space: i64) -> Vec<(Rect, i64)> {
     let wide = region.opened(wide_width / 2);
     if wide.is_empty() {
         return Vec::new();
@@ -294,13 +367,20 @@ pub fn wide_space_violations(region: &Region, wide_width: i64, space: i64) -> Ve
         }
         let others = region.difference(&comp);
         let near = wide_part.bloated(space).intersection(&others);
-        out.extend(near.connected_components().into_iter().map(|c| c.bbox()));
+        out.extend(near.connected_components().into_iter().map(|c| {
+            let wide_local = wide_part.interacting(&c.bloated(space));
+            (c.bbox(), min_separation(&wide_local, &c, space))
+        }));
     }
     out
 }
 
 /// Regions where `inner` is not enclosed by `outer` with margin `value`.
-pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<Rect> {
+///
+/// Returns `(violation_box, measured_margin)` pairs: the real worst
+/// enclosure margin of the offending inner shapes (0 when the inner
+/// shape pokes out of `outer` entirely).
+pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<(Rect, i64)> {
     if inner.is_empty() {
         return Vec::new();
     }
@@ -309,8 +389,35 @@ pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<R
         .difference(&safe)
         .connected_components()
         .into_iter()
-        .map(|c| c.bbox())
+        .map(|c| {
+            let inner_local = inner.interacting(&c);
+            let outer_local = outer.interacting(&inner_local);
+            (c.bbox(), enclosure_margin(&inner_local, &outer_local, value))
+        })
         .collect()
+}
+
+/// Largest margin `k < value` such that `inner` stays inside
+/// `outer.shrunk(k)` — the measured enclosure at a violation site.
+fn enclosure_margin(inner: &Region, outer: &Region, value: i64) -> i64 {
+    if inner.is_empty() {
+        return value;
+    }
+    if !inner.difference(outer).is_empty() {
+        return 0;
+    }
+    // Invariant: margin lo holds, margin hi does not (the caller only
+    // asks at violation sites, where `value` fails).
+    let (mut lo, mut hi) = (0i64, value);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if inner.difference(&outer.shrunk(mid)).is_empty() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// Stepped-window density analysis: windows whose metal density falls
@@ -462,6 +569,7 @@ mod tests {
         assert!(spacing_violations(&region, 90).is_empty());
         let v = wide_space_violations(&region, 270, 135);
         assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].1, 120, "measured wide-space separation");
         // Narrow-only layout never fires the wide rule.
         let thin = Region::from_rects([
             Rect::new(0, 0, 3000, 90),
@@ -499,6 +607,72 @@ mod tests {
         let metal_bad = Region::from_rect(Rect::new(80, 60, 230, 230)); // 20 on left
         let v = enclosure_violations(&via, &metal_bad, 40);
         assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 20, "measured enclosure margin");
+        // Inner poking fully outside the outer: zero margin.
+        let outside = Region::from_rect(Rect::new(500, 500, 590, 590));
+        let v = enclosure_violations(&outside, &metal_bad, 40);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 0);
+    }
+
+    #[test]
+    fn min_space_to_measures_real_separation() {
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("TOP");
+        c.add_rect(layers::METAL1, Rect::new(0, 0, 100, 100));
+        c.add_rect(layers::METAL2, Rect::new(130, 0, 230, 100)); // 30 gap
+        let id = lib.add_cell(c).expect("add");
+        let flat = lib.flatten(id).expect("flatten");
+        let deck = RuleDeck::new().with(Rule::MinSpaceTo {
+            from: layers::METAL1,
+            to: layers::METAL2,
+            value: 50,
+        });
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert_eq!(report.violation_count(), 1);
+        let v = &report.violations()[0];
+        assert_eq!(v.actual, 30, "measured cross-layer separation");
+        assert_eq!(v.limit, 50);
+    }
+
+    #[test]
+    fn density_ppm_rounds_half_to_even() {
+        // 0.3 × 1e6 lands just below 300000.0 in f64; truncation used
+        // to report the limit as 299999 ppm. The far sliver stretches
+        // the extent so the single window covers [0,1000]².
+        let flat = flat_with(
+            layers::METAL1,
+            &[Rect::new(0, 0, 250, 1000), Rect::new(999, 999, 1000, 1000)],
+        );
+        let deck = RuleDeck::new().with(Rule::Density {
+            layer: layers::METAL1,
+            window: 1000,
+            min: 0.3,
+            max: 0.9,
+        });
+        let report = DrcEngine::new(&deck).run(&flat);
+        assert_eq!(report.violation_count(), 1);
+        let v = &report.violations()[0];
+        assert_eq!(v.limit, 300_000, "ppm limit must round, not truncate");
+        assert_eq!(v.actual, 250_001, "measured ppm density");
+    }
+
+    #[test]
+    fn engine_report_identical_across_thread_counts() {
+        let tech = Technology::n65();
+        let lib = dfm_layout::generate::routed_block(
+            &tech,
+            dfm_layout::generate::RoutedBlockParams::default(),
+            7,
+        );
+        let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+        let deck = RuleDeck::for_technology(&tech);
+        let run = || DrcEngine::new(&deck).run(&flat);
+        let seq = dfm_par::with_threads(1, run);
+        let two = dfm_par::with_threads(2, run);
+        let eight = dfm_par::with_threads(8, run);
+        assert_eq!(seq, two);
+        assert_eq!(seq, eight);
     }
 
     #[test]

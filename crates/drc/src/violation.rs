@@ -11,7 +11,9 @@ pub struct Violation {
     pub rule: String,
     /// Marker rectangle locating the violation.
     pub location: Rect,
-    /// The measured value (width, spacing, area, density×1000…).
+    /// The measured value (width, spacing, enclosure margin, area,
+    /// density in ppm…). Always a real measurement of the violating
+    /// geometry, never a sentinel.
     pub actual: i64,
     /// The rule limit in the same unit.
     pub limit: i64,
@@ -19,9 +21,12 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Density-max violations exceed their limit; everything else
+        // falls short of it. Print the applicable direction.
+        let relation = if self.actual > self.limit { ">" } else { "<" };
         write!(
             f,
-            "{} at {}: {} < {}",
+            "{} at {}: {} {relation} {}",
             self.rule, self.location, self.actual, self.limit
         )
     }

@@ -74,26 +74,96 @@ impl<T> GridIndex<T> {
 
     /// Returns payload references for every item whose rectangle touches
     /// `window` (shared boundary counts), in insertion order.
+    ///
+    /// Cold-path convenience: allocates a fresh [`Searcher`] per call.
+    /// Loops issuing many queries should hold a reusable searcher
+    /// instead ([`searcher`](GridIndex::searcher)).
     pub fn query(&self, window: Rect) -> Vec<&T> {
-        self.query_with_rects(window).into_iter().map(|(_, v)| v).collect()
+        self.searcher().query(window)
     }
 
     /// Like [`query`](GridIndex::query) but also returns the stored rects.
     pub fn query_with_rects(&self, window: Rect) -> Vec<(Rect, &T)> {
-        let (cx0, cy0, cx1, cy1) = self.cell_range(window);
+        self.searcher().query_with_rects(window)
+    }
+
+    /// Creates a reusable query handle whose generation-stamp visited
+    /// array amortises candidate deduplication to O(k) per query — the
+    /// hot path for DRC sweeps and Monte-Carlo inner loops. Each thread
+    /// gets its own searcher; the index itself stays shared and
+    /// immutable.
+    pub fn searcher(&self) -> Searcher<'_, T> {
+        Searcher {
+            index: self,
+            stamps: vec![0; self.items.len()],
+            generation: 0,
+        }
+    }
+
+    /// Iterates over all `(rect, value)` items in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Rect, T)> {
+        self.items.iter()
+    }
+}
+
+/// Reusable query handle for a [`GridIndex`].
+///
+/// Deduplicates candidate ids with a generation-stamped visited array
+/// instead of the sort+dedup the index used to perform on every query:
+/// an id is a duplicate iff its stamp equals the current query
+/// generation, so dedup costs one array probe per candidate. Results
+/// are still returned in insertion order — bucket lists are ascending
+/// by construction, so a single-bucket query needs no ordering work at
+/// all, and a multi-bucket query sorts only the already-unique
+/// survivors.
+pub struct Searcher<'a, T> {
+    index: &'a GridIndex<T>,
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl<'a, T> Searcher<'a, T> {
+    /// Payloads of every item touching `window`, insertion order.
+    pub fn query(&mut self, window: Rect) -> Vec<&'a T> {
+        self.query_with_rects(window).into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Like [`query`](Searcher::query) but also returns the stored rects.
+    pub fn query_with_rects(&mut self, window: Rect) -> Vec<(Rect, &'a T)> {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Wraparound: clear stale stamps so generation 1 is fresh.
+                self.stamps.fill(0);
+                1
+            }
+        };
+        let generation = self.generation;
+        let index = self.index;
+        let (cx0, cy0, cx1, cy1) = index.cell_range(window);
         let mut ids: Vec<usize> = Vec::new();
+        let mut buckets_hit = 0usize;
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
-                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
-                    ids.extend_from_slice(bucket);
+                if let Some(bucket) = index.buckets.get(&(cx, cy)) {
+                    buckets_hit += 1;
+                    for &id in bucket {
+                        if self.stamps[id] != generation {
+                            self.stamps[id] = generation;
+                            ids.push(id);
+                        }
+                    }
                 }
             }
         }
-        ids.sort_unstable();
-        ids.dedup();
+        // Each bucket is ascending, so one bucket is already insertion
+        // order; only a multi-bucket merge needs sorting (of unique ids).
+        if buckets_hit > 1 {
+            ids.sort_unstable();
+        }
         ids.into_iter()
             .filter_map(|id| {
-                let (r, v) = &self.items[id];
+                let (r, v) = &index.items[id];
                 if r.touches(&window) {
                     Some((*r, v))
                 } else {
@@ -101,11 +171,6 @@ impl<T> GridIndex<T> {
                 }
             })
             .collect()
-    }
-
-    /// Iterates over all `(rect, value)` items in insertion order.
-    pub fn iter(&self) -> std::slice::Iter<'_, (Rect, T)> {
-        self.items.iter()
     }
 }
 

@@ -97,7 +97,7 @@ impl IntervalSet {
             return;
         }
         // Fast path: append at the end.
-        if self.ivs.last().map_or(true, |l| l.hi < iv.lo) {
+        if self.ivs.last().is_none_or(|l| l.hi < iv.lo) {
             self.ivs.push(iv);
             return;
         }

@@ -46,7 +46,7 @@ pub mod trace;
 mod transform;
 
 pub use edge::{BoundaryEdges, HEdge, VEdge};
-pub use index::GridIndex;
+pub use index::{GridIndex, Searcher};
 pub use interval::{Interval, IntervalSet};
 pub use point::{Point, Vector};
 pub use polygon::{Polygon, ValidatePolygonError};

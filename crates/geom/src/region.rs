@@ -435,9 +435,10 @@ impl Region {
         // `other`.
         let comps = self.connected_components();
         let mut keep: Vec<Rect> = Vec::new();
+        let mut searcher = index.searcher();
         for comp in comps {
             let hits = comp.rects().iter().any(|r| {
-                index
+                searcher
                     .query_with_rects(*r)
                     .iter()
                     .any(|(o, _)| o.touches(r))
@@ -494,7 +495,7 @@ impl Region {
         // Union-find over rect indices; use the grid index for neighbour
         // candidate generation.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        fn find(parent: &mut [usize], i: usize) -> usize {
             let mut root = i;
             while parent[root] != root {
                 root = parent[root];
@@ -513,8 +514,9 @@ impl Region {
         for (i, r) in self.rects.iter().enumerate() {
             index.insert(*r, i);
         }
+        let mut searcher = index.searcher();
         for (i, r) in self.rects.iter().enumerate() {
-            for &&j in index.query(r.expanded(1)).iter() {
+            for &&j in searcher.query(r.expanded(1)).iter() {
                 if j > i && self.rects[j].touches(r) {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {

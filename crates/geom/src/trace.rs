@@ -172,7 +172,7 @@ mod tests {
         let loops = boundary_loops(&r);
         assert_eq!(loops.len(), 1);
         assert_eq!(loops[0].vertex_count(), 6);
-        assert_eq!(signed_area(&loops[0]), r.area() as i128);
+        assert_eq!(signed_area(&loops[0]), r.area());
     }
 
     #[test]
@@ -187,7 +187,7 @@ mod tests {
         // Even-odd reconstruction: outer − hole = donut.
         assert_eq!(
             signed_area(&loops[0]) + signed_area(&loops[1]),
-            donut.area() as i128
+            donut.area()
         );
     }
 
@@ -200,7 +200,7 @@ mod tests {
         let loops = boundary_loops(&r);
         assert_eq!(loops.len(), 2);
         let total: i128 = loops.iter().map(signed_area).sum();
-        assert_eq!(total, r.area() as i128);
+        assert_eq!(total, r.area());
     }
 
     #[test]
@@ -230,7 +230,7 @@ mod tests {
         ]);
         let loops = boundary_loops(&r);
         let total: i128 = loops.iter().map(signed_area).sum();
-        assert_eq!(total, r.area() as i128);
+        assert_eq!(total, r.area());
         assert_eq!(loops.len(), 2);
     }
 

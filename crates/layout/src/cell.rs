@@ -253,8 +253,8 @@ impl fmt::Display for Cell {
 
 /// Validation helper shared with [`crate::Library`]: checks a cell's refs
 /// against a name-resolution function.
-pub(crate) fn check_refs<'a>(
-    cell: &'a Cell,
+pub(crate) fn check_refs(
+    cell: &Cell,
     mut resolve: impl FnMut(&str) -> bool,
 ) -> Result<(), LayoutError> {
     for r in &cell.refs {

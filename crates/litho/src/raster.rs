@@ -13,11 +13,21 @@ use dfm_geom::{Coord, Rect, Region};
 pub struct Raster {
     origin_x: Coord,
     origin_y: Coord,
+    // Window extent: pixels are ceil-sized, so the last row/column may
+    // cover layout area past these; emitted geometry must clamp to them.
+    limit_x: Coord,
+    limit_y: Coord,
     pixel: Coord,
     nx: usize,
     ny: usize,
     data: Vec<f64>,
 }
+
+/// Rows per parallel band in raster passes. Bit-identical output does
+/// not depend on this (each pixel lives in exactly one band and is
+/// accumulated in the same order regardless of banding), so it is a
+/// pure granularity knob.
+const BAND_ROWS: usize = 32;
 
 impl Raster {
     /// Rasterises a region within `window` at `pixel_nm` resolution.
@@ -34,30 +44,44 @@ impl Raster {
         let mut r = Raster {
             origin_x: window.x0,
             origin_y: window.y0,
+            limit_x: window.x1,
+            limit_y: window.y1,
             pixel: pixel_nm,
             nx,
             ny,
             data: vec![0.0; nx * ny],
         };
         let px_area = (pixel_nm * pixel_nm) as f64;
-        for rect in region.clipped(window).rects() {
-            // Pixel index range the rect touches.
-            let ix0 = ((rect.x0 - window.x0) / pixel_nm).max(0) as usize;
-            let iy0 = ((rect.y0 - window.y0) / pixel_nm).max(0) as usize;
-            let ix1 = (((rect.x1 - window.x0) + pixel_nm - 1) / pixel_nm).min(nx as i64) as usize;
-            let iy1 = (((rect.y1 - window.y0) + pixel_nm - 1) / pixel_nm).min(ny as i64) as usize;
-            for iy in iy0..iy1 {
-                let py0 = window.y0 + iy as i64 * pixel_nm;
-                let py1 = py0 + pixel_nm;
-                let oy = (rect.y1.min(py1) - rect.y0.max(py0)).max(0);
-                for ix in ix0..ix1 {
-                    let qx0 = window.x0 + ix as i64 * pixel_nm;
-                    let qx1 = qx0 + pixel_nm;
-                    let ox = (rect.x1.min(qx1) - rect.x0.max(qx0)).max(0);
-                    r.data[iy * nx + ix] += (ox * oy) as f64 / px_area;
+        let clipped = region.clipped(window);
+        let rects = clipped.rects();
+        // Row-band parallel fill: each band owns a contiguous span of
+        // rows and walks the rects in input order, so every pixel's
+        // accumulation order is the rect order at any thread count.
+        dfm_par::par_chunks_mut(&mut r.data, BAND_ROWS * nx, |_, offset, band| {
+            let band_y0 = offset / nx;
+            let band_y1 = band_y0 + band.len() / nx;
+            for rect in rects {
+                // Pixel index range the rect touches, clipped to the band.
+                let ix0 = ((rect.x0 - window.x0) / pixel_nm).max(0) as usize;
+                let iy0 = (((rect.y0 - window.y0) / pixel_nm).max(0) as usize).max(band_y0);
+                let ix1 =
+                    (((rect.x1 - window.x0) + pixel_nm - 1) / pixel_nm).min(nx as i64) as usize;
+                let iy1 = ((((rect.y1 - window.y0) + pixel_nm - 1) / pixel_nm).min(ny as i64)
+                    as usize)
+                    .min(band_y1);
+                for iy in iy0..iy1 {
+                    let py0 = window.y0 + iy as i64 * pixel_nm;
+                    let py1 = py0 + pixel_nm;
+                    let oy = (rect.y1.min(py1) - rect.y0.max(py0)).max(0);
+                    for ix in ix0..ix1 {
+                        let qx0 = window.x0 + ix as i64 * pixel_nm;
+                        let qx1 = qx0 + pixel_nm;
+                        let ox = (rect.x1.min(qx1) - rect.x0.max(qx0)).max(0);
+                        band[(iy - band_y0) * nx + ix] += (ox * oy) as f64 / px_area;
+                    }
                 }
             }
-        }
+        });
         r
     }
 
@@ -116,32 +140,50 @@ impl Raster {
         }
 
         let (nx, ny) = (self.nx, self.ny);
-        // Horizontal pass.
+        let kernel = &kernel[..];
+        // Each output pixel is a fixed-order kernel dot product over the
+        // source grid, so row-band parallelism is bit-identical at any
+        // thread count. Horizontal pass reads `self.data`, writes `tmp`.
         let mut tmp = vec![0.0f64; nx * ny];
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let mut acc = 0.0;
-                for (k, kv) in kernel.iter().enumerate() {
-                    let sx = ix as isize + (k as isize - radius);
-                    acc += kv * self.get(sx, iy as isize);
-                }
-                tmp[iy * nx + ix] = acc;
-            }
-        }
-        // Vertical pass.
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let mut acc = 0.0;
-                for (k, kv) in kernel.iter().enumerate() {
-                    let sy = iy as isize + (k as isize - radius);
-                    if sy < 0 || sy as usize >= ny {
-                        continue;
+        {
+            let src = &self.data;
+            dfm_par::par_chunks_mut(&mut tmp, BAND_ROWS * nx, |_, offset, band| {
+                let band_y0 = offset / nx;
+                for (row_i, row) in band.chunks_mut(nx).enumerate() {
+                    let iy = band_y0 + row_i;
+                    for (ix, out) in row.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (k, kv) in kernel.iter().enumerate() {
+                            let sx = ix as isize + (k as isize - radius);
+                            if sx < 0 || sx as usize >= nx {
+                                continue;
+                            }
+                            acc += kv * src[iy * nx + sx as usize];
+                        }
+                        *out = acc;
                     }
-                    acc += kv * tmp[sy as usize * nx + ix];
                 }
-                self.data[iy * nx + ix] = acc;
-            }
+            });
         }
+        // Vertical pass reads `tmp`, writes `self.data`.
+        let src = &tmp;
+        dfm_par::par_chunks_mut(&mut self.data, BAND_ROWS * nx, |_, offset, band| {
+            let band_y0 = offset / nx;
+            for (row_i, row) in band.chunks_mut(nx).enumerate() {
+                let iy = band_y0 + row_i;
+                for (ix, out) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (k, kv) in kernel.iter().enumerate() {
+                        let sy = iy as isize + (k as isize - radius);
+                        if sy < 0 || sy as usize >= ny {
+                            continue;
+                        }
+                        acc += kv * src[sy as usize * nx + ix];
+                    }
+                    *out = acc;
+                }
+            }
+        });
     }
 
 
@@ -215,7 +257,9 @@ impl Raster {
     }
 
     /// Extracts the region of pixels with `value >= threshold`, in layout
-    /// coordinates (each qualifying pixel contributes its full square).
+    /// coordinates (each qualifying pixel contributes its square, clamped
+    /// to the raster window — the ceil-sized last row/column must not
+    /// emit area the window never covered).
     pub fn threshold_region(&self, threshold: f64) -> Region {
         let mut rects = Vec::new();
         for iy in 0..self.ny {
@@ -229,8 +273,8 @@ impl Raster {
                         rects.push(Rect {
                             x0: self.origin_x + s as i64 * self.pixel,
                             y0: self.origin_y + iy as i64 * self.pixel,
-                            x1: self.origin_x + ix as i64 * self.pixel,
-                            y1: self.origin_y + (iy as i64 + 1) * self.pixel,
+                            x1: (self.origin_x + ix as i64 * self.pixel).min(self.limit_x),
+                            y1: (self.origin_y + (iy as i64 + 1) * self.pixel).min(self.limit_y),
                         });
                         run_start = None;
                     }
@@ -307,6 +351,49 @@ mod tests {
         let back = r.threshold_region(0.5);
         assert_eq!(back.area(), region.area());
         assert_eq!(back.bbox(), region.bbox());
+    }
+
+    #[test]
+    fn threshold_clamps_to_non_pixel_multiple_window() {
+        // 95×95 window at pixel 10: the grid is ceil-sized to 10×10
+        // pixels, but emitted geometry must stop at the window edge.
+        let window = Rect::new(0, 0, 95, 95);
+        let region = Region::from_rect(window);
+        let r = Raster::rasterize(&region, window, 10);
+        assert_eq!(r.width_px(), 10);
+        assert_eq!(r.height_px(), 10);
+        // Interior pixels are fully covered, the last row/column squares
+        // half covered (0.5), and the corner square quarter covered
+        // (0.25) — threshold below 0.25 keeps them all.
+        let back = r.threshold_region(0.2);
+        assert_eq!(back.bbox(), window, "region must not extend past the window");
+        assert_eq!(back.area(), window.area());
+    }
+
+    #[test]
+    fn rasterize_identical_across_thread_counts() {
+        let region = Region::from_rects([
+            Rect::new(12, 7, 263, 181),
+            Rect::new(301, 66, 388, 329),
+            Rect::new(0, 350, 500, 400),
+        ]);
+        let window = Rect::new(0, 0, 505, 405);
+        let mk = || {
+            let mut r = Raster::rasterize(&region, window, 10);
+            r.gaussian_blur(35.0);
+            r
+        };
+        let seq = dfm_par::with_threads(1, mk);
+        let par = dfm_par::with_threads(8, mk);
+        for y in 0..seq.height_px() as isize {
+            for x in 0..seq.width_px() as isize {
+                assert_eq!(
+                    seq.get(x, y).to_bits(),
+                    par.get(x, y).to_bits(),
+                    "pixel ({x},{y}) differs across thread counts"
+                );
+            }
+        }
     }
 
     #[test]

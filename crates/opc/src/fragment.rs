@@ -30,6 +30,11 @@ impl Fragment {
         self.hi - self.lo
     }
 
+    /// True if the fragment has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
     /// Midpoint coordinate along the edge.
     pub fn mid(&self) -> Coord {
         self.lo + (self.hi - self.lo) / 2

@@ -1,0 +1,384 @@
+//! # dfm-par — deterministic parallel execution substrate
+//!
+//! Every engine in this workspace (litho convolution, DRC sweeps,
+//! Monte-Carlo critical area, pattern scanning, timing extraction) is
+//! required to produce **bit-identical output at any thread count** —
+//! the determinism contract in `DESIGN.md`. This crate is the only
+//! place threads are created: a std-only scoped fork-join layer whose
+//! primitives guarantee *deterministic ordered reduction*: results are
+//! combined in input order regardless of completion order.
+//!
+//! The contract has two halves, one provided here and one owed by the
+//! caller:
+//!
+//! * **this crate** always delivers per-item / per-chunk results in
+//!   input order, and partitions work purely by index (never by timing,
+//!   never by which worker got there first);
+//! * **the caller** must make each item/chunk computation a pure
+//!   function of its index and inputs. RNG-consuming tasks take
+//!   per-chunk seeds (`dfm_rand::Seed::derive(chunk_index)` or
+//!   sequentially pre-forked generators), never a stream shared across
+//!   chunks.
+//!
+//! Under those rules `DFM_THREADS=1` and `DFM_THREADS=64` produce the
+//! same bits, which is what the cross-thread determinism suite at the
+//! workspace root asserts end to end.
+//!
+//! ## Thread count
+//!
+//! [`thread_count`] resolves, in order: a scoped [`with_threads`]
+//! override (propagated into worker threads so nested parallel regions
+//! follow the same setting), the `DFM_THREADS` environment variable,
+//! then [`std::thread::available_parallelism`]. A resolved count of 1
+//! takes a zero-overhead sequential path — no threads are spawned and
+//! no result buffers are reordered.
+//!
+//! ```
+//! let doubled = dfm_par::par_map(&[1, 2, 3, 4], |_, &x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6, 8]);
+//!
+//! // Identical output at any thread count, by construction:
+//! let at_one = dfm_par::with_threads(1, || dfm_par::par_map_range(10, |i| i * i));
+//! let at_eight = dfm_par::with_threads(8, || dfm_par::par_map_range(10, |i| i * i));
+//! assert_eq!(at_one, at_eight);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped thread-count override; 0 means "no override".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `DFM_THREADS` parsed once per process (0 / unset / garbage → none).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("DFM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of worker threads parallel primitives will use right now:
+/// a [`with_threads`] override if one is active on this thread, else
+/// `DFM_THREADS`, else the machine's available parallelism.
+pub fn thread_count() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` with the thread count pinned to `n` (for tests, benches and
+/// the determinism suite). The override is scoped to this call and is
+/// inherited by worker threads spawned inside it, so nested parallel
+/// regions follow the same setting.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "thread count must be at least 1");
+    OVERRIDE.with(|c| {
+        let prev = c.replace(n);
+        let guard = RestoreOverride { prev };
+        let out = f();
+        drop(guard);
+        out
+    })
+}
+
+/// Restores the thread-local override even if the closure panics.
+struct RestoreOverride {
+    prev: usize,
+}
+
+impl Drop for RestoreOverride {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Fork-join over chunk indices `0..n_chunks`: `work(chunk)` runs on
+/// some worker, results come back ordered by chunk index. The shared
+/// cursor hands out chunks dynamically (load balance) but the output
+/// position of each result is its index, so completion order is
+/// invisible to the caller.
+fn fork_join_indexed<R: Send>(
+    n_chunks: usize,
+    threads: usize,
+    work: &(impl Fn(usize) -> R + Sync),
+) -> Vec<R> {
+    debug_assert!(threads > 1 && n_chunks > 1);
+    let workers = threads.min(n_chunks);
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    // Workers inherit the effective count so nested
+                    // parallel regions follow the caller's setting.
+                    with_threads(threads, || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_chunks {
+                                return mine;
+                            }
+                            mine.push((i, work(i)));
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dfm-par worker panicked"))
+            .collect()
+    });
+    // Ordered reduction: place every result at its input index.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    for (i, r) in collected.drain(..).flatten() {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Maps `f(index, &item)` over `items`, returning results in input
+/// order. Sequential when the effective thread count is 1.
+pub fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let threads = thread_count();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    fork_join_indexed(items.len(), threads, &|i| f(i, &items[i]))
+}
+
+/// Maps `f(i)` over `0..n`, returning results in index order.
+pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = thread_count();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    fork_join_indexed(n, threads, &f)
+}
+
+/// Splits `items` into contiguous chunks of `chunk_len` and maps
+/// `f(chunk_index, chunk)` over them, returning per-chunk results in
+/// chunk order. Chunk boundaries depend only on `chunk_len`, never on
+/// the thread count — the partition a caller derives per-chunk seeds
+/// from is therefore stable.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_len: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = thread_count();
+    if threads <= 1 || items.len() <= chunk_len {
+        return items.chunks(chunk_len).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let n_chunks = items.len().div_ceil(chunk_len);
+    fork_join_indexed(n_chunks, threads, &|i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(items.len());
+        f(i, &items[start..end])
+    })
+}
+
+/// Runs `f(chunk_index, element_offset, chunk)` over disjoint mutable
+/// chunks of `data`, `chunk_len` elements each (the last chunk may be
+/// short). `element_offset` is the index of the chunk's first element
+/// in `data`. Used for row-band raster passes where each band owns a
+/// contiguous span of pixels.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = thread_count();
+    if threads <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, i * chunk_len, chunk);
+        }
+        return;
+    }
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let n_chunks = chunks.len();
+    let workers = threads.min(n_chunks);
+    // Static contiguous partition of the chunk list per worker; each
+    // chunk is still tagged with its global index for the callback.
+    let per_worker = n_chunks.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = chunks;
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len());
+            let tail = rest.split_off(take);
+            let mine = std::mem::replace(&mut rest, tail);
+            scope.spawn(move || {
+                with_threads(threads, || {
+                    for (i, chunk) in mine {
+                        f(i, i * chunk_len, chunk);
+                    }
+                });
+            });
+        }
+    });
+}
+
+/// Maps `map(chunk_index, chunk)` over `chunk_len`-sized chunks of
+/// `items`, then folds the per-chunk accumulators **in chunk order**
+/// with `fold`. Returns `None` for empty input. Because the fold order
+/// is the input order, non-associative-in-practice reductions (f64
+/// sums) are bit-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_reduce_ordered<T: Sync, A: Send>(
+    items: &[T],
+    chunk_len: usize,
+    map: impl Fn(usize, &[T]) -> A + Sync,
+    mut fold: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    let mut acc: Option<A> = None;
+    for a in par_chunks(items, chunk_len, map) {
+        acc = Some(match acc {
+            None => a,
+            Some(prev) => fold(prev, a),
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfm_rand::{Rng, Seed};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = with_threads(7, || par_map(&items, |i, &x| i * 1000 + x));
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 1000 + i);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<i64> = (0..500).collect();
+        let run = |t: usize| {
+            with_threads(t, || {
+                par_chunks(&items, 16, |ci, chunk| {
+                    // Chunk-seeded RNG: the caller half of the contract.
+                    let mut rng = Rng::from_seed(Seed(99).derive(ci as u64));
+                    chunk.iter().map(|&x| x + rng.range(0i64..10)).sum::<i64>()
+                })
+            })
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjointly() {
+        let mut data = vec![0u64; 997];
+        with_threads(5, || {
+            par_chunks_mut(&mut data, 100, |ci, off, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v += (ci as u64) << 32 | (off + k) as u64;
+                }
+            });
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v & 0xffff_ffff, i as u64, "element offset wrong at {i}");
+            assert_eq!(v >> 32, (i / 100) as u64, "chunk index wrong at {i}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_ordered_is_input_order() {
+        // Float folding order matters; assert it is the chunk order by
+        // using a non-commutative fold.
+        let items: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let seq = items
+            .chunks(7)
+            .map(|c| c.iter().sum::<f64>())
+            .fold(None::<f64>, |acc, a| Some(acc.map_or(a, |p| p / 2.0 + a)))
+            .unwrap();
+        let par = with_threads(6, || {
+            par_reduce_ordered(&items, 7, |_, c| c.iter().sum::<f64>(), |p, a| p / 2.0 + a)
+        })
+        .unwrap();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(par_map(&none, |_, &x| x).is_empty());
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert!(par_chunks(&none, 4, |_, c| c.len()).is_empty());
+        assert_eq!(par_reduce_ordered(&none, 4, |_, c| c.len(), |a, b| a + b), None);
+        let mut empty: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut empty, 4, |_, _, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn with_threads_scopes_and_restores() {
+        let before = thread_count();
+        let inside = with_threads(3, thread_count);
+        assert_eq!(inside, 3);
+        assert_eq!(thread_count(), before);
+        // Nested overrides stack.
+        let nested = with_threads(4, || with_threads(2, thread_count));
+        assert_eq!(nested, 2);
+    }
+
+    #[test]
+    fn workers_inherit_override() {
+        let counts = with_threads(4, || par_map_range(8, |_| thread_count()));
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_panics() {
+        with_threads(0, || ());
+    }
+}

@@ -100,7 +100,7 @@ pub fn agglomerative_cluster(clips: &[Region], window: Rect, cut: f64) -> Vec<Cl
                     }
                 }
                 let avg = sum / (clusters[a].len() * clusters[b].len()) as f64;
-                if best.map_or(true, |(_, _, d)| avg < d) {
+                if best.is_none_or(|(_, _, d)| avg < d) {
                     best = Some((a, b, avg));
                 }
             }

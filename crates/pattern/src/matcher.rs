@@ -100,21 +100,31 @@ impl<T> PatternLibrary<T> {
     ///
     /// Matching cost per anchor is one window encode plus a hash-bucket
     /// probe, independent of library size — the property that makes
-    /// pattern decks full-chip capable.
-    pub fn scan(&self, layers: &[&Region], anchor_points: &[Point]) -> Vec<Match> {
-        let mut out = Vec::new();
-        for &a in anchor_points {
-            let window = Rect::centered_at(a, 2 * self.radius, 2 * self.radius);
-            let pattern = TopoPattern::encode_quantized(layers, window, self.snap).canonical();
-            if let Some(bucket) = self.by_digest.get(&pattern.topology_digest()) {
-                for &i in bucket {
-                    if self.entries[i].0.matches(&pattern, self.eps) {
-                        out.push(Match { at: a, entry: i });
+    /// pattern decks full-chip capable. Anchors are scanned in parallel
+    /// (`DFM_THREADS`) over fixed-size chunks whose results concatenate
+    /// in input order, so the match list is identical at any thread
+    /// count.
+    pub fn scan(&self, layers: &[&Region], anchor_points: &[Point]) -> Vec<Match>
+    where
+        T: Sync,
+    {
+        const ANCHOR_CHUNK: usize = 64;
+        let chunks = dfm_par::par_chunks(anchor_points, ANCHOR_CHUNK, |_, anchors| {
+            let mut hits = Vec::new();
+            for &a in anchors {
+                let window = Rect::centered_at(a, 2 * self.radius, 2 * self.radius);
+                let pattern = TopoPattern::encode_quantized(layers, window, self.snap).canonical();
+                if let Some(bucket) = self.by_digest.get(&pattern.topology_digest()) {
+                    for &i in bucket {
+                        if self.entries[i].0.matches(&pattern, self.eps) {
+                            hits.push(Match { at: a, entry: i });
+                        }
                     }
                 }
             }
-        }
-        out
+            hits
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 

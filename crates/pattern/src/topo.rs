@@ -9,9 +9,9 @@ use std::fmt;
 /// The pattern of a layout clip is built by cutting the window at every
 /// polygon edge coordinate ("cuts"); each resulting grid cell is either
 /// fully covered or fully empty per layer, recorded as a per-cell layer
-/// bitmask. The cut *spacings* are the dimension vectors. Topology equal
-/// + dimensions equal ⇒ geometrically identical clips; topology equal +
-/// dimensions close ⇒ the same pattern class.
+/// bitmask. The cut *spacings* are the dimension vectors. Equal topology
+/// and equal dimensions ⇒ geometrically identical clips; equal topology
+/// and close dimensions ⇒ the same pattern class.
 ///
 /// Up to 8 layers per pattern (one bit each in the cell mask).
 #[derive(Clone, PartialEq, Eq, Hash)]

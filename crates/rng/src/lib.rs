@@ -71,6 +71,8 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit output.
+    // Not an Iterator: the expander is infinite and `next` never ends.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
@@ -274,6 +276,8 @@ mod tests {
 
     impl ReferenceXoshiro {
         fn next(&mut self) -> u64 {
+            // Literal transcription of the reference C, rotl included.
+            #[allow(clippy::manual_rotate)]
             fn rotl(x: u64, k: u32) -> u64 {
                 (x << k) | (x >> (64 - k))
             }

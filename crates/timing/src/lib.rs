@@ -491,7 +491,7 @@ pub mod extract {
     use super::{GateKind, Netlist};
     use dfm_geom::{Point, Rect, Region};
     use dfm_litho::{metrics, Condition, LithoSimulator};
-    use dfm_rand::Rng;
+    use dfm_rand::{Rng, Seed};
 
     /// Drawn (nominal) lengths.
     pub fn drawn(netlist: &Netlist) -> Vec<f64> {
@@ -509,13 +509,21 @@ pub mod extract {
     }
 
     /// Independent Gaussian CD variation with relative sigma.
+    ///
+    /// Gates are drawn in parallel over fixed 64-gate chunks, each
+    /// chunk on its own stream derived as `Seed(seed).derive(chunk)` —
+    /// so the draw for every gate depends only on `seed` and the gate's
+    /// position, never on the thread count.
     pub fn monte_carlo(netlist: &Netlist, rel_sigma: f64, seed: u64) -> Vec<f64> {
-        let mut rng = Rng::seed_from_u64(seed);
-        netlist
-            .gates()
-            .iter()
-            .map(|g| (g.drawn_l as f64 * (1.0 + rel_sigma * rng.standard_normal())).max(1.0))
-            .collect()
+        const GATE_CHUNK: usize = 64;
+        let chunks = dfm_par::par_chunks(netlist.gates(), GATE_CHUNK, |ci, gates| {
+            let mut rng = Rng::from_seed(Seed(seed).derive(ci as u64));
+            gates
+                .iter()
+                .map(|g| (g.drawn_l as f64 * (1.0 + rel_sigma * rng.standard_normal())).max(1.0))
+                .collect::<Vec<f64>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Builds the synthetic poly layer of a netlist: one vertical poly
@@ -556,24 +564,22 @@ pub mod extract {
     ) -> Vec<f64> {
         let poly = poly_layer(netlist);
         // Per-gate fine simulation: override the pixel to 2 nm so CD
-        // bias of a few nm survives quantisation.
+        // bias of a few nm survives quantisation. Each gate's window is
+        // simulated independently, so the per-gate map runs in parallel
+        // (`DFM_THREADS`) with results in gate order.
         let fine = LithoSimulator { pixel_nm: 2, ..sim.clone() };
-        netlist
-            .gates()
-            .iter()
-            .map(|g| {
-                if matches!(g.kind, GateKind::Input | GateKind::Output) {
-                    return g.drawn_l as f64;
-                }
-                let probe = Point::new(g.location.x, g.location.y + 200);
-                let window = Rect::centered_at(probe, 12 * g.drawn_l, 6 * g.drawn_l);
-                let printed = fine.printed_in_window(&poly, window, cond);
-                match metrics::cd_horizontal(&printed, probe) {
-                    Some(cd) => cd as f64,
-                    None => g.drawn_l as f64 * 0.4,
-                }
-            })
-            .collect()
+        dfm_par::par_map(netlist.gates(), |_, g| {
+            if matches!(g.kind, GateKind::Input | GateKind::Output) {
+                return g.drawn_l as f64;
+            }
+            let probe = Point::new(g.location.x, g.location.y + 200);
+            let window = Rect::centered_at(probe, 12 * g.drawn_l, 6 * g.drawn_l);
+            let printed = fine.printed_in_window(&poly, window, cond);
+            match metrics::cd_horizontal(&printed, probe) {
+                Some(cd) => cd as f64,
+                None => g.drawn_l as f64 * 0.4,
+            }
+        })
     }
 }
 

@@ -11,8 +11,14 @@
 //! position-window weights — and converges erratically.
 
 use crate::DefectModel;
-use dfm_geom::{GridIndex, Point, Rect, Region};
+use dfm_geom::{GridIndex, Point, Rect, Region, Searcher};
 use dfm_rand::Rng;
+
+/// Position samples per Monte-Carlo stratum. The stratum partition and
+/// each stratum's forked stream depend only on the sample budget and
+/// the parent generator — never on the thread count — so estimates are
+/// bit-identical at any `DFM_THREADS`.
+const MC_STRATUM: usize = 4096;
 
 /// Result of a Monte-Carlo short-critical-area estimation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,22 +49,26 @@ impl ComponentIndex {
         ComponentIndex { index }
     }
 
-    /// True if `square` strictly overlaps at least two distinct
-    /// components.
-    fn bridges(&self, square: Rect) -> bool {
-        let mut first: Option<usize> = None;
-        for (rect, &ci) in self.index.query_with_rects(square) {
-            if !rect.overlaps(&square) {
-                continue;
-            }
-            match first {
-                None => first = Some(ci),
-                Some(f) if f != ci => return true,
-                _ => {}
-            }
-        }
-        false
+    /// Per-thread query handle (amortised generation-stamp dedup).
+    fn searcher(&self) -> Searcher<'_, usize> {
+        self.index.searcher()
     }
+}
+
+/// True if `square` strictly overlaps at least two distinct components.
+fn bridges(searcher: &mut Searcher<'_, usize>, square: Rect) -> bool {
+    let mut first: Option<usize> = None;
+    for (rect, &ci) in searcher.query_with_rects(square) {
+        if !rect.overlaps(&square) {
+            continue;
+        }
+        match first {
+            None => first = Some(ci),
+            Some(f) if f != ci => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// Monte-Carlo estimate of the short critical area for one fixed defect
@@ -77,15 +87,27 @@ pub fn estimate_ca_at_diameter(
     let components = ComponentIndex::build(metal, d.max(256) * 2);
     let window = bbox.expanded(d / 2 + 1);
     let area = window.area() as f64;
-    let mut kills = 0usize;
-    for _ in 0..samples {
-        let cx = rng.range(window.x0..window.x1);
-        let cy = rng.range(window.y0..window.y1);
-        let square = Rect::centered_at(Point::new(cx, cy), d, d);
-        if components.bridges(square) {
-            kills += 1;
+    // Fixed-size strata, streams pre-forked sequentially from the
+    // parent generator, kill counts summed in stratum order.
+    let n_strata = samples.div_ceil(MC_STRATUM);
+    let seeds: Vec<u64> = (0..n_strata).map(|_| rng.next_u64()).collect();
+    let kills: usize = dfm_par::par_map(&seeds, |si, &seed| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = MC_STRATUM.min(samples - si * MC_STRATUM);
+        let mut searcher = components.searcher();
+        let mut kills = 0usize;
+        for _ in 0..n {
+            let cx = rng.range(window.x0..window.x1);
+            let cy = rng.range(window.y0..window.y1);
+            let square = Rect::centered_at(Point::new(cx, cy), d, d);
+            if bridges(&mut searcher, square) {
+                kills += 1;
+            }
         }
-    }
+        kills
+    })
+    .into_iter()
+    .sum();
     let p = kills as f64 / samples as f64;
     let var = p * (1.0 - p) / samples as f64;
     (area * p, area * var.sqrt(), kills)
@@ -151,23 +173,32 @@ pub fn estimate_open_ca_at_diameter(
     }
     let window = bbox.expanded(d / 2 + 1);
     let area = window.area() as f64;
-    let mut kills = 0usize;
-    for _ in 0..samples {
-        let cx = rng.range(window.x0..window.x1);
-        let cy = rng.range(window.y0..window.y1);
-        let square = Rect::centered_at(Point::new(cx, cy), d, d);
-        let local_window = square.expanded(2 * d);
-        let local = metal.clipped(local_window);
-        if local.is_empty() {
-            continue;
+    let n_strata = samples.div_ceil(MC_STRATUM);
+    let seeds: Vec<u64> = (0..n_strata).map(|_| rng.next_u64()).collect();
+    let kills: usize = dfm_par::par_map(&seeds, |si, &seed| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = MC_STRATUM.min(samples - si * MC_STRATUM);
+        let mut kills = 0usize;
+        for _ in 0..n {
+            let cx = rng.range(window.x0..window.x1);
+            let cy = rng.range(window.y0..window.y1);
+            let square = Rect::centered_at(Point::new(cx, cy), d, d);
+            let local_window = square.expanded(2 * d);
+            let local = metal.clipped(local_window);
+            if local.is_empty() {
+                continue;
+            }
+            let before = local.connected_components().len();
+            let after_region = local.difference(&Region::from_rect(square));
+            let after = after_region.connected_components().len();
+            if after > before {
+                kills += 1;
+            }
         }
-        let before = local.connected_components().len();
-        let after_region = local.difference(&Region::from_rect(square));
-        let after = after_region.connected_components().len();
-        if after > before {
-            kills += 1;
-        }
-    }
+        kills
+    })
+    .into_iter()
+    .sum();
     let p = kills as f64 / samples as f64;
     let var = p * (1.0 - p) / samples as f64;
     (area * p, area * var.sqrt(), kills)
@@ -338,6 +369,25 @@ mod tests {
         let mc_close = estimate_short_ca(&close, &defects, 30_000, 11);
         let mc_far = estimate_short_ca(&far, &defects, 30_000, 11);
         assert!(mc_close.short_ca_nm2 > mc_far.short_ca_nm2);
+    }
+
+    #[test]
+    fn estimate_identical_across_thread_counts() {
+        let metal = Region::from_rects([
+            Rect::new(0, 0, 10_000, 100),
+            Rect::new(0, 200, 10_000, 300),
+        ]);
+        let defects = DefectModel::new(50, 1.0);
+        let run = || estimate_short_ca(&metal, &defects, 20_000, 42);
+        let seq = dfm_par::with_threads(1, run);
+        let two = dfm_par::with_threads(2, run);
+        let eight = dfm_par::with_threads(8, run);
+        assert_eq!(seq, two);
+        assert_eq!(seq, eight);
+        let run_open = || estimate_open_ca(&metal, &defects, 6_000, 42);
+        let a = dfm_par::with_threads(1, run_open);
+        let b = dfm_par::with_threads(8, run_open);
+        assert_eq!(a, b);
     }
 
     #[test]

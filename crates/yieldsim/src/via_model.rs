@@ -42,7 +42,7 @@ pub fn classify(vias: &Region, pair_distance: i64) -> ViaStats {
         return ViaStats::default();
     }
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    fn find(parent: &mut [usize], i: usize) -> usize {
         let mut root = i;
         while parent[root] != root {
             root = parent[root];
@@ -60,8 +60,9 @@ pub fn classify(vias: &Region, pair_distance: i64) -> ViaStats {
     for (i, r) in rects.iter().enumerate() {
         index.insert(*r, i);
     }
+    let mut searcher = index.searcher();
     for (i, r) in rects.iter().enumerate() {
-        for &&j in index.query(r.expanded(pair_distance)).iter() {
+        for &&j in searcher.query(r.expanded(pair_distance)).iter() {
             if j > i {
                 let (dx, dy) = r.gap(&rects[j]);
                 if dx.max(dy) <= pair_distance {
