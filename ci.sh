@@ -29,14 +29,25 @@ echo "== build (release, offline) =="
 cargo build --release --offline
 
 echo "== test (offline, DFM_THREADS=1) =="
-DFM_THREADS=1 cargo test -q --offline
+DFM_THREADS=1 cargo test -q --workspace --offline
 
 echo "== test (offline, DFM_THREADS=4) =="
 # Same suite under a parallel pool: the determinism contract says the
 # results — including every golden digest — must not change.
-DFM_THREADS=4 cargo test -q --offline
+DFM_THREADS=4 cargo test -q --workspace --offline
 
 echo "== benches compile (offline) =="
 cargo bench --no-run --offline
+
+echo "== tiled signoff bench + gauges (offline) =="
+# Pins the tiled full-deck DRC bench in the JSON report, including the
+# peak-per-tile working-set gauges that back the "never materialises a
+# full layer" claim. The tiled-vs-flat equivalence suites themselves
+# run above, under both thread counts, each at two tile sizes.
+# Bench binaries run with the package dir as cwd, so pass an absolute
+# report path.
+DFM_BENCH_JSON="$PWD/target/tiled-bench.json" \
+    cargo bench -p dfm-bench --bench engines --offline -- tiled_drc
+grep -q '"gauges"' target/tiled-bench.json
 
 echo "CI OK"

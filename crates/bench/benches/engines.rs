@@ -59,6 +59,43 @@ fn bench_drc_full_deck(b: &mut Bencher) {
     });
 }
 
+/// The same full-deck signoff streamed through the tile shard: per-tile
+/// windows, ordered merge, report bit-identical to `drc_full_deck`.
+/// Publishes the peak per-tile rect count as a gauge — the observable
+/// form of "the tiled path never materialises a full layer".
+fn bench_tiled_drc_full_deck(b: &mut Bencher) {
+    let tech = Technology::n65();
+    let lib = dfm_layout::generate::routed_block(
+        &tech,
+        dfm_layout::generate::RoutedBlockParams {
+            width: 15_000,
+            height: 15_000,
+            ..Default::default()
+        },
+        8,
+    );
+    let flat = lib.flatten(lib.top().expect("top")).expect("flatten");
+    let full_layer_rects = dfm_layout::LayoutView::rect_count(&flat);
+    let cfg = dfm_layout::TilingConfig::builder()
+        .tile(4096)
+        .halo(512)
+        .build()
+        .expect("config");
+    let tiled = dfm_layout::TiledLayout::from_flat(flat, cfg);
+    let deck = dfm_drc::RuleDeck::for_technology(&tech);
+    b.bench("tiled_drc_full_deck", || {
+        dfm_drc::TiledDrcEngine::new(&deck)
+            .run(black_box(&tiled))
+            .expect("certified")
+            .report
+            .violation_count()
+    });
+    let run = dfm_drc::TiledDrcEngine::new(&deck).run(&tiled).expect("certified");
+    b.gauge("tiled_drc_peak_tile_rects", run.stats.peak_tile_rects as f64);
+    b.gauge("tiled_drc_tiles", run.stats.tiles as f64);
+    b.gauge("tiled_drc_full_layer_rects", full_layer_rects as f64);
+}
+
 /// Critical-area extraction (Table 1 / Table 7).
 fn bench_caa(b: &mut Bencher) {
     let region = routed_m1(4);
@@ -169,6 +206,7 @@ fn main() {
     bench_region_boolean(&mut b);
     bench_drc(&mut b);
     bench_drc_full_deck(&mut b);
+    bench_tiled_drc_full_deck(&mut b);
     bench_caa(&mut b);
     bench_litho(&mut b);
     bench_pattern_match(&mut b);

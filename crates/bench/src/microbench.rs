@@ -42,6 +42,17 @@ pub struct Sample {
     pub threads: usize,
 }
 
+/// A named scalar observation published alongside the timings — e.g. a
+/// peak working-set proxy or a result count the bench wants pinned in
+/// the report. Gauges are measured once, not timed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    /// Gauge name.
+    pub name: String,
+    /// Observed value.
+    pub value: f64,
+}
+
 /// Benchmark runner: collects [`Sample`]s, prints a human-readable
 /// line per bench, optionally writes a JSON report at the end.
 pub struct Bencher {
@@ -55,6 +66,7 @@ pub struct Bencher {
     /// JSON output path (from `DFM_BENCH_JSON`); empty = no report.
     pub json_path: String,
     results: Vec<Sample>,
+    gauges: Vec<Gauge>,
 }
 
 impl Default for Bencher {
@@ -65,6 +77,7 @@ impl Default for Bencher {
             filter: String::new(),
             json_path: String::new(),
             results: Vec::new(),
+            gauges: Vec::new(),
         }
     }
 }
@@ -130,13 +143,49 @@ impl Bencher {
         self.results.push(sample);
     }
 
+    /// Records a named scalar observation (subject to the same
+    /// substring filter as [`bench`](Bencher::bench), so a filtered run
+    /// reports only its own gauges). Gauges land in a separate
+    /// `"gauges"` key of the JSON report.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if !self.filter.is_empty() && !name.contains(&self.filter) {
+            return;
+        }
+        println!("{name:<32} gauge  {value}");
+        self.gauges.push(Gauge { name: name.to_string(), value });
+    }
+
     /// Results collected so far.
     pub fn results(&self) -> &[Sample] {
         &self.results
     }
 
-    /// Render all results as a JSON array (hand-rolled — no serde).
+    /// Gauges collected so far.
+    pub fn gauges(&self) -> &[Gauge] {
+        &self.gauges
+    }
+
+    /// Render all results as JSON (hand-rolled — no serde). With no
+    /// gauges this is a plain array of timing samples; with gauges it
+    /// is an object `{"benches": [...], "gauges": [...]}` so scalar
+    /// observations stay separate from timings.
     pub fn to_json(&self) -> String {
+        let benches = self.benches_json();
+        if self.gauges.is_empty() {
+            return format!("{benches}\n");
+        }
+        let mut gauges = String::from("[\n");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                gauges.push_str(",\n");
+            }
+            gauges.push_str(&format!("    {{\"name\": \"{}\", \"value\": {}}}", g.name, g.value));
+        }
+        gauges.push_str("\n  ]");
+        format!("{{\n\"benches\": {benches},\n\"gauges\": {gauges}\n}}\n")
+    }
+
+    fn benches_json(&self) -> String {
         let mut out = String::from("[\n");
         for (i, s) in self.results.iter().enumerate() {
             if i > 0 {
@@ -149,7 +198,7 @@ impl Bencher {
                 s.name, s.median_ns, s.min_ns, s.max_ns, s.iters_per_sample, s.samples, s.threads
             ));
         }
-        out.push_str("\n]\n");
+        out.push_str("\n]");
         out
     }
 
@@ -221,6 +270,23 @@ mod tests {
         assert_eq!(json.matches("\"name\"").count(), 2);
         assert!(json.contains("\"median_ns\""));
         assert_eq!(json.matches("\"threads\"").count(), 2);
+    }
+
+    #[test]
+    fn gauges_land_in_separate_json_key() {
+        let mut b = quick();
+        b.bench("timed", || 1);
+        b.gauge("peak_tile_rects", 1234.0);
+        let json = b.to_json();
+        assert!(json.starts_with("{"));
+        assert!(json.contains("\"benches\": ["));
+        assert!(json.contains("\"gauges\": ["));
+        assert!(json.contains("{\"name\": \"peak_tile_rects\", \"value\": 1234}"));
+        assert_eq!(b.gauges().len(), 1);
+        // The gauge respects the filter like a bench does.
+        b.filter = "xyz".into();
+        b.gauge("other", 1.0);
+        assert_eq!(b.gauges().len(), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The hit-or-hype evaluator (experiment E8).
 
 use crate::DfmTechnique;
-use dfm_layout::{layers, FlatLayout, Technology};
+use dfm_layout::{layers, FlatLayout, LayoutView, Technology};
 use dfm_yield::{critical_area, model, via_model, DefectModel};
 use std::fmt;
 use std::time::Instant;
@@ -22,22 +22,23 @@ pub struct EvaluationContext {
 }
 
 impl EvaluationContext {
+    /// Starts a builder seeded with the defaults for a technology (see
+    /// [`EvaluationContextBuilder`]).
+    pub fn builder(tech: Technology) -> EvaluationContextBuilder {
+        EvaluationContextBuilder::new(tech)
+    }
+
     /// Defaults for a technology: defects at half the minimum width with
     /// a production-like density, 0.1 ppm via failures, Poisson yield.
+    /// Equivalent to `EvaluationContext::builder(tech).build()`.
     pub fn for_technology(tech: Technology) -> Self {
-        let x0 = tech.rules(layers::METAL1).min_width / 2;
-        EvaluationContext {
-            via_pair_distance: tech.via_space * 2,
-            tech,
-            defects: DefectModel::new(x0, 2000.0),
-            via_fail_prob: 1e-7,
-            cluster_alpha: None,
-        }
+        EvaluationContextBuilder::new(tech).build()
     }
 
     /// Predicted functional yield of a layout: metal critical-area yield
-    /// (shorts + opens on M1/M2) times via-connection yield.
-    pub fn predicted_yield(&self, flat: &FlatLayout) -> YieldBreakdown {
+    /// (shorts + opens on M1/M2) times via-connection yield. Accepts any
+    /// [`LayoutView`] — the whole chip or a single tile view.
+    pub fn predicted_yield(&self, layout: &impl LayoutView) -> YieldBreakdown {
         let mut metal_ca = 0.0;
         for metal in [layers::METAL1, layers::METAL2] {
             // Fill shapes count for shorts against functional metal, so
@@ -47,7 +48,7 @@ impl EvaluationContext {
             } else {
                 layers::FILL_M1
             };
-            let combined = flat.region(metal).union(&flat.region(fill));
+            let combined = layout.region(metal).union(&layout.region(fill));
             let ca = critical_area::analyze(&combined, &self.defects);
             metal_ca += ca.total_ca_nm2();
         }
@@ -57,7 +58,7 @@ impl EvaluationContext {
                 model::negative_binomial_yield(metal_ca, self.defects.d0_per_cm2, alpha)
             }
         };
-        let stats = via_model::classify(&flat.region(layers::VIA1), self.via_pair_distance);
+        let stats = via_model::classify(&layout.region(layers::VIA1), self.via_pair_distance);
         let via_yield = via_model::via_yield(stats, self.via_fail_prob);
         YieldBreakdown {
             metal_ca_nm2: metal_ca,
@@ -65,6 +66,68 @@ impl EvaluationContext {
             via_stats: stats,
             via_yield,
         }
+    }
+}
+
+/// Builder for [`EvaluationContext`]: starts from the technology
+/// defaults and overrides piecemeal.
+///
+/// ```
+/// use dfm_core::EvaluationContext;
+/// use dfm_layout::Technology;
+/// let ctx = EvaluationContext::builder(Technology::n65())
+///     .via_fail_prob(1e-5)
+///     .cluster_alpha(2.0)
+///     .build();
+/// assert_eq!(ctx.cluster_alpha, Some(2.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvaluationContextBuilder {
+    ctx: EvaluationContext,
+}
+
+impl EvaluationContextBuilder {
+    fn new(tech: Technology) -> Self {
+        let x0 = tech.rules(layers::METAL1).min_width / 2;
+        EvaluationContextBuilder {
+            ctx: EvaluationContext {
+                via_pair_distance: tech.via_space * 2,
+                tech,
+                defects: DefectModel::new(x0, 2000.0),
+                via_fail_prob: 1e-7,
+                cluster_alpha: None,
+            },
+        }
+    }
+
+    /// Replaces the random-defect model.
+    pub fn defects(mut self, defects: DefectModel) -> Self {
+        self.ctx.defects = defects;
+        self
+    }
+
+    /// Sets the per-cut via failure probability.
+    pub fn via_fail_prob(mut self, p: f64) -> Self {
+        self.ctx.via_fail_prob = p;
+        self
+    }
+
+    /// Switches the metal yield model to negative-binomial clustering.
+    pub fn cluster_alpha(mut self, alpha: f64) -> Self {
+        self.ctx.cluster_alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the distance below which via cuts count as redundant
+    /// partners.
+    pub fn via_pair_distance(mut self, d: i64) -> Self {
+        self.ctx.via_pair_distance = d;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> EvaluationContext {
+        self.ctx
     }
 }
 
@@ -249,6 +312,46 @@ mod tests {
         assert!(y.total() > 0.0 && y.total() < 1.0);
         assert!(y.metal_ca_nm2 > 0.0);
         assert!(y.via_stats.connections() > 0);
+    }
+
+    #[test]
+    fn builder_matches_for_technology_and_overrides() {
+        let tech = Technology::n65();
+        let a = EvaluationContext::for_technology(tech.clone());
+        let b = EvaluationContext::builder(tech.clone()).build();
+        assert_eq!(a.defects, b.defects);
+        assert_eq!(a.via_fail_prob, b.via_fail_prob);
+        assert_eq!(a.cluster_alpha, b.cluster_alpha);
+        assert_eq!(a.via_pair_distance, b.via_pair_distance);
+        let c = EvaluationContext::builder(tech)
+            .defects(DefectModel::new(40, 9000.0))
+            .via_fail_prob(1e-5)
+            .cluster_alpha(2.0)
+            .via_pair_distance(77)
+            .build();
+        assert_eq!(c.defects, DefectModel::new(40, 9000.0));
+        assert_eq!(c.via_fail_prob, 1e-5);
+        assert_eq!(c.cluster_alpha, Some(2.0));
+        assert_eq!(c.via_pair_distance, 77);
+    }
+
+    #[test]
+    fn predicted_yield_accepts_tile_views() {
+        // A whole-layout tile view sees the same geometry as the flat
+        // layout, so the breakdown must be identical.
+        let (ctx, flat) = setup();
+        let cfg = dfm_layout::TilingConfig::builder()
+            .tile(10_000_000)
+            .halo(0)
+            .build()
+            .expect("config");
+        let tiled = dfm_layout::TiledLayout::from_flat(flat.clone(), cfg);
+        assert_eq!(tiled.tile_count(), 1);
+        let view = tiled.view(0, 0);
+        let whole = ctx.predicted_yield(&view);
+        let reference = ctx.predicted_yield(&flat);
+        assert_eq!(whole.metal_ca_nm2.to_bits(), reference.metal_ca_nm2.to_bits());
+        assert_eq!(whole.via_stats, reference.via_stats);
     }
 
     #[test]

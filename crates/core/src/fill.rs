@@ -1,7 +1,7 @@
 //! Dummy metal fill for CMP density uniformity (experiment E9).
 
 use crate::{AppliedResult, DfmTechnique};
-use dfm_drc::density_map;
+use dfm_drc::{density_map, density_ppm};
 use dfm_geom::{Coord, Rect, Region};
 use dfm_layout::{layers, FlatLayout, Layer, Technology};
 
@@ -69,9 +69,12 @@ impl DfmTechnique for MetalFill {
             }
             let window = tech.density_window;
             let dmap = density_map(&region, extent, window);
+            // Same half-to-even ppm quantisation as the DRC Density
+            // rule, so fill and DRC agree on which windows fail.
+            let floor_ppm = density_ppm(tech.min_density);
             let underdense: Vec<Rect> = dmap
                 .iter()
-                .filter(|&&(_, d)| d < tech.min_density)
+                .filter(|&&(_, d)| density_ppm(d) < floor_ppm)
                 .map(|&(w, _)| w)
                 .collect();
             if underdense.is_empty() {

@@ -2,9 +2,9 @@
 
 use crate::{DrcReport, Rule, RuleDeck, Violation};
 use dfm_geom::{GridIndex, Point, Rect, Region};
-use dfm_layout::FlatLayout;
+use dfm_layout::LayoutView;
 
-/// Runs a [`RuleDeck`] against flattened layouts.
+/// Runs a [`RuleDeck`] against a layout view.
 ///
 /// See the crate docs for an end-to-end example.
 #[derive(Clone, Copy, Debug)]
@@ -20,11 +20,12 @@ impl<'a> DrcEngine<'a> {
 
     /// Runs every rule in the deck, returning the combined report.
     ///
-    /// Rules are checked in parallel (`DFM_THREADS`) and the per-rule
-    /// results merged in deck order, so the report is bit-identical at
-    /// any thread count.
-    pub fn run(&self, flat: &FlatLayout) -> DrcReport {
-        let per_rule = dfm_par::par_map(self.deck.rules(), |_, rule| check_rule(rule, flat));
+    /// Accepts any [`LayoutView`] — a whole-chip `FlatLayout` or a
+    /// single tile view. Rules are checked in parallel (`DFM_THREADS`)
+    /// and the per-rule results merged in deck order, so the report is
+    /// bit-identical at any thread count.
+    pub fn run(&self, layout: &(impl LayoutView + Sync)) -> DrcReport {
+        let per_rule = dfm_par::par_map(self.deck.rules(), |_, rule| check_rule(rule, layout));
         let mut report = DrcReport::new();
         for violations in per_rule {
             report.extend(violations);
@@ -33,50 +34,60 @@ impl<'a> DrcEngine<'a> {
     }
 }
 
+/// Sorts violations into the workspace's canonical report order
+/// (location, then measured value). Both the flat and the tiled
+/// execution paths finish with this sort, which is what turns
+/// "same multiset of violations" into "bit-identical report".
+pub(crate) fn sort_violations(v: &mut [Violation]) {
+    v.sort_by_key(|x| {
+        (
+            x.location.x0,
+            x.location.y0,
+            x.location.x1,
+            x.location.y1,
+            x.actual,
+            x.limit,
+        )
+    });
+}
+
 /// Edges per work chunk in the parallel sweeps. Chunk boundaries depend
 /// only on this constant, never on the thread count, and per-chunk
 /// outputs are concatenated in chunk order — the sweep output is the
 /// sequential output at any `DFM_THREADS`.
 const EDGE_CHUNK: usize = 256;
 
-/// Checks a single rule against a flattened layout.
-pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
+/// Checks a single rule against a layout view.
+///
+/// The returned violations are in canonical (location-sorted) order.
+pub fn check_rule(rule: &Rule, layout: &impl LayoutView) -> Vec<Violation> {
     let id = rule.id();
-    match rule {
-        Rule::MinWidth { layer, value } => width_violations(&flat.region(*layer), *value)
+    let mut out: Vec<Violation> = match rule {
+        Rule::MinWidth { layer, value } => width_violations(&layout.region(*layer), *value)
             .into_iter()
             .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
             .collect(),
-        Rule::MinSpace { layer, value } => spacing_violations(&flat.region(*layer), *value)
+        Rule::MinSpace { layer, value } => spacing_violations(&layout.region(*layer), *value)
             .into_iter()
             .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
             .collect(),
         Rule::MinSpaceTo { from, to, value } => {
-            let from_r = flat.region(*from);
-            let to_r = flat.region(*to);
-            let near = from_r.bloated(*value).intersection(&to_r);
-            near.connected_components()
+            let from_r = layout.region(*from);
+            let to_r = layout.region(*to);
+            min_space_to_violations(&from_r, &to_r, *value)
                 .into_iter()
-                .map(|c| {
-                    let from_local = from_r.interacting(&c.bloated(*value));
-                    Violation {
-                        rule: id.clone(),
-                        location: c.bbox(),
-                        actual: min_separation(&from_local, &c, *value),
-                        limit: *value,
-                    }
-                })
+                .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
                 .collect()
         }
         Rule::Enclosure { inner, outer, value } => {
-            let inner_r = flat.region(*inner);
-            let outer_r = flat.region(*outer);
+            let inner_r = layout.region(*inner);
+            let outer_r = layout.region(*outer);
             enclosure_violations(&inner_r, &outer_r, *value)
                 .into_iter()
                 .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *value })
                 .collect()
         }
-        Rule::MinArea { layer, value } => flat
+        Rule::MinArea { layer, value } => layout
             .region(*layer)
             .connected_components()
             .into_iter()
@@ -89,29 +100,49 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
             })
             .collect(),
         Rule::WideSpace { layer, wide_width, space } => {
-            let region = flat.region(*layer);
+            let region = layout.region(*layer);
             wide_space_violations(&region, *wide_width, *space)
                 .into_iter()
                 .map(|(location, actual)| Violation { rule: id.clone(), location, actual, limit: *space })
                 .collect()
         }
         Rule::Density { layer, window, min, max } => {
-            density_violations(&flat.region(*layer), flat.bbox(), *window, *min, *max)
+            density_violations(&layout.region(*layer), layout.bbox(), *window, *min, *max)
                 .into_iter()
                 .map(|(location, density)| {
-                    let limit = if density < *min { *min } else { *max };
-                    // Round half-to-even: `as i64` truncation made a
-                    // limit like 0.3 misreport as 299999 ppm.
+                    let limit = if density_ppm(density) < density_ppm(*min) { *min } else { *max };
                     Violation {
                         rule: id.clone(),
                         location,
-                        actual: (density * 1e6).round_ties_even() as i64,
-                        limit: (limit * 1e6).round_ties_even() as i64,
+                        actual: density_ppm(density),
+                        limit: density_ppm(limit),
                     }
                 })
                 .collect()
         }
-    }
+    };
+    sort_violations(&mut out);
+    out
+}
+
+/// Cross-layer spacing: components of `to` closer than `value` to
+/// `from`, with the measured worst separation.
+///
+/// Returns `(violation_box, measured_separation)` pairs.
+pub fn min_space_to_violations(from: &Region, to: &Region, value: i64) -> Vec<(Rect, i64)> {
+    let near = from.bloated(value).intersection(to);
+    near.connected_components()
+        .into_iter()
+        .map(|c| {
+            // Clip (not `interacting`) keeps the measurement local: the
+            // bloat probe in `min_separation` only reaches `value`, so
+            // geometry beyond `value + 1` of the candidate's bbox can
+            // never change the answer — and a clip window is something
+            // a tile halo can reproduce exactly.
+            let from_local = from.clipped(c.bbox().expanded(value + 1));
+            (c.bbox(), min_separation(&from_local, &c, value))
+        })
+        .collect()
 }
 
 /// Smallest Chebyshev (per-axis) separation between `a` and `b`, given
@@ -121,7 +152,7 @@ pub fn check_rule(rule: &Rule, flat: &FlatLayout) -> Vec<Violation> {
 /// Binary search on the bloat radius: `a.bloated(k)` gains area overlap
 /// with `b` exactly when `k` exceeds the true gap, so the smallest such
 /// `k` minus one is the separation.
-fn min_separation(a: &Region, b: &Region, max: i64) -> i64 {
+pub(crate) fn min_separation(a: &Region, b: &Region, max: i64) -> i64 {
     if a.is_empty() || b.is_empty() {
         return max;
     }
@@ -191,25 +222,180 @@ pub fn spacing_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
         .into_iter()
         .map(|p| (p.location, p.distance))
         .collect();
-    out.extend(corner_violations(region, value));
+    out.extend(corner_gap_pairs(region, value));
+    out
+}
+
+/// A facing-run fragment: the exact, locally decidable unit of an
+/// edge-pair measurement.
+///
+/// For a vertical pair the gap runs along x (`gap_lo..gap_hi` are the
+/// two edge x-coordinates) and the span along y; for a horizontal pair
+/// the axes swap. A fragment asserts: *every* unit column of the span
+/// range, measured at the gap's middle column, is covered (width mode)
+/// or empty (spacing mode). Fragments with the same orientation and gap
+/// coordinates whose spans touch coalesce into one measurement — that
+/// coalescing (see [`coalesce_fragments`]) is the canonical form shared
+/// by the flat sweep and the tiled merge, which is what makes the two
+/// paths bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct PairFragment {
+    /// True for a vertical edge pair (gap along x).
+    pub vertical: bool,
+    /// Gap start (left edge x, or bottom edge y).
+    pub gap_lo: i64,
+    /// Gap end (right edge x, or top edge y).
+    pub gap_hi: i64,
+    /// Span-range start (the facing run's low coordinate).
+    pub span_lo: i64,
+    /// Span-range end.
+    pub span_hi: i64,
+}
+
+impl PairFragment {
+    /// The [`FacingPair`] this (coalesced) fragment measures.
+    pub fn to_pair(self) -> FacingPair {
+        let location = if self.vertical {
+            Rect::new(self.gap_lo, self.span_lo, self.gap_hi, self.span_hi)
+        } else {
+            Rect::new(self.span_lo, self.gap_lo, self.span_hi, self.gap_hi)
+        };
+        FacingPair {
+            distance: self.gap_hi - self.gap_lo,
+            length: self.span_hi - self.span_lo,
+            location,
+        }
+    }
+}
+
+/// Canonicalises raw fragments: sorts, then merges fragments with equal
+/// orientation + gap coordinates whose span ranges overlap or touch.
+pub(crate) fn coalesce_fragments(mut frags: Vec<PairFragment>) -> Vec<PairFragment> {
+    frags.sort_unstable();
+    let mut out: Vec<PairFragment> = Vec::new();
+    for f in frags {
+        if let Some(last) = out.last_mut() {
+            if last.vertical == f.vertical
+                && last.gap_lo == f.gap_lo
+                && last.gap_hi == f.gap_hi
+                && f.span_lo <= last.span_hi
+            {
+                last.span_hi = last.span_hi.max(f.span_hi);
+                continue;
+            }
+        }
+        out.push(f);
+    }
     out
 }
 
 /// Shared edge-pair sweep. `interior_between` selects width mode (the
 /// strip between the edges is interior) versus spacing mode (exterior).
-///
-/// Both directional sweeps run chunk-parallel: the edge list is split
-/// into fixed [`EDGE_CHUNK`] pieces, each chunk probes a shared
-/// [`GridIndex`] through its own [`dfm_geom::Searcher`], and per-chunk
-/// hits are concatenated in chunk order.
 fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> Vec<FacingPair> {
+    coalesce_fragments(raw_pair_fragments(region, value, interior_between))
+        .into_iter()
+        .map(PairFragment::to_pair)
+        .collect()
+}
+
+/// Emits one raw [`PairFragment`] per maximal covered (width mode) or
+/// empty (spacing mode) run of the gap's middle column, for every pair
+/// of opposite-facing boundary edges closer than `value`.
+///
+/// Unlike a single midpoint probe, run detection is decidable from any
+/// window that contains the gap box plus one unit of margin — the
+/// property the tiled path relies on. Both directional sweeps run
+/// chunk-parallel: the edge list is split into fixed [`EDGE_CHUNK`]
+/// pieces, each chunk probes shared [`GridIndex`]es through its own
+/// [`dfm_geom::Searcher`], and per-chunk hits are concatenated in chunk
+/// order.
+pub(crate) fn raw_pair_fragments(
+    region: &Region,
+    value: i64,
+    interior_between: bool,
+) -> Vec<PairFragment> {
     let mut out = Vec::new();
     if region.is_empty() || value <= 0 {
         return out;
     }
     let edges = region.boundary_edges();
+    let rects = region.rects();
+    let mut rect_index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
+    for (i, r) in rects.iter().enumerate() {
+        rect_index.insert(*r, i);
+    }
 
-    // Vertical edge pairs (check along x).
+    // Coverage runs of one unit column (`vertical`: x = coord) or row
+    // over the half-open span range, as maximal sorted intervals.
+    let covered_runs = |rsearch: &mut dfm_geom::Searcher<'_, usize>,
+                        vertical: bool,
+                        coord: i64,
+                        lo: i64,
+                        hi: i64|
+     -> Vec<(i64, i64)> {
+        let probe = if vertical {
+            Rect { x0: coord, y0: lo, x1: coord + 1, y1: hi }
+        } else {
+            Rect { x0: lo, y0: coord, x1: hi, y1: coord + 1 }
+        };
+        let mut runs: Vec<(i64, i64)> = Vec::new();
+        for &&ri in rsearch.query(probe).iter() {
+            let r = rects[ri];
+            let (c0, c1, s0, s1) = if vertical {
+                (r.x0, r.x1, r.y0, r.y1)
+            } else {
+                (r.y0, r.y1, r.x0, r.x1)
+            };
+            if c0 <= coord && coord < c1 {
+                let (a, b) = (s0.max(lo), s1.min(hi));
+                if a < b {
+                    runs.push((a, b));
+                }
+            }
+        }
+        runs.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::new();
+        for (a, b) in runs {
+            if let Some(last) = merged.last_mut() {
+                if a <= last.1 {
+                    last.1 = last.1.max(b);
+                    continue;
+                }
+            }
+            merged.push((a, b));
+        }
+        merged
+    };
+
+    // Turns covered runs into the mode's facing runs (covered for
+    // width, complement for spacing) and emits fragments.
+    let emit = |frags: &mut Vec<PairFragment>,
+                covered: &[(i64, i64)],
+                vertical: bool,
+                gap_lo: i64,
+                gap_hi: i64,
+                lo: i64,
+                hi: i64| {
+        let mut push = |a: i64, b: i64| {
+            if a < b {
+                frags.push(PairFragment { vertical, gap_lo, gap_hi, span_lo: a, span_hi: b });
+            }
+        };
+        if interior_between {
+            for &(a, b) in covered {
+                push(a, b);
+            }
+        } else {
+            let mut cursor = lo;
+            for &(a, b) in covered {
+                push(cursor, a);
+                cursor = b;
+            }
+            push(cursor, hi);
+        }
+    };
+
+    // Vertical edge pairs (gap along x).
     {
         let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
         for (i, e) in edges.vertical.iter().enumerate() {
@@ -217,6 +403,7 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
         }
         let chunks = dfm_par::par_chunks(&edges.vertical, EDGE_CHUNK, |_, chunk| {
             let mut searcher = index.searcher();
+            let mut rsearch = rect_index.searcher();
             let mut hits = Vec::new();
             for a in chunk {
                 // Left edge of the pair: interior to the right for width,
@@ -241,14 +428,9 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
                     if ylo >= yhi {
                         continue;
                     }
-                    let mid = Point::new(a.x + (b.x - a.x) / 2, ylo + (yhi - ylo) / 2);
-                    if region.contains_point(mid) == interior_between {
-                        hits.push(FacingPair {
-                            distance: b.x - a.x,
-                            length: yhi - ylo,
-                            location: Rect::new(a.x, ylo, b.x, yhi),
-                        });
-                    }
+                    let midx = a.x + (b.x - a.x) / 2;
+                    let covered = covered_runs(&mut rsearch, true, midx, ylo, yhi);
+                    emit(&mut hits, &covered, true, a.x, b.x, ylo, yhi);
                 }
             }
             hits
@@ -256,7 +438,7 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
         out.extend(chunks.into_iter().flatten());
     }
 
-    // Horizontal edge pairs (check along y).
+    // Horizontal edge pairs (gap along y).
     {
         let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
         for (i, e) in edges.horizontal.iter().enumerate() {
@@ -264,6 +446,7 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
         }
         let chunks = dfm_par::par_chunks(&edges.horizontal, EDGE_CHUNK, |_, chunk| {
             let mut searcher = index.searcher();
+            let mut rsearch = rect_index.searcher();
             let mut hits = Vec::new();
             for a in chunk {
                 if a.interior_up != interior_between {
@@ -286,14 +469,9 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
                     if xlo >= xhi {
                         continue;
                     }
-                    let mid = Point::new(xlo + (xhi - xlo) / 2, a.y + (b.y - a.y) / 2);
-                    if region.contains_point(mid) == interior_between {
-                        hits.push(FacingPair {
-                            distance: b.y - a.y,
-                            length: xhi - xlo,
-                            location: Rect::new(xlo, a.y, xhi, b.y),
-                        });
-                    }
+                    let midy = a.y + (b.y - a.y) / 2;
+                    let covered = covered_runs(&mut rsearch, false, midy, xlo, xhi);
+                    emit(&mut hits, &covered, false, a.y, b.y, xlo, xhi);
                 }
             }
             hits
@@ -303,48 +481,112 @@ fn edge_pair_violations(region: &Region, value: i64, interior_between: bool) -> 
     out
 }
 
-/// Corner-to-corner (Euclidean) gaps between region rects closer than
-/// `value`.
-fn corner_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
-    let mut out = Vec::new();
-    let rects = region.rects();
-    if rects.len() < 2 {
-        return out;
+/// Corner-to-corner (Euclidean) gaps between diagonally facing region
+/// corners closer than `value`, as `(gap_box, distance)` pairs.
+///
+/// Corners are *geometric*: a boundary vertex qualifies through the
+/// coverage pattern of its four adjacent unit cells (convex, concave or
+/// checkerboard), never through the region's internal rectangle
+/// decomposition — so the result is a function of the covered point set
+/// alone, and a tile window computes the same pairs as the flat region.
+pub(crate) fn corner_gap_pairs(region: &Region, value: i64) -> Vec<(Rect, i64)> {
+    if region.is_empty() || value <= 1 {
+        return Vec::new();
     }
-    let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 8);
+    let rects = region.rects();
+    let mut rect_index: GridIndex<usize> = GridIndex::new(value.max(1) * 4);
     for (i, r) in rects.iter().enumerate() {
-        index.insert(*r, i);
+        rect_index.insert(*r, i);
+    }
+    let edges = region.boundary_edges();
+    let mut corners: Vec<Point> = Vec::with_capacity(edges.vertical.len() * 2);
+    for e in &edges.vertical {
+        corners.push(Point::new(e.x, e.y0));
+        corners.push(Point::new(e.x, e.y1));
+    }
+    corners.sort_unstable_by_key(|p| (p.x, p.y));
+    corners.dedup();
+
+    let covered = |s: &mut dfm_geom::Searcher<'_, usize>, x: i64, y: i64| -> bool {
+        s.query(Rect { x0: x, y0: y, x1: x + 1, y1: y + 1 })
+            .iter()
+            .any(|&&ri| {
+                let r = rects[ri];
+                r.x0 <= x && x < r.x1 && r.y0 <= y && y < r.y1
+            })
+    };
+    // The coverage pattern (NE, NW, SW, SE cells) around a vertex.
+    // True corners turn: one cell (convex), three (concave), or two
+    // diagonal (checkerboard). Two adjacent cells are a straight edge
+    // point (possible with a split edge list), zero/four no boundary.
+    let is_corner = |ne: bool, nw: bool, sw: bool, se: bool| -> bool {
+        match [ne, nw, sw, se].iter().filter(|&&b| b).count() {
+            1 | 3 => true,
+            2 => ne == sw, // diagonal pairs only
+            _ => false,
+        }
+    };
+
+    let mut index: GridIndex<usize> = GridIndex::new(value.max(1) * 8);
+    for (i, p) in corners.iter().enumerate() {
+        index.insert(Rect { x0: p.x, y0: p.y, x1: p.x, y1: p.y }, i);
     }
     let v2 = value as i128 * value as i128;
-    let chunks = dfm_par::par_chunks(rects, EDGE_CHUNK, |ci, chunk| {
+    let chunks = dfm_par::par_chunks(&corners, EDGE_CHUNK, |ci, chunk| {
         let mut searcher = index.searcher();
+        let mut rsearch = rect_index.searcher();
         let mut hits = Vec::new();
-        for (k, r) in chunk.iter().enumerate() {
+        for (k, p) in chunk.iter().enumerate() {
             let i = ci * EDGE_CHUNK + k;
-            for &&j in searcher.query(r.expanded(value)).iter() {
+            let (p_ne, p_nw, p_sw, p_se) = (
+                covered(&mut rsearch, p.x, p.y),
+                covered(&mut rsearch, p.x - 1, p.y),
+                covered(&mut rsearch, p.x - 1, p.y - 1),
+                covered(&mut rsearch, p.x, p.y - 1),
+            );
+            if !is_corner(p_ne, p_nw, p_sw, p_se) {
+                continue;
+            }
+            for &&j in searcher.query(Rect::new(p.x, p.y, p.x, p.y).expanded(value)).iter() {
                 if j <= i {
                     continue;
                 }
-                let o = rects[j];
-                let (dx, dy) = r.gap(&o);
-                if dx > 0 && dy > 0 {
-                    let d2 = dx as i128 * dx as i128 + dy as i128 * dy as i128;
-                    if d2 < v2 {
-                        // Gap box between the nearest corners.
-                        let gx0 = if r.x1 < o.x0 { r.x1 } else { o.x1 };
-                        let gx1 = if r.x1 < o.x0 { o.x0 } else { r.x0 };
-                        let gy0 = if r.y1 < o.y0 { r.y1 } else { o.y1 };
-                        let gy1 = if r.y1 < o.y0 { o.y0 } else { r.y0 };
-                        let dist = (d2 as f64).sqrt().floor() as i64;
-                        hits.push((Rect::new(gx0, gy0, gx1, gy1), dist));
+                let q = corners[j];
+                let (dx, dy) = (q.x - p.x, q.y - p.y);
+                if dx <= 0 || dy == 0 || dx >= value || dy.abs() >= value {
+                    continue;
+                }
+                let d2 = dx as i128 * dx as i128 + dy as i128 * dy as i128;
+                if d2 >= v2 {
+                    continue;
+                }
+                let (q_ne, q_nw, q_sw, q_se) = (
+                    covered(&mut rsearch, q.x, q.y),
+                    covered(&mut rsearch, q.x - 1, q.y),
+                    covered(&mut rsearch, q.x - 1, q.y - 1),
+                    covered(&mut rsearch, q.x, q.y - 1),
+                );
+                if !is_corner(q_ne, q_nw, q_sw, q_se) {
+                    continue;
+                }
+                let dist = (d2 as f64).sqrt().floor() as i64;
+                if dy > 0 {
+                    // q is up-right of p: p must open to the NE, q to
+                    // the SW, with material behind each corner.
+                    if p_sw && !p_ne && q_ne && !q_sw {
+                        hits.push((Rect::new(p.x, p.y, q.x, q.y), dist));
+                    }
+                } else {
+                    // q is down-right of p: p opens SE, q opens NW.
+                    if p_nw && !p_se && q_se && !q_nw {
+                        hits.push((Rect::new(p.x, q.y, q.x, p.y), dist));
                     }
                 }
             }
         }
         hits
     });
-    out.extend(chunks.into_iter().flatten());
-    out
+    chunks.into_iter().flatten().collect()
 }
 
 
@@ -368,7 +610,11 @@ pub fn wide_space_violations(region: &Region, wide_width: i64, space: i64) -> Ve
         let others = region.difference(&comp);
         let near = wide_part.bloated(space).intersection(&others);
         out.extend(near.connected_components().into_iter().map(|c| {
-            let wide_local = wide_part.interacting(&c.bloated(space));
+            // Clip, not `interacting`: the measurement only sees wide
+            // material within `space` of the candidate, so the clip
+            // window bounds it exactly (and a tile halo can reproduce
+            // the same window).
+            let wide_local = wide_part.clipped(c.bbox().expanded(space + 1));
             (c.bbox(), min_separation(&wide_local, &c, space))
         }));
     }
@@ -391,7 +637,12 @@ pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<(
         .into_iter()
         .map(|c| {
             let inner_local = inner.interacting(&c);
-            let outer_local = outer.interacting(&inner_local);
+            // Clip, not `interacting`: a point is enclosed with margin
+            // `k ≤ value` iff its `k`-ball lies in `outer`, so outer
+            // material beyond `value + 1` of the inner bbox can never
+            // change the measured margin. A clip window is what a tile
+            // halo reproduces exactly; whole-component selection is not.
+            let outer_local = outer.clipped(inner_local.bbox().expanded(value + 1));
             (c.bbox(), enclosure_margin(&inner_local, &outer_local, value))
         })
         .collect()
@@ -399,7 +650,7 @@ pub fn enclosure_violations(inner: &Region, outer: &Region, value: i64) -> Vec<(
 
 /// Largest margin `k < value` such that `inner` stays inside
 /// `outer.shrunk(k)` — the measured enclosure at a violation site.
-fn enclosure_margin(inner: &Region, outer: &Region, value: i64) -> i64 {
+pub(crate) fn enclosure_margin(inner: &Region, outer: &Region, value: i64) -> i64 {
     if inner.is_empty() {
         return value;
     }
@@ -420,8 +671,18 @@ fn enclosure_margin(inner: &Region, outer: &Region, value: i64) -> i64 {
     lo
 }
 
+/// Rounds a density fraction to parts-per-million, half to even.
+///
+/// Every density *decision* in the workspace (rule filtering, fill
+/// targeting, tiled merges) goes through this one rounding, so flat and
+/// tiled runs can never disagree by an ulp at a threshold.
+pub fn density_ppm(d: f64) -> i64 {
+    (d * 1e6).round_ties_even() as i64
+}
+
 /// Stepped-window density analysis: windows whose metal density falls
-/// outside `[min, max]`, with the measured density.
+/// outside `[min, max]` after ppm rounding ([`density_ppm`]), with the
+/// measured density.
 pub fn density_violations(
     region: &Region,
     extent: Rect,
@@ -429,18 +690,24 @@ pub fn density_violations(
     min: f64,
     max: f64,
 ) -> Vec<(Rect, f64)> {
+    let (min_ppm, max_ppm) = (density_ppm(min), density_ppm(max));
     density_map(region, extent, window)
         .into_iter()
-        .filter(|&(_, d)| d < min || d > max)
+        .filter(|&(_, d)| {
+            let ppm = density_ppm(d);
+            ppm < min_ppm || ppm > max_ppm
+        })
         .collect()
 }
 
-/// Computes the density of `region` in every `window`-sized window
-/// stepping by half a window across `extent`.
+/// The canonical density-window enumeration: `window`-sized rects
+/// stepping by half a window across `extent`, clamped inside it.
 ///
-/// Windows are clamped inside `extent`; if `extent` is smaller than the
-/// window, a single window covering `extent` is used.
-pub fn density_map(region: &Region, extent: Rect, window: i64) -> Vec<(Rect, f64)> {
+/// If `extent` is smaller than the window, a single window covering
+/// `extent` is used. Both the flat density map and the tiled per-window
+/// partial sums iterate exactly this list (in this order), so window
+/// indices line up between the two paths.
+pub fn density_windows(extent: Rect, window: i64) -> Vec<Rect> {
     let mut out = Vec::new();
     if extent.is_empty() || window <= 0 {
         return out;
@@ -450,14 +717,13 @@ pub fn density_map(region: &Region, extent: Rect, window: i64) -> Vec<(Rect, f64
     loop {
         let mut x = extent.x0;
         let y1 = (y + window).min(extent.y1);
-        let y0 = (y1 - window).max(extent.x0.min(extent.y0)).max(extent.y0);
+        let y0 = (y1 - window).max(extent.y0);
         loop {
             let x1 = (x + window).min(extent.x1);
             let x0 = (x1 - window).max(extent.x0);
             let w = Rect::new(x0, y0, x1, y1);
             if !w.is_empty() {
-                let covered = region.clipped(w).area();
-                out.push((w, covered as f64 / w.area() as f64));
+                out.push(w);
             }
             if x1 >= extent.x1 {
                 break;
@@ -472,10 +738,21 @@ pub fn density_map(region: &Region, extent: Rect, window: i64) -> Vec<(Rect, f64
     out
 }
 
+/// Computes the density of `region` in every [`density_windows`] window.
+pub fn density_map(region: &Region, extent: Rect, window: i64) -> Vec<(Rect, f64)> {
+    density_windows(extent, window)
+        .into_iter()
+        .map(|w| {
+            let covered = region.clipped(w).area();
+            (w, covered as f64 / w.area() as f64)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfm_layout::{layers, Cell, Library, Technology};
+    use dfm_layout::{layers, Cell, FlatLayout, Library, Technology};
 
     fn flat_with(layer: dfm_layout::Layer, rects: &[Rect]) -> FlatLayout {
         let mut lib = Library::new("t");

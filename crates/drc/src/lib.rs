@@ -43,11 +43,14 @@
 pub mod check;
 pub mod recommended;
 mod rule;
+pub mod tiled;
 mod violation;
 
 pub use check::{
-    density_map, enclosure_violations, exterior_facing_pairs, interior_facing_pairs,
-    spacing_violations, wide_space_violations, width_violations, DrcEngine, FacingPair,
+    check_rule, density_map, density_ppm, density_windows, enclosure_violations, exterior_facing_pairs,
+    interior_facing_pairs, min_space_to_violations, spacing_violations, wide_space_violations,
+    width_violations, DrcEngine, FacingPair,
 };
 pub use rule::{ParseDeckError, Rule, RuleDeck};
+pub use tiled::{check_rule_tiled, tiled_facing_pairs, TileStats, TiledDrcEngine, TiledDrcError, TiledDrcRun};
 pub use violation::{DrcReport, Violation};

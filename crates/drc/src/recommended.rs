@@ -9,7 +9,7 @@
 
 use crate::check::check_rule;
 use crate::Rule;
-use dfm_layout::{FlatLayout, Technology};
+use dfm_layout::{LayoutView, Technology};
 use std::fmt;
 
 /// A recommended rule: a [`Rule`] evaluated as guidance with a weight.
@@ -81,11 +81,11 @@ impl RecommendedDeck {
     /// `[0, 1]`, where `sites` is the number of primitive features the
     /// rule could fire on (canonical rectangles for width/space, connected
     /// components for enclosure). The composite is the weighted mean.
-    pub fn compliance(&self, flat: &FlatLayout) -> ComplianceReport {
+    pub fn compliance(&self, layout: &impl LayoutView) -> ComplianceReport {
         let mut per_rule = Vec::with_capacity(self.rules.len());
         for rr in &self.rules {
-            let violations = check_rule(&rr.rule, flat).len();
-            let sites = rule_sites(&rr.rule, flat).max(1);
+            let violations = check_rule(&rr.rule, layout).len();
+            let sites = rule_sites(&rr.rule, layout).max(1);
             let score = (1.0 - violations as f64 / sites as f64).clamp(0.0, 1.0);
             per_rule.push(RuleCompliance {
                 id: rr.rule.id(),
@@ -99,16 +99,16 @@ impl RecommendedDeck {
     }
 }
 
-fn rule_sites(rule: &Rule, flat: &FlatLayout) -> usize {
+fn rule_sites(rule: &Rule, layout: &impl LayoutView) -> usize {
     match rule {
         Rule::MinWidth { layer, .. } | Rule::MinSpace { layer, .. } | Rule::MinArea { layer, .. } => {
-            flat.region(*layer).rect_count()
+            layout.layer_rects(*layer).len()
         }
-        Rule::MinSpaceTo { from, .. } => flat.region(*from).rect_count(),
-        Rule::WideSpace { layer, .. } => flat.region(*layer).rect_count(),
-        Rule::Enclosure { inner, .. } => flat.region(*inner).rect_count(),
+        Rule::MinSpaceTo { from, .. } => layout.layer_rects(*from).len(),
+        Rule::WideSpace { layer, .. } => layout.layer_rects(*layer).len(),
+        Rule::Enclosure { inner, .. } => layout.layer_rects(*inner).len(),
         Rule::Density { layer, window, .. } => {
-            crate::check::density_map(&flat.region(*layer), flat.bbox(), *window).len()
+            crate::check::density_map(&layout.region(*layer), layout.bbox(), *window).len()
         }
     }
 }
@@ -172,7 +172,7 @@ impl fmt::Display for ComplianceReport {
 mod tests {
     use super::*;
     use dfm_geom::Rect;
-    use dfm_layout::{layers, Cell, Library};
+    use dfm_layout::{layers, Cell, FlatLayout, Library};
 
     fn flat_two_wires(gap: i64, width: i64) -> FlatLayout {
         let mut lib = Library::new("t");

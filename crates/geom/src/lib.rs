@@ -42,6 +42,7 @@ mod point;
 mod polygon;
 mod rect;
 mod region;
+mod tilegrid;
 pub mod trace;
 mod transform;
 
@@ -51,6 +52,7 @@ pub use interval::{Interval, IntervalSet};
 pub use point::{Point, Vector};
 pub use polygon::{Polygon, ValidatePolygonError};
 pub use rect::Rect;
+pub use tilegrid::TileGrid;
 pub use region::{BoolOp, Region};
 pub use trace::boundary_loops;
 pub use transform::{Rotation, Transform};

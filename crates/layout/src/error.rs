@@ -24,6 +24,12 @@ pub enum LayoutError {
     GdsUnsupported(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// A tiling configuration is unusable (non-positive tile size,
+    /// negative halo, empty layer filter...).
+    InvalidTiling(String),
+    /// An operation needed a top cell but none is set and none can be
+    /// inferred.
+    NoTopCell,
 }
 
 impl fmt::Display for LayoutError {
@@ -39,6 +45,8 @@ impl fmt::Display for LayoutError {
             }
             LayoutError::GdsUnsupported(what) => write!(f, "unsupported GDSII construct: {what}"),
             LayoutError::Io(e) => write!(f, "i/o error: {e}"),
+            LayoutError::InvalidTiling(why) => write!(f, "invalid tiling: {why}"),
+            LayoutError::NoTopCell => write!(f, "no top cell set or inferable"),
         }
     }
 }

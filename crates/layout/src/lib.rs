@@ -40,9 +40,13 @@ pub mod generate;
 mod layer;
 mod library;
 mod tech;
+mod tile;
+mod view;
 
 pub use cell::{ArrayParams, Cell, CellRef, Label, Shape};
 pub use error::LayoutError;
 pub use layer::{layers, Layer};
 pub use library::{CellId, FlatLayout, Library};
 pub use tech::Technology;
+pub use tile::{TileView, TiledLayout, TilingConfig, TilingConfigBuilder};
+pub use view::LayoutView;

@@ -262,6 +262,17 @@ impl Library {
         Ok(flat)
     }
 
+    /// Flattens the top cell ([`Library::top`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoTopCell`] if no top cell is set or inferable;
+    /// otherwise propagates [`Library::flatten`] failures.
+    pub fn flatten_top(&self) -> Result<FlatLayout, LayoutError> {
+        let top = self.top().ok_or(LayoutError::NoTopCell)?;
+        self.flatten(top)
+    }
+
     fn collect_flat(
         &self,
         id: CellId,

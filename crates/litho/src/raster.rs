@@ -9,6 +9,14 @@ use dfm_geom::{Coord, Rect, Region};
 /// where `p` is [`pixel_nm`](Raster::pixel_nm). Rasterisation is
 /// area-weighted, so features that partially cover a pixel contribute
 /// fractionally — sub-pixel feature edges survive into the aerial image.
+///
+/// Each pixel's value is `covered_area / pixel_area` with the covered
+/// area accumulated exactly (integer overlap products, all well below
+/// 2⁵³) and divided once — so the value is a function of the covered
+/// *point set* only, independent of how the region happens to be
+/// decomposed into rectangles. Two rasters over the same pixel lattice
+/// agree bit-for-bit wherever they see the same geometry, which is what
+/// lets windowed simulations tile seamlessly.
 #[derive(Clone, Debug)]
 pub struct Raster {
     origin_x: Coord,
@@ -55,8 +63,12 @@ impl Raster {
         let clipped = region.clipped(window);
         let rects = clipped.rects();
         // Row-band parallel fill: each band owns a contiguous span of
-        // rows and walks the rects in input order, so every pixel's
-        // accumulation order is the rect order at any thread count.
+        // rows and walks the rects in input order. Raw integer overlap
+        // products accumulate exactly in f64 (every partial sum is an
+        // integer ≤ pixel_area · rect_count ≪ 2⁵³), and the single
+        // division per pixel happens after the rect loop — so the final
+        // value is independent of rect order, rect decomposition, and
+        // thread count alike.
         dfm_par::par_chunks_mut(&mut r.data, BAND_ROWS * nx, |_, offset, band| {
             let band_y0 = offset / nx;
             let band_y1 = band_y0 + band.len() / nx;
@@ -77,9 +89,12 @@ impl Raster {
                         let qx0 = window.x0 + ix as i64 * pixel_nm;
                         let qx1 = qx0 + pixel_nm;
                         let ox = (rect.x1.min(qx1) - rect.x0.max(qx0)).max(0);
-                        band[(iy - band_y0) * nx + ix] += (ox * oy) as f64 / px_area;
+                        band[(iy - band_y0) * nx + ix] += (ox * oy) as f64;
                     }
                 }
+            }
+            for v in band {
+                *v /= px_area;
             }
         });
         r

@@ -2,6 +2,7 @@
 
 use crate::{Condition, OpticalModel, Raster};
 use dfm_geom::{Coord, Rect, Region};
+use dfm_layout::{Layer, LayoutView, TiledLayout};
 
 /// End-to-end aerial-image simulator with a constant-threshold resist.
 ///
@@ -61,8 +62,11 @@ impl LithoSimulator {
     /// edges still cross 0.5 exactly on the drawn edge, but side lobes
     /// create genuine pitch-dependent proximity (forbidden pitches).
     pub fn aerial_image(&self, mask: &Region, window: Rect, cond: Condition) -> Raster {
-        let halo = self.halo_nm(cond);
-        let sim_window = window.expanded(halo);
+        self.simulate(mask, window.expanded(self.halo_nm(cond)), cond)
+    }
+
+    /// Rasterise-and-blur over an exact, pre-expanded simulation window.
+    fn simulate(&self, mask: &Region, sim_window: Rect, cond: Condition) -> Raster {
         let mut raster = Raster::rasterize(mask, sim_window, self.pixel_nm);
         let sigma = self.optics.sigma_nm(cond.defocus_nm);
         let w = self.optics.ring_weight;
@@ -78,10 +82,38 @@ impl LithoSimulator {
         raster
     }
 
+    /// `window` expanded by the PSF halo and snapped *outward* onto the
+    /// global pixel lattice anchored at the layout origin. Every printed
+    /// extraction simulates over such a window, so any two windows place
+    /// their pixels on the same lattice: a pixel near (or inside) both
+    /// windows has its full blur-kernel support inside both rasters and
+    /// evaluates to bit-identical intensity in each. That invariant is
+    /// what makes windowed printing composable — see
+    /// [`printed_in_window`](LithoSimulator::printed_in_window).
+    fn lattice_sim_window(&self, window: Rect, cond: Condition) -> Rect {
+        let p = self.pixel_nm;
+        let w = window.expanded(self.halo_nm(cond));
+        Rect::new(
+            w.x0.div_euclid(p) * p,
+            w.y0.div_euclid(p) * p,
+            -((-w.x1).div_euclid(p)) * p,
+            -((-w.y1).div_euclid(p)) * p,
+        )
+    }
+
     /// The printed geometry inside `window` under `cond`, clipped to the
     /// window.
+    ///
+    /// The simulation runs on the halo-expanded window snapped outward to
+    /// the global pixel lattice, so the result is a pure function of the
+    /// mask's covered point set near the window: for any two windows
+    /// `W₁`, `W₂` the extractions agree exactly on `W₁ ∩ W₂`, and a
+    /// partition of a window reassembles its printed geometry
+    /// bit-for-bit. (The halo already clears the blur-kernel support of
+    /// every pixel touching the window, so lattice snapping only ever
+    /// *adds* margin.)
     pub fn printed_in_window(&self, mask: &Region, window: Rect, cond: Condition) -> Region {
-        let raster = self.aerial_image(mask, window, cond);
+        let raster = self.simulate(mask, self.lattice_sim_window(window, cond), cond);
         // dose · I ≥ th  ⇔  I ≥ th / dose
         let threshold = self.resist_threshold / cond.dose.max(1e-12);
         raster.threshold_region(threshold).clipped(window)
@@ -117,6 +149,70 @@ impl LithoSimulator {
             y = y1;
         }
         Region::from_rects(pieces)
+    }
+
+    /// The printed geometry of one layer of any [`LayoutView`] (whole
+    /// chip or a single tile view) under `cond`.
+    pub fn printed_layer(
+        &self,
+        view: &impl LayoutView,
+        layer: Layer,
+        cond: Condition,
+    ) -> Region {
+        self.printed(&view.region(layer), cond)
+    }
+
+    /// Tile-streamed printing of one layer of a [`TiledLayout`]: each
+    /// tile simulates its own window (materialising only O(tile + halo)
+    /// geometry) and the merged result is bit-identical to
+    /// [`printed`](LithoSimulator::printed) on the flat layer.
+    ///
+    /// Per tile the print window is the ownership core, extended
+    /// outward by the PSF halo on sides that lie on the layout-extent
+    /// boundary — so the windows partition the same halo-expanded
+    /// extent the flat path prints into, and geometry that prints
+    /// slightly outside the drawn extent is not lost. The tile views
+    /// carry `2·halo + 2·pixel` of mask margin, which clears the
+    /// blur-kernel support of every pixel touching the print window;
+    /// the lattice-aligned simulation then guarantees each window
+    /// reproduces the flat intensities exactly.
+    pub fn printed_tiled(&self, layout: &TiledLayout, layer: Layer, cond: Condition) -> Region {
+        let extent = layout.bbox();
+        if extent.is_empty() {
+            return Region::new();
+        }
+        let halo = self.halo_nm(cond);
+        let view_halo = 2 * halo + 2 * self.pixel_nm;
+        let layers = [layer];
+        let n = layout.tile_count();
+        let stream_window = (dfm_par::thread_count() * 2).max(1);
+        let pieces: Vec<Vec<Rect>> = dfm_par::par_reduce_streaming(
+            n,
+            stream_window,
+            |i| {
+                let view = layout.view_layers(i, view_halo, &layers);
+                let core = view.core();
+                let window = Rect::new(
+                    if core.x0 == extent.x0 { core.x0 - halo } else { core.x0 },
+                    if core.y0 == extent.y0 { core.y0 - halo } else { core.y0 },
+                    if core.x1 == extent.x1 { core.x1 + halo } else { core.x1 },
+                    if core.y1 == extent.y1 { core.y1 + halo } else { core.y1 },
+                );
+                let Some(mask) = view.region_ref(layer) else {
+                    return Vec::new();
+                };
+                if mask.clipped(window.expanded(halo)).is_empty() {
+                    return Vec::new();
+                }
+                self.printed_in_window(mask, window, cond).into_rects()
+            },
+            Vec::with_capacity(n),
+            |mut acc, rects| {
+                acc.push(rects);
+                acc
+            },
+        );
+        Region::from_rects(pieces.into_iter().flatten())
     }
 }
 
@@ -232,8 +328,109 @@ mod tests {
         let tiled = sim.printed(&mask, cond);
         let window = mask.bbox().expanded(sim.halo_nm(cond));
         let single = sim.printed_in_window(&mask, window, cond);
-        // Same geometry up to clipping of the outer halo.
-        assert_eq!(tiled.area(), single.area());
+        // Lattice-aligned simulation makes internal tiling exact: the
+        // reassembled geometry is bit-identical, not merely equal-area.
+        assert_eq!(tiled.rects(), single.rects());
+    }
+
+    #[test]
+    fn window_partition_reassembles_exactly() {
+        // Split one window into four unequal quadrants: the union of the
+        // per-quadrant extractions must equal the whole-window result
+        // rect-for-rect (the seam crosses partially-covered pixels).
+        let sim = sim();
+        let mask = Region::from_rects([
+            Rect::new(0, 0, 1200, 95),
+            Rect::new(0, 250, 1200, 345),
+            Rect::new(500, -300, 595, 600),
+        ]);
+        let cond = Condition::nominal();
+        let window = mask.bbox().expanded(sim.halo_nm(cond));
+        let whole = sim.printed_in_window(&mask, window, cond);
+        let (sx, sy) = (window.x0 + 7 * window.width() / 16, window.y0 + window.height() / 3);
+        let quads = [
+            Rect::new(window.x0, window.y0, sx, sy),
+            Rect::new(sx, window.y0, window.x1, sy),
+            Rect::new(window.x0, sy, sx, window.y1),
+            Rect::new(sx, sy, window.x1, window.y1),
+        ];
+        let mut pieces = Vec::new();
+        for q in quads {
+            pieces.extend(sim.printed_in_window(&mask, q, cond).into_rects());
+        }
+        let reassembled = Region::from_rects(pieces);
+        assert_eq!(reassembled.rects(), whole.rects());
+    }
+
+    #[test]
+    fn printed_tiled_is_bit_identical_to_flat() {
+        let sim = sim();
+        let mask = Region::from_rects([
+            Rect::new(0, 0, 1500, 90),
+            Rect::new(0, 270, 1500, 360),
+            Rect::new(600, -400, 690, 500),
+            Rect::new(1100, -350, 1460, -80),
+        ]);
+        let mut flat = dfm_layout::FlatLayout::default();
+        flat.set_region(dfm_layout::layers::METAL1, mask.clone());
+        for cond in [Condition::nominal(), Condition::with_dose(1.1)] {
+            let reference = sim.printed(&mask, cond);
+            assert_eq!(
+                sim.printed_layer(&flat, dfm_layout::layers::METAL1, cond).rects(),
+                reference.rects()
+            );
+            // Non-divisor tile sizes included: seams cross pixels.
+            for tile in [700, 433] {
+                let cfg = dfm_layout::TilingConfig::builder()
+                    .tile(tile)
+                    .halo(0)
+                    .build()
+                    .expect("config");
+                let tiled = TiledLayout::from_flat(flat.clone(), cfg);
+                for threads in [1, 2, 8] {
+                    let printed = dfm_par::with_threads(threads, || {
+                        sim.printed_tiled(&tiled, dfm_layout::layers::METAL1, cond)
+                    });
+                    assert_eq!(
+                        printed.rects(),
+                        reference.rects(),
+                        "tile {tile} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn printed_tiled_hotspot_set_matches_flat() {
+        use crate::hotspots::{classify_deviations, find_hotspots, HotspotParams};
+        let sim = sim();
+        // A breaking neck and a bridging slot, placed so tile seams at
+        // size 600 cut through both deviations.
+        let mask = Region::from_rects([
+            Rect::new(0, 0, 500, 600),
+            Rect::new(500, 280, 1300, 320),
+            Rect::new(1300, 0, 1800, 600),
+            Rect::new(0, 800, 1800, 1300),
+            Rect::new(0, 1335, 1800, 1800),
+        ]);
+        let cond = Condition::nominal();
+        let params = HotspotParams::for_min_width(90);
+        let reference = find_hotspots(&sim, &mask, cond, params);
+        assert!(!reference.is_empty(), "fixture should produce hotspots");
+        let mut flat = dfm_layout::FlatLayout::default();
+        flat.set_region(dfm_layout::layers::METAL1, mask.clone());
+        for tile in [600, 377] {
+            let cfg = dfm_layout::TilingConfig::builder()
+                .tile(tile)
+                .halo(0)
+                .build()
+                .expect("config");
+            let tiled = TiledLayout::from_flat(flat.clone(), cfg);
+            let printed = sim.printed_tiled(&tiled, dfm_layout::layers::METAL1, cond);
+            let hotspots = classify_deviations(&mask, &printed, params);
+            assert_eq!(hotspots, reference, "tile {tile}");
+        }
     }
 }
 
@@ -260,7 +457,7 @@ mod ring_tests {
         };
         // Sample densely through the crossover between constructive
         // core coupling (tight pitch) and destructive ring coupling.
-        let pitches: Vec<i64> = vec![135, 160, 190, 220, 260, 320, 400, 500];
+        let pitches: Vec<i64> = vec![140, 150, 200, 280, 360, 440, 500];
         let plain_cds: Vec<i64> = pitches
             .iter()
             .map(|&p| cd_at_pitch(&plain, w, p).unwrap_or(0))

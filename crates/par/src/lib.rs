@@ -256,6 +256,103 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// Streaming ordered reduction over a lazily produced sequence.
+///
+/// `produce(i)` builds item `i` (for `i` in `0..n`) on some worker;
+/// `fold` consumes the items **strictly in index order** on the calling
+/// thread. At most `window` produced-but-unconsumed items exist at any
+/// moment, so a pipeline over `n` expensive items (layout tiles, raster
+/// bands) holds O(`window`) of them in memory instead of O(`n`) — this
+/// is the primitive the tiled engines stream tiles through.
+///
+/// Determinism: the fold order is the index order regardless of worker
+/// completion order, so the result is bit-identical at any thread
+/// count; `produce` must be a pure function of its index.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or a worker panics.
+pub fn par_reduce_streaming<T: Send, A>(
+    n: usize,
+    window: usize,
+    produce: impl Fn(usize) -> T + Sync,
+    init: A,
+    mut fold: impl FnMut(A, T) -> A,
+) -> A {
+    assert!(window > 0, "window must be positive");
+    let threads = thread_count();
+    if threads <= 1 || n <= 1 {
+        let mut acc = init;
+        for i in 0..n {
+            acc = fold(acc, produce(i));
+        }
+        return acc;
+    }
+
+    use std::collections::BTreeMap;
+    use std::sync::{Condvar, Mutex};
+
+    /// Shared pipeline state: the next index to claim, the next index
+    /// the consumer will fold, and the finished-but-unfolded items.
+    struct State<T> {
+        next_claim: usize,
+        base: usize,
+        done: BTreeMap<usize, T>,
+    }
+
+    let state = Mutex::new(State { next_claim: 0, base: 0, done: BTreeMap::new() });
+    // `item`: signalled when the item the consumer waits for arrives.
+    // `space`: signalled when `base` advances and claims may resume.
+    let item = Condvar::new();
+    let space = Condvar::new();
+
+    std::thread::scope(|scope| {
+        let workers = threads.min(n);
+        for _ in 0..workers {
+            let (state, item, space) = (&state, &item, &space);
+            let produce = &produce;
+            scope.spawn(move || {
+                with_threads(threads, || loop {
+                    let i = {
+                        let mut s = state.lock().expect("dfm-par streaming lock");
+                        while s.next_claim < n && s.next_claim - s.base >= window {
+                            s = space.wait(s).expect("dfm-par streaming wait");
+                        }
+                        if s.next_claim >= n {
+                            return;
+                        }
+                        s.next_claim += 1;
+                        s.next_claim - 1
+                    };
+                    let t = produce(i);
+                    let mut s = state.lock().expect("dfm-par streaming lock");
+                    s.done.insert(i, t);
+                    if i == s.base {
+                        item.notify_all();
+                    }
+                })
+            });
+        }
+
+        let mut acc = init;
+        for i in 0..n {
+            let t = {
+                let mut s = state.lock().expect("dfm-par streaming lock");
+                loop {
+                    if let Some(t) = s.done.remove(&i) {
+                        s.base = i + 1;
+                        space.notify_all();
+                        break t;
+                    }
+                    s = item.wait(s).expect("dfm-par streaming wait");
+                }
+            };
+            acc = fold(acc, t);
+        }
+        acc
+    })
+}
+
 /// Maps `map(chunk_index, chunk)` over `chunk_len`-sized chunks of
 /// `items`, then folds the per-chunk accumulators **in chunk order**
 /// with `fold`. Returns `None` for empty input. Because the fold order
@@ -357,6 +454,60 @@ mod tests {
         assert_eq!(par_reduce_ordered(&none, 4, |_, c| c.len(), |a, b| a + b), None);
         let mut empty: Vec<u8> = Vec::new();
         par_chunks_mut(&mut empty, 4, |_, _, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn streaming_folds_in_index_order() {
+        // Non-commutative fold pins the order; identical across thread
+        // counts and window sizes.
+        let run = |t: usize, w: usize| {
+            with_threads(t, || {
+                par_reduce_streaming(37, w, |i| (i as f64) + 1.0, 0.0f64, |a, x| a / 2.0 + x)
+            })
+        };
+        let seq = run(1, 1);
+        for (t, w) in [(2, 1), (4, 3), (8, 16), (3, 64)] {
+            assert_eq!(seq.to_bits(), run(t, w).to_bits(), "t={t} w={w}");
+        }
+    }
+
+    #[test]
+    fn streaming_bounds_outstanding_items() {
+        use std::sync::atomic::{AtomicIsize, Ordering};
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let window = 3;
+        let total: usize = with_threads(6, || {
+            par_reduce_streaming(
+                200,
+                window,
+                |i| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    i
+                },
+                0usize,
+                |a, x| {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    a + x
+                },
+            )
+        });
+        assert_eq!(total, 199 * 200 / 2);
+        // In-flight items are bounded by the window plus one per worker
+        // that has claimed-but-not-yet-queued an item.
+        assert!(
+            peak.load(Ordering::SeqCst) <= (window + 6) as isize,
+            "peak {} exceeds window bound",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn streaming_empty_and_sequential() {
+        assert_eq!(par_reduce_streaming(0, 4, |i| i, 7usize, |a, x| a + x), 7);
+        let s = with_threads(1, || par_reduce_streaming(5, 2, |i| i, 0usize, |a, x| a * 10 + x));
+        assert_eq!(s, 1234); // 0,1,2,3,4 folded in order
     }
 
     #[test]

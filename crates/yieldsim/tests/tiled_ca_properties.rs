@@ -1,0 +1,53 @@
+//! Property test: tile-streamed critical-area analysis is bit-identical
+//! to the flat analysis — same pairs, same order, same f64 bits — on
+//! random layouts and tile sizes.
+
+use dfm_check::{check, prop_assert, prop_assert_eq, Config};
+use dfm_geom::{Rect, Region};
+use dfm_layout::{layers, FlatLayout, TiledLayout, TilingConfig};
+use dfm_yield::{critical_area, DefectModel};
+
+#[test]
+fn analyze_tiled_matches_flat_on_random_layouts() {
+    let cfg = Config::with_cases(48);
+    check(
+        "analyze_tiled_matches_flat_on_random_layouts",
+        &cfg,
+        &(
+            dfm_check::vec((0i64..14, 0i64..14, 0i64..5, 0i64..5), 2..16),
+            90i64..800,
+            0i64..90,
+        ),
+        |case| {
+            let (specs, tile, halo) = (&case.0, case.1, case.2);
+            let region = Region::from_rects(specs.iter().map(|&(x, y, w, h)| {
+                Rect::new(x * 60, y * 60, x * 60 + 40 + w * 55, y * 60 + 40 + h * 55)
+            }));
+            let defects = DefectModel::new(50, 1.0);
+            let reference = critical_area::analyze(&region, &defects);
+            let mut flat = FlatLayout::default();
+            flat.set_region(layers::METAL1, region.clone());
+            prop_assert_eq!(
+                critical_area::analyze_view(&flat, layers::METAL1, &defects),
+                reference.clone(),
+                "flat view diverged"
+            );
+            for t in [tile, tile + 31] {
+                let shard_cfg = TilingConfig::builder()
+                    .tile(t)
+                    .halo(halo)
+                    .build()
+                    .expect("valid tiling");
+                let tiled = TiledLayout::from_flat(flat.clone(), shard_cfg);
+                let ca = critical_area::analyze_tiled(&tiled, layers::METAL1, &defects);
+                prop_assert_eq!(&ca, &reference, "tile {} halo {}", t, halo);
+                prop_assert!(
+                    ca.short_ca_nm2.to_bits() == reference.short_ca_nm2.to_bits()
+                        && ca.open_ca_nm2.to_bits() == reference.open_ca_nm2.to_bits(),
+                    "CA sums must match to the bit"
+                );
+            }
+            Ok(())
+        },
+    );
+}
