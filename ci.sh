@@ -50,4 +50,48 @@ DFM_BENCH_JSON="$PWD/target/tiled-bench.json" \
     cargo bench -p dfm-bench --bench engines --offline -- tiled_drc
 grep -q '"gauges"' target/tiled-bench.json
 
+echo "== signoff kill-and-resume smoke (offline, loopback only) =="
+# Boots the signoff server on an ephemeral loopback port, submits a
+# job, kills the server mid-run with SIGKILL, restarts it over the same
+# checkpoint directory, resumes, and requires the final report to be
+# byte-identical to the flat single-shot engines. This is the
+# checkpoint/resume contract exercised across a real process death.
+BIN=target/release/dfm-signoff
+SPEC_FLAGS=(--tile 1700 --halo 64 --litho-layer 4/0)
+WORK=$(mktemp -d)
+SERVER=""
+trap 'if [[ -n "$SERVER" ]]; then kill -9 "$SERVER" 2>/dev/null || true; fi; rm -rf "$WORK"' EXIT
+"$BIN" gen --out "$WORK/block.gds" --width 6000 --height 6000 --seed 7 >/dev/null
+"$BIN" flat-report --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" >"$WORK/flat.txt"
+
+# First life: slowed tiles so the SIGKILL lands mid-run, after at least
+# one tile has been checkpointed.
+DFM_SIGNOFF_TILE_DELAY_MS=60 "$BIN" serve --threads 2 --port 0 \
+    --ckpt "$WORK/ckpt" --port-file "$WORK/port" >/dev/null &
+SERVER=$!
+for _ in $(seq 100); do [[ -s "$WORK/port" ]] && break; sleep 0.05; done
+PORT=$(cat "$WORK/port")
+JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+for _ in $(seq 200); do
+    compgen -G "$WORK/ckpt/job-$JOB/tile-*.bin" >/dev/null && break
+    sleep 0.05
+done
+compgen -G "$WORK/ckpt/job-$JOB/tile-*.bin" >/dev/null
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+
+# Second life: full speed. The job reloads from disk as partial; resume
+# recomputes exactly the missing tiles.
+"$BIN" serve --threads 4 --port 0 --ckpt "$WORK/ckpt" --port-file "$WORK/port2" >/dev/null &
+SERVER=$!
+for _ in $(seq 100); do [[ -s "$WORK/port2" ]] && break; sleep 0.05; done
+PORT=$(cat "$WORK/port2")
+"$BIN" resume --addr "127.0.0.1:$PORT" --job "$JOB" >/dev/null
+"$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/resumed.txt"
+"$BIN" shutdown --addr "127.0.0.1:$PORT"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+diff "$WORK/flat.txt" "$WORK/resumed.txt"
+echo "ok: resumed report is byte-identical to the flat run"
+
 echo "CI OK"

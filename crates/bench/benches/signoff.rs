@@ -1,0 +1,87 @@
+//! Signoff-service benches: the full job pipeline (submit → tile
+//! fan-out → ordered merge → report) end to end, plus scheduler
+//! saturation gauges. This is the throughput face of the multicore
+//! story in EXPERIMENTS.md — wall-clock per signoff job at the worker
+//! counts a signoff farm actually runs.
+//!
+//! `cargo bench -p dfm-bench --bench signoff [-- filter]`, JSON via
+//! `DFM_BENCH_JSON=<path>` as for the `engines` bench.
+
+use dfm_bench::microbench::Bencher;
+use dfm_layout::{gds, generate, layers, Technology};
+use dfm_signoff::service::JobState;
+use dfm_signoff::{JobSpec, SignoffService};
+use std::hint::black_box;
+
+fn job_gds() -> Vec<u8> {
+    let tech = Technology::n65();
+    let params = generate::RoutedBlockParams {
+        width: 6_000,
+        height: 6_000,
+        ..Default::default()
+    };
+    gds::to_bytes(&generate::routed_block(&tech, params, 11)).expect("gds")
+}
+
+fn job_spec() -> JobSpec {
+    JobSpec {
+        name: "bench".to_string(),
+        tile: 1700,
+        halo: 64,
+        litho_layer: Some(layers::METAL1),
+        ..JobSpec::default()
+    }
+}
+
+/// One complete job on an already-warm service; returns the report
+/// length so the optimiser keeps the whole pipeline.
+fn run_job(service: &SignoffService, spec: &JobSpec, gds_bytes: &[u8]) -> usize {
+    let id = service.submit(spec.clone(), gds_bytes.to_vec()).expect("submit");
+    let status = service.wait(id).expect("wait");
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    let (_, text) = service.report_text(id, false).expect("report");
+    text.len()
+}
+
+/// End-to-end job latency at 1, 2, and 4 workers, on a persistent
+/// service (the pool is reused across jobs, as in the server).
+fn bench_signoff_job_e2e(b: &mut Bencher) {
+    let gds_bytes = job_gds();
+    let spec = job_spec();
+    for workers in [1usize, 2, 4] {
+        let service = SignoffService::new(workers, None);
+        b.bench(&format!("signoff_job_e2e_w{workers}"), || {
+            black_box(run_job(&service, &spec, &gds_bytes))
+        });
+    }
+}
+
+/// Scheduler saturation under a burst of jobs: submit several jobs
+/// back to back on a 4-worker service, then publish the pool's peak
+/// queue depth and peak concurrently-running tiles as gauges. A
+/// healthy scheduler shows `tiles_in_flight_peak == workers` (the pool
+/// saturates) and a `queue_depth_peak` near jobs × tiles (fan-out is
+/// immediate, not trickled).
+fn bench_signoff_saturation(b: &mut Bencher) {
+    let gds_bytes = job_gds();
+    let spec = job_spec();
+    let workers = 4usize;
+    let service = SignoffService::new(workers, None);
+    let ids: Vec<u64> = (0..3)
+        .map(|_| service.submit(spec.clone(), gds_bytes.clone()).expect("submit"))
+        .collect();
+    for id in ids {
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    }
+    let stats = service.pool_stats();
+    b.gauge("queue_depth_peak", stats.queue_depth_peak as f64);
+    b.gauge("tiles_in_flight_peak", stats.in_flight_peak as f64);
+}
+
+fn main() {
+    let mut b = Bencher::from_env();
+    bench_signoff_job_e2e(&mut b);
+    bench_signoff_saturation(&mut b);
+    b.finish();
+}

@@ -15,6 +15,7 @@ pub mod e_pattern;
 pub mod e_timing;
 pub mod e_verdict;
 pub mod e_yield;
+pub mod json;
 pub mod microbench;
 pub mod table;
 

@@ -165,40 +165,43 @@ impl Bencher {
         &self.gauges
     }
 
-    /// Render all results as JSON (hand-rolled — no serde). With no
-    /// gauges this is a plain array of timing samples; with gauges it
-    /// is an object `{"benches": [...], "gauges": [...]}` so scalar
-    /// observations stay separate from timings.
+    /// Render all results as JSON through the shared [`crate::json`]
+    /// writer (hand-rolled — no serde). With no gauges this is a plain
+    /// array of timing samples; with gauges it is an object
+    /// `{"benches": [...], "gauges": [...]}` so scalar observations
+    /// stay separate from timings.
     pub fn to_json(&self) -> String {
-        let benches = self.benches_json();
-        if self.gauges.is_empty() {
-            return format!("{benches}\n");
-        }
-        let mut gauges = String::from("[\n");
-        for (i, g) in self.gauges.iter().enumerate() {
-            if i > 0 {
-                gauges.push_str(",\n");
-            }
-            gauges.push_str(&format!("    {{\"name\": \"{}\", \"value\": {}}}", g.name, g.value));
-        }
-        gauges.push_str("\n  ]");
-        format!("{{\n\"benches\": {benches},\n\"gauges\": {gauges}\n}}\n")
-    }
-
-    fn benches_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, s) in self.results.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str(&format!(
-                "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}, \
-                 \"threads\": {}}}",
-                s.name, s.median_ns, s.min_ns, s.max_ns, s.iters_per_sample, s.samples, s.threads
-            ));
-        }
-        out.push_str("\n]");
+        use crate::json::JsonValue;
+        let sample_json = |s: &Sample| {
+            JsonValue::obj([
+                ("name", JsonValue::str(&s.name)),
+                ("median_ns", JsonValue::Num(s.median_ns)),
+                ("min_ns", JsonValue::Num(s.min_ns)),
+                ("max_ns", JsonValue::Num(s.max_ns)),
+                ("iters_per_sample", JsonValue::Num(s.iters_per_sample as f64)),
+                ("samples", JsonValue::Num(s.samples as f64)),
+                ("threads", JsonValue::Num(s.threads as f64)),
+            ])
+        };
+        let benches = JsonValue::Arr(self.results.iter().map(sample_json).collect());
+        let doc = if self.gauges.is_empty() {
+            benches
+        } else {
+            let gauges = JsonValue::Arr(
+                self.gauges
+                    .iter()
+                    .map(|g| {
+                        JsonValue::obj([
+                            ("name", JsonValue::str(&g.name)),
+                            ("value", JsonValue::Num(g.value)),
+                        ])
+                    })
+                    .collect(),
+            );
+            JsonValue::obj([("benches", benches), ("gauges", gauges)])
+        };
+        let mut out = doc.render();
+        out.push('\n');
         out
     }
 
@@ -265,7 +268,7 @@ mod tests {
         b.bench("a", || 1);
         b.bench("b", || 2);
         let json = b.to_json();
-        assert!(json.starts_with("[\n"));
+        assert!(json.starts_with('['));
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(json.matches("\"name\"").count(), 2);
         assert!(json.contains("\"median_ns\""));
@@ -278,10 +281,10 @@ mod tests {
         b.bench("timed", || 1);
         b.gauge("peak_tile_rects", 1234.0);
         let json = b.to_json();
-        assert!(json.starts_with("{"));
-        assert!(json.contains("\"benches\": ["));
-        assert!(json.contains("\"gauges\": ["));
-        assert!(json.contains("{\"name\": \"peak_tile_rects\", \"value\": 1234}"));
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"benches\":["));
+        assert!(json.contains("\"gauges\":["));
+        assert!(json.contains("{\"name\":\"peak_tile_rects\",\"value\":1234}"));
         assert_eq!(b.gauges().len(), 1);
         // The gauge respects the filter like a bench does.
         b.filter = "xyz".into();

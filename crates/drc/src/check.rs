@@ -239,7 +239,7 @@ pub fn spacing_violations(region: &Region, value: i64) -> Vec<(Rect, i64)> {
 /// by the flat sweep and the tiled merge, which is what makes the two
 /// paths bit-identical.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) struct PairFragment {
+pub struct PairFragment {
     /// True for a vertical edge pair (gap along x).
     pub vertical: bool,
     /// Gap start (left edge x, or bottom edge y).

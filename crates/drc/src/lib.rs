@@ -49,8 +49,12 @@ mod violation;
 pub use check::{
     check_rule, density_map, density_ppm, density_windows, enclosure_violations, exterior_facing_pairs,
     interior_facing_pairs, min_space_to_violations, spacing_violations, wide_space_violations,
-    width_violations, DrcEngine, FacingPair,
+    width_violations, DrcEngine, FacingPair, PairFragment,
 };
 pub use rule::{ParseDeckError, Rule, RuleDeck};
-pub use tiled::{check_rule_tiled, tiled_facing_pairs, TileStats, TiledDrcEngine, TiledDrcError, TiledDrcRun};
+pub use tiled::{
+    check_rule_tiled, facing_pair_partial, merge_facing_pair_partials, merge_rule_partials,
+    rule_tile_partial, tiled_facing_pairs, AreaPiece, RulePartial, TileStats, TiledDrcEngine,
+    TiledDrcError, TiledDrcRun,
+};
 pub use violation::{DrcReport, Violation};

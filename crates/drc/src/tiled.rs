@@ -132,16 +132,137 @@ impl<'a> TiledDrcEngine<'a> {
     }
 }
 
-/// Per-tile output of one certified rule pass: emitted violations, the
-/// tile's rect count, and the tile's own index when it refused
-/// certification.
-type TileOut = (Vec<Violation>, usize, Option<usize>);
+/// The mergeable per-tile partial result of one rule on one tile — a
+/// pure function of `(rule, layout, tile index)` computed by
+/// [`rule_tile_partial`].
+///
+/// Partials may be computed in any order, on any thread, in any
+/// process (they round-trip through a checkpoint codec in the signoff
+/// service); [`merge_rule_partials`] folds them **in tile order** into
+/// exactly the violations the flat engine produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RulePartial {
+    /// Core-owned edge-pair fragment strips (MinWidth): re-coalesced
+    /// into flat measurements at merge.
+    Fragments {
+        /// Owned fragment strips of this tile.
+        frags: Vec<PairFragment>,
+        /// Canonical rect count of the materialised tile view.
+        rects: usize,
+    },
+    /// Fragment strips plus low-corner-owned corner gaps (MinSpace).
+    Spacing {
+        /// Owned fragment strips of this tile.
+        frags: Vec<PairFragment>,
+        /// Corner-to-corner gap boxes owned by this tile, with their
+        /// diagonal distances.
+        corners: Vec<(Rect, i64)>,
+        /// Canonical rect count of the materialised tile view.
+        rects: usize,
+    },
+    /// Min-area connected components: complete ones are judged at
+    /// merge from `(bbox, area)`, seam-touching pieces are unioned
+    /// across tiles first.
+    Area {
+        /// Components wholly inside this tile's core.
+        complete: Vec<(Rect, i128)>,
+        /// Seam-touching component pieces shipped to the union-find.
+        pieces: Vec<AreaPiece>,
+        /// Canonical rect count of the materialised tile view.
+        rects: usize,
+    },
+    /// Exact per-density-window covered-area partial sums over
+    /// `region ∩ core ∩ window`.
+    Density {
+        /// `(window index, covered area)` pairs, zero entries omitted.
+        partials: Vec<(usize, i128)>,
+        /// Canonical rect count of the materialised tile view.
+        rects: usize,
+    },
+    /// A certified component rule's finished in-tile violations, or a
+    /// refusal when the tile could not prove the measurement local.
+    Certified {
+        /// Violations owned (and fully measured) by this tile.
+        violations: Vec<Violation>,
+        /// Canonical rect count of the materialised tile view.
+        rects: usize,
+        /// The tile's own index when it refused certification.
+        refused: Option<usize>,
+    },
+}
 
-/// Streams one rule over the tiles; returns its canonical-order
-/// violations and the tile statistics of the pass.
-pub fn check_rule_tiled(
+impl RulePartial {
+    /// Canonical rect count of the tile view the partial came from —
+    /// the per-tile working-set proxy folded into [`TileStats`].
+    pub fn rect_count(&self) -> usize {
+        match self {
+            RulePartial::Fragments { rects, .. }
+            | RulePartial::Spacing { rects, .. }
+            | RulePartial::Area { rects, .. }
+            | RulePartial::Density { rects, .. }
+            | RulePartial::Certified { rects, .. } => *rects,
+        }
+    }
+}
+
+/// Computes one rule's partial result on one tile. Pure: the output
+/// depends only on the arguments, never on thread count or execution
+/// order — the property that lets a job scheduler recompute, reorder,
+/// or checkpoint tile tasks freely.
+pub fn rule_tile_partial(rule: &Rule, layout: &TiledLayout, tile: usize) -> RulePartial {
+    let id = rule.id();
+    let make = |location: Rect, actual: i64, limit: i64| Violation {
+        rule: id.clone(),
+        location,
+        actual,
+        limit,
+    };
+    match rule {
+        Rule::MinWidth { layer, value } => {
+            let (frags, rects) = facing_pair_partial(layout, *layer, *value, true, tile);
+            RulePartial::Fragments { frags, rects }
+        }
+        Rule::MinSpace { layer, value } => {
+            let view = layout.view_layers(tile, value + 2, &[*layer]);
+            let region = view.region(*layer);
+            let core = view.core();
+            let frags = own_fragments(raw_pair_fragments(&region, *value, false), core);
+            let corners: Vec<(Rect, i64)> = corner_gap_pairs(&region, *value)
+                .into_iter()
+                .filter(|(r, _)| owns(core, Point::new(r.x0, r.y0)))
+                .collect();
+            RulePartial::Spacing { frags, corners, rects: view.rect_count() }
+        }
+        Rule::MinArea { layer, .. } => min_area_tile(layout, *layer, tile),
+        Rule::Density { layer, window, .. } => density_tile(layout, *layer, *window, tile),
+        Rule::MinSpaceTo { from, to, value } => {
+            let view = layout.view_layers(tile, 2 * value + 4, &[*from, *to]);
+            min_space_to_tile(&view, *from, *to, *value, &make)
+        }
+        Rule::Enclosure { inner, outer, value } => {
+            let view = layout.view_layers(tile, 2 * value + 6, &[*inner, *outer]);
+            enclosure_tile(&view, *inner, *outer, *value, &make)
+        }
+        Rule::WideSpace { layer, wide_width, space } => {
+            let view = layout.view_layers(tile, wide_width + space + 8, &[*layer]);
+            wide_space_tile(&view, *layer, *wide_width, *space, &make)
+        }
+    }
+}
+
+/// Merges one rule's per-tile partials (given **in tile order**, one
+/// per tile) into the rule's canonical-order violations and the pass's
+/// tile statistics — exactly what [`check_rule_tiled`] returns.
+///
+/// # Errors
+///
+/// [`TiledDrcError`] when a certified rule refused a tile, or when a
+/// partial's kind does not match the rule (a corrupt or mismatched
+/// checkpoint — never a panic).
+pub fn merge_rule_partials(
     rule: &Rule,
     layout: &TiledLayout,
+    partials: Vec<RulePartial>,
 ) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
     let id = rule.id();
     let make = |location: Rect, actual: i64, limit: i64| Violation {
@@ -150,35 +271,39 @@ pub fn check_rule_tiled(
         actual,
         limit,
     };
-    let (mut out, stats) = match rule {
-        Rule::MinWidth { layer, value } => {
-            let (frags, stats) = owned_fragments(layout, *layer, *value, true);
-            let v = coalesce_fragments(frags)
+    let mut stats = TileStats::default();
+    for p in &partials {
+        stats.peak_tile_rects = stats.peak_tile_rects.max(p.rect_count());
+    }
+    let mismatch = |tile: usize| TiledDrcError {
+        rule: id.clone(),
+        tile,
+        message: "partial result kind does not match the rule".to_string(),
+    };
+    let mut out = match rule {
+        Rule::MinWidth { value, .. } => {
+            let mut frags = Vec::new();
+            for (tile, p) in partials.into_iter().enumerate() {
+                let RulePartial::Fragments { frags: f, .. } = p else {
+                    return Err(mismatch(tile));
+                };
+                frags.extend(f);
+            }
+            coalesce_fragments(frags)
                 .into_iter()
                 .map(PairFragment::to_pair)
                 .map(|p| make(p.location, p.distance, *value))
-                .collect();
-            (v, stats)
+                .collect()
         }
-        Rule::MinSpace { layer, value } => {
-            let halo = value + 2;
-            let fold = stream(layout, &[*layer], halo, |view| {
-                let region = view.region(*layer);
-                let core = view.core();
-                let frags = own_fragments(raw_pair_fragments(&region, *value, false), core);
-                let corners: Vec<(Rect, i64)> = corner_gap_pairs(&region, *value)
-                    .into_iter()
-                    .filter(|(r, _)| owns(core, Point::new(r.x0, r.y0)))
-                    .collect();
-                (frags, corners, view.rect_count())
-            });
+        Rule::MinSpace { value, .. } => {
             let mut frags = Vec::new();
             let mut corners = Vec::new();
-            let mut stats = TileStats::default();
-            for (f, c, rects) in fold {
+            for (tile, p) in partials.into_iter().enumerate() {
+                let RulePartial::Spacing { frags: f, corners: c, .. } = p else {
+                    return Err(mismatch(tile));
+                };
                 frags.extend(f);
                 corners.extend(c);
-                stats.peak_tile_rects = stats.peak_tile_rects.max(rects);
             }
             let mut v: Vec<Violation> = coalesce_fragments(frags)
                 .into_iter()
@@ -186,26 +311,102 @@ pub fn check_rule_tiled(
                 .map(|p| make(p.location, p.distance, *value))
                 .collect();
             v.extend(corners.into_iter().map(|(r, d)| make(r, d, *value)));
-            (v, stats)
+            v
         }
-        Rule::MinArea { layer, value } => min_area_tiled(layout, *layer, *value, &make),
-        Rule::Density { layer, window, min, max } => {
-            density_tiled(layout, *layer, *window, *min, *max, &make)
+        Rule::MinArea { value, .. } => {
+            let mut complete = Vec::new();
+            let mut pieces = Vec::new();
+            for (tile, p) in partials.into_iter().enumerate() {
+                let RulePartial::Area { complete: c, pieces: pc, .. } = p else {
+                    return Err(mismatch(tile));
+                };
+                complete.extend(c);
+                pieces.extend(pc);
+            }
+            min_area_merge(complete, pieces, *value, &make)
         }
-        Rule::MinSpaceTo { from, to, value } => {
-            min_space_to_tiled(layout, *from, *to, *value, &id, &make)?
+        Rule::Density { window, min, max, .. } => {
+            let windows = density_windows(layout.bbox(), *window);
+            let mut totals = vec![0i128; windows.len()];
+            for (tile, p) in partials.into_iter().enumerate() {
+                let RulePartial::Density { partials: ps, .. } = p else {
+                    return Err(mismatch(tile));
+                };
+                for (idx, a) in ps {
+                    if idx >= totals.len() {
+                        return Err(TiledDrcError {
+                            rule: id.clone(),
+                            tile,
+                            message: format!("density window index {idx} out of range"),
+                        });
+                    }
+                    totals[idx] += a;
+                }
+            }
+            density_merge(&windows, &totals, *min, *max, &make)
         }
-        Rule::Enclosure { inner, outer, value } => {
-            enclosure_tiled(layout, *inner, *outer, *value, &id, &make)?
-        }
-        Rule::WideSpace { layer, wide_width, space } => {
-            wide_space_tiled(layout, *layer, *wide_width, *space, &id, &make)?
-        }
+        Rule::MinSpaceTo { value, .. } => collect_certified(partials, &id, || {
+            format!("a near-component's interaction range (value {value}) crosses the tile window")
+        })?,
+        Rule::Enclosure { value, .. } => collect_certified(partials, &id, || {
+            format!(
+                "an under-enclosed component's interaction range (value {value}) crosses the tile window"
+            )
+        })?,
+        Rule::WideSpace { wide_width, space, .. } => collect_certified(partials, &id, || {
+            format!(
+                "a component near the core (wide {wide_width}, space {space}) crosses the tile window"
+            )
+        })?,
     };
     sort_violations(&mut out);
-    let mut full = stats;
-    full.tiles = layout.tile_count();
-    Ok((out, full))
+    stats.tiles = layout.tile_count();
+    Ok((out, stats))
+}
+
+/// Streams one rule over the tiles; returns its canonical-order
+/// violations and the tile statistics of the pass. Equivalent to
+/// computing every [`rule_tile_partial`] and merging — which is
+/// literally what it does, through the ordered streaming reduction.
+pub fn check_rule_tiled(
+    rule: &Rule,
+    layout: &TiledLayout,
+) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
+    let partials = stream_tiles(layout.tile_count(), |i| rule_tile_partial(rule, layout, i));
+    merge_rule_partials(rule, layout, partials)
+}
+
+/// One tile's owned fragment strips for a facing-pair sweep of `layer`
+/// at interaction range `max` — the per-tile half of
+/// [`tiled_facing_pairs`], exposed so a job scheduler can compute it
+/// as an independent task. Returns the strips and the tile's canonical
+/// rect count.
+pub fn facing_pair_partial(
+    layout: &TiledLayout,
+    layer: Layer,
+    max: i64,
+    interior_between: bool,
+    tile: usize,
+) -> (Vec<PairFragment>, usize) {
+    let view = layout.view_layers(tile, max + 2, &[layer]);
+    let frags =
+        own_fragments(raw_pair_fragments(&view.region(layer), max, interior_between), view.core());
+    (frags, view.rect_count())
+}
+
+/// Merges per-tile fragment strips (in tile order) into the exact flat
+/// facing-pair list — the merge half of [`tiled_facing_pairs`].
+pub fn merge_facing_pair_partials(
+    partials: impl IntoIterator<Item = Vec<PairFragment>>,
+) -> Vec<FacingPair> {
+    let mut frags = Vec::new();
+    for p in partials {
+        frags.extend(p);
+    }
+    coalesce_fragments(frags)
+        .into_iter()
+        .map(PairFragment::to_pair)
+        .collect()
 }
 
 /// Facing pairs of one layer computed tile-by-tile — the exact pair
@@ -218,53 +419,45 @@ pub fn tiled_facing_pairs(
     max: i64,
     interior_between: bool,
 ) -> Vec<FacingPair> {
-    let (frags, _) = owned_fragments(layout, layer, max, interior_between);
-    coalesce_fragments(frags)
-        .into_iter()
-        .map(PairFragment::to_pair)
-        .collect()
+    let fold = stream_tiles(layout.tile_count(), |i| {
+        facing_pair_partial(layout, layer, max, interior_between, i).0
+    });
+    merge_facing_pair_partials(fold)
 }
 
-/// Streams `per_tile` over every tile view (layers restricted, halo at
-/// least `halo`), returning the per-tile outputs in tile order.
-fn stream<T: Send>(
-    layout: &TiledLayout,
-    layers: &[Layer],
-    halo: i64,
-    per_tile: impl Fn(&TileView) -> T + Sync,
-) -> Vec<T> {
-    let n = layout.tile_count();
+/// Streams `per_tile` over `n` tile indices, returning the outputs in
+/// tile order (bounded reorder window, any thread count).
+fn stream_tiles<T: Send>(n: usize, per_tile: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let window = (dfm_par::thread_count() * 2).max(1);
-    dfm_par::par_reduce_streaming(
-        n,
-        window,
-        |i| per_tile(&layout.view_layers(i, halo, layers)),
-        Vec::with_capacity(n),
-        |mut acc, t| {
-            acc.push(t);
-            acc
-        },
-    )
+    dfm_par::par_reduce_streaming(n, window, per_tile, Vec::with_capacity(n), |mut acc, t| {
+        acc.push(t);
+        acc
+    })
 }
 
 /// Collects a certified-rule fold: the first refusing tile (in tile
 /// order) wins deterministically; otherwise violations concatenate in
-/// tile order and the rect-count stats fold.
+/// tile order.
 fn collect_certified(
-    fold: Vec<TileOut>,
+    partials: Vec<RulePartial>,
     id: &str,
     message: impl Fn() -> String,
-) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
+) -> Result<Vec<Violation>, TiledDrcError> {
     let mut violations = Vec::new();
-    let mut stats = TileStats::default();
-    for (v, rects, refused) in fold {
+    for (i, p) in partials.into_iter().enumerate() {
+        let RulePartial::Certified { violations: v, refused, .. } = p else {
+            return Err(TiledDrcError {
+                rule: id.to_string(),
+                tile: i,
+                message: "partial result kind does not match the rule".to_string(),
+            });
+        };
         if let Some(tile) = refused {
             return Err(TiledDrcError { rule: id.to_string(), tile, message: message() });
         }
         violations.extend(v);
-        stats.peak_tile_rects = stats.peak_tile_rects.max(rects);
     }
-    Ok((violations, stats))
+    Ok(violations)
 }
 
 /// True if the half-open `core` owns point `p`.
@@ -318,95 +511,72 @@ fn own_fragments(frags: Vec<PairFragment>, core: Rect) -> Vec<PairFragment> {
     out
 }
 
-/// Tile-streams the raw fragment sweep of one layer and keeps each
-/// tile's owned strips; also folds the peak rect count.
-fn owned_fragments(
-    layout: &TiledLayout,
-    layer: Layer,
-    value: i64,
-    interior_between: bool,
-) -> (Vec<PairFragment>, TileStats) {
-    let halo = value + 2;
-    let fold = stream(layout, &[layer], halo, |view| {
-        let region = view.region(layer);
-        let frags =
-            own_fragments(raw_pair_fragments(&region, value, interior_between), view.core());
-        (frags, view.rect_count())
-    });
-    let mut frags = Vec::new();
-    let mut stats = TileStats::default();
-    for (f, rects) in fold {
-        frags.extend(f);
-        stats.peak_tile_rects = stats.peak_tile_rects.max(rects);
-    }
-    (frags, stats)
-}
-
 /// A seam-touching min-area component piece shipped to the merge.
-struct AreaPiece {
-    area: i128,
-    bbox: Rect,
-    seam_rects: Vec<Rect>,
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaPiece {
+    /// Exact covered area of the piece (clipped to its tile's core).
+    pub area: i128,
+    /// Bounding box of the piece.
+    pub bbox: Rect,
+    /// The piece's rects flush against a core seam — the touch
+    /// candidates the cross-tile union-find connects on.
+    pub seam_rects: Vec<Rect>,
 }
 
-/// Min-area with distributed connected components: each tile judges
-/// the components wholly inside its core and ships seam-touching
-/// pieces; a union-find over closed seam-rect touches (the same
-/// 8-connectivity the flat component pass uses) reassembles components
-/// that cross tile boundaries. Exact at any tile size — no halo and no
-/// certification needed.
-fn min_area_tiled(
-    layout: &TiledLayout,
-    layer: Layer,
+/// Min-area per-tile half: judges nothing, just splits the tile-core
+/// components into complete ones and seam-touching pieces. Exact at
+/// any tile size — no halo and no certification needed.
+fn min_area_tile(layout: &TiledLayout, layer: Layer, tile: usize) -> RulePartial {
+    let extent = layout.bbox();
+    let view = layout.view_layers(tile, 0, &[layer]);
+    let core = view.core();
+    let region = view.region(layer).clipped(core);
+    // Seam sides: core edges strictly inside the extent. A
+    // component piece whose closure reaches a seam may continue in
+    // the neighbour tile; every other piece is a complete
+    // component.
+    let seam_left = core.x0 > extent.x0;
+    let seam_right = core.x1 < extent.x1;
+    let seam_bottom = core.y0 > extent.y0;
+    let seam_top = core.y1 < extent.y1;
+    let mut complete: Vec<(Rect, i128)> = Vec::new();
+    let mut pieces: Vec<AreaPiece> = Vec::new();
+    for comp in region.connected_components() {
+        let seam_rects: Vec<Rect> = comp
+            .rects()
+            .iter()
+            .copied()
+            .filter(|r| {
+                (seam_left && r.x0 == core.x0)
+                    || (seam_right && r.x1 == core.x1)
+                    || (seam_bottom && r.y0 == core.y0)
+                    || (seam_top && r.y1 == core.y1)
+            })
+            .collect();
+        if seam_rects.is_empty() {
+            complete.push((comp.bbox(), comp.area()));
+        } else {
+            pieces.push(AreaPiece { area: comp.area(), bbox: comp.bbox(), seam_rects });
+        }
+    }
+    RulePartial::Area { complete, pieces, rects: view.rect_count() }
+}
+
+/// Min-area merge half: judges complete components directly, then
+/// reassembles seam-crossing components with a union-find over closed
+/// seam-rect touches (the same 8-connectivity the flat component pass
+/// uses) and judges the unions.
+fn min_area_merge(
+    complete: Vec<(Rect, i128)>,
+    pieces: Vec<AreaPiece>,
     value: i64,
     make: &impl Fn(Rect, i64, i64) -> Violation,
-) -> (Vec<Violation>, TileStats) {
-    let extent = layout.bbox();
-    let fold = stream(layout, &[layer], 0, |view| {
-        let core = view.core();
-        let region = view.region(layer).clipped(core);
-        // Seam sides: core edges strictly inside the extent. A
-        // component piece whose closure reaches a seam may continue in
-        // the neighbour tile; every other piece is a complete
-        // component.
-        let seam_left = core.x0 > extent.x0;
-        let seam_right = core.x1 < extent.x1;
-        let seam_bottom = core.y0 > extent.y0;
-        let seam_top = core.y1 < extent.y1;
-        let mut complete: Vec<(Rect, i128)> = Vec::new();
-        let mut pieces: Vec<AreaPiece> = Vec::new();
-        for comp in region.connected_components() {
-            let seam_rects: Vec<Rect> = comp
-                .rects()
-                .iter()
-                .copied()
-                .filter(|r| {
-                    (seam_left && r.x0 == core.x0)
-                        || (seam_right && r.x1 == core.x1)
-                        || (seam_bottom && r.y0 == core.y0)
-                        || (seam_top && r.y1 == core.y1)
-                })
-                .collect();
-            if seam_rects.is_empty() {
-                complete.push((comp.bbox(), comp.area()));
-            } else {
-                pieces.push(AreaPiece { area: comp.area(), bbox: comp.bbox(), seam_rects });
-            }
-        }
-        (complete, pieces, view.rect_count())
-    });
-
+) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let mut pieces: Vec<AreaPiece> = Vec::new();
-    let mut stats = TileStats::default();
-    for (complete, p, rects) in fold {
-        for (bbox, area) in complete {
-            if area < value as i128 {
-                violations.push(make(bbox, area as i64, value));
-            }
+    for (bbox, area) in complete {
+        if area < value as i128 {
+            violations.push(make(bbox, area as i64, value));
         }
-        pieces.extend(p);
-        stats.peak_tile_rects = stats.peak_tile_rects.max(rects);
     }
 
     fn find(parent: &mut [usize], mut i: usize) -> usize {
@@ -448,50 +618,43 @@ fn min_area_tiled(
             violations.push(make(bbox, area as i64, value));
         }
     }
-    (violations, stats)
+    violations
 }
 
-/// Density with exact distributed partial sums: each tile adds the
-/// i128 covered area of `region ∩ core ∩ window` for every canonical
-/// density window its core touches; the merge sums partials by window
-/// index and performs the one f64 division + ppm rounding per window —
-/// identical arithmetic to the flat path. Exact at any tile size, no
+/// Density per-tile half: exact distributed partial sums — the i128
+/// covered area of `region ∩ core ∩ window` for every canonical
+/// density window the tile's core touches. Exact at any tile size, no
 /// halo needed.
-fn density_tiled(
-    layout: &TiledLayout,
-    layer: Layer,
-    window: i64,
+fn density_tile(layout: &TiledLayout, layer: Layer, window: i64, tile: usize) -> RulePartial {
+    let windows = density_windows(layout.bbox(), window);
+    let view = layout.view_layers(tile, 0, &[layer]);
+    let core = view.core();
+    let region = view.region(layer);
+    let mut partials: Vec<(usize, i128)> = Vec::new();
+    for (idx, w) in windows.iter().enumerate() {
+        let Some(wc) = w.intersection(&core) else { continue };
+        let covered = region.clipped(wc).area();
+        if covered != 0 {
+            partials.push((idx, covered));
+        }
+    }
+    RulePartial::Density { partials, rects: view.rect_count() }
+}
+
+/// Density merge half: the one f64 division + ppm rounding per window
+/// happens here, after the exact integer sums — identical arithmetic
+/// to the flat path.
+fn density_merge(
+    windows: &[Rect],
+    totals: &[i128],
     min: f64,
     max: f64,
     make: &impl Fn(Rect, i64, i64) -> Violation,
-) -> (Vec<Violation>, TileStats) {
-    let extent = layout.bbox();
-    let windows = density_windows(extent, window);
-    let fold = stream(layout, &[layer], 0, |view| {
-        let core = view.core();
-        let region = view.region(layer);
-        let mut partials: Vec<(usize, i128)> = Vec::new();
-        for (idx, w) in windows.iter().enumerate() {
-            let Some(wc) = w.intersection(&core) else { continue };
-            let covered = region.clipped(wc).area();
-            if covered != 0 {
-                partials.push((idx, covered));
-            }
-        }
-        (partials, view.rect_count())
-    });
-    let mut totals = vec![0i128; windows.len()];
-    let mut stats = TileStats::default();
-    for (partials, rects) in fold {
-        for (idx, a) in partials {
-            totals[idx] += a;
-        }
-        stats.peak_tile_rects = stats.peak_tile_rects.max(rects);
-    }
+) -> Vec<Violation> {
     let (min_ppm, max_ppm) = (density_ppm(min), density_ppm(max));
-    let violations = windows
+    windows
         .iter()
-        .zip(&totals)
+        .zip(totals)
         .filter_map(|(w, &covered)| {
             let d = covered as f64 / w.area() as f64;
             let ppm = density_ppm(d);
@@ -502,91 +665,82 @@ fn density_tiled(
                 None
             }
         })
-        .collect();
-    (violations, stats)
+        .collect()
 }
 
 /// Cross-layer spacing, certified per candidate: the tile that owns a
 /// near-component's anchor re-runs the flat measurement (same clip
 /// window, same binary search) after proving the candidate plus its
 /// interaction margin sit strictly inside the tile window.
-fn min_space_to_tiled(
-    layout: &TiledLayout,
+fn min_space_to_tile(
+    view: &TileView,
     from: Layer,
     to: Layer,
     value: i64,
-    id: &str,
-    make: &(impl Fn(Rect, i64, i64) -> Violation + Sync),
-) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
-    let halo = 2 * value + 4;
-    let fold = stream(layout, &[from, to], halo, |view| {
-        let core = view.core();
-        let window = view.window();
-        let from_w = view.region(from);
-        let to_w = view.region(to);
-        let near = from_w.bloated(value).intersection(&to_w);
-        let mut out = Vec::new();
-        for c in near.connected_components() {
-            let certified = window.contains_rect(&c.bbox().expanded(value + 2));
-            if owns(core, region_anchor(&c)) && certified {
-                let from_local = from_w.clipped(c.bbox().expanded(value + 1));
-                out.push(make(c.bbox(), min_separation(&from_local, &c, value), value));
-            } else if !certified && c.bbox().touches(&core) {
-                return (out, view.rect_count(), Some(view.index()));
-            }
+    make: &impl Fn(Rect, i64, i64) -> Violation,
+) -> RulePartial {
+    let core = view.core();
+    let window = view.window();
+    let from_w = view.region(from);
+    let to_w = view.region(to);
+    let near = from_w.bloated(value).intersection(&to_w);
+    let mut out = Vec::new();
+    for c in near.connected_components() {
+        let certified = window.contains_rect(&c.bbox().expanded(value + 2));
+        if owns(core, region_anchor(&c)) && certified {
+            let from_local = from_w.clipped(c.bbox().expanded(value + 1));
+            out.push(make(c.bbox(), min_separation(&from_local, &c, value), value));
+        } else if !certified && c.bbox().touches(&core) {
+            return RulePartial::Certified {
+                violations: out,
+                rects: view.rect_count(),
+                refused: Some(view.index()),
+            };
         }
-        (out, view.rect_count(), None)
-    });
-    collect_certified(fold, id, || {
-        format!("a near-component's interaction range (value {value}) crosses the tile window")
-    })
+    }
+    RulePartial::Certified { violations: out, rects: view.rect_count(), refused: None }
 }
 
 /// Enclosure, certified per candidate: the owner tile proves both the
 /// under-enclosed candidate and every inner component it touches sit
 /// strictly inside the window (with the measurement margin to spare),
 /// then re-runs the flat measurement verbatim.
-fn enclosure_tiled(
-    layout: &TiledLayout,
+fn enclosure_tile(
+    view: &TileView,
     inner: Layer,
     outer: Layer,
     value: i64,
-    id: &str,
-    make: &(impl Fn(Rect, i64, i64) -> Violation + Sync),
-) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
-    let halo = 2 * value + 6;
-    let fold = stream(layout, &[inner, outer], halo, |view| {
-        let core = view.core();
-        let window = view.window();
-        let inner_w = view.region(inner);
-        let outer_w = view.region(outer);
-        let mut out = Vec::new();
-        if inner_w.is_empty() {
-            return (out, view.rect_count(), None);
+    make: &impl Fn(Rect, i64, i64) -> Violation,
+) -> RulePartial {
+    let core = view.core();
+    let window = view.window();
+    let inner_w = view.region(inner);
+    let outer_w = view.region(outer);
+    let mut out = Vec::new();
+    if inner_w.is_empty() {
+        return RulePartial::Certified {
+            violations: out,
+            rects: view.rect_count(),
+            refused: None,
+        };
+    }
+    let bad = inner_w.difference(&outer_w.shrunk(value));
+    for c in bad.connected_components() {
+        let inner_local = inner_w.interacting(&c);
+        let certified = window.contains_rect(&c.bbox().expanded(value + 2))
+            && window.contains_rect(&inner_local.bbox().expanded(value + 2));
+        if owns(core, region_anchor(&c)) && certified {
+            let outer_local = outer_w.clipped(inner_local.bbox().expanded(value + 1));
+            out.push(make(c.bbox(), enclosure_margin(&inner_local, &outer_local, value), value));
+        } else if !certified && c.bbox().touches(&core) {
+            return RulePartial::Certified {
+                violations: out,
+                rects: view.rect_count(),
+                refused: Some(view.index()),
+            };
         }
-        let bad = inner_w.difference(&outer_w.shrunk(value));
-        for c in bad.connected_components() {
-            let inner_local = inner_w.interacting(&c);
-            let certified = window.contains_rect(&c.bbox().expanded(value + 2))
-                && window.contains_rect(&inner_local.bbox().expanded(value + 2));
-            if owns(core, region_anchor(&c)) && certified {
-                let outer_local = outer_w.clipped(inner_local.bbox().expanded(value + 1));
-                out.push(make(
-                    c.bbox(),
-                    enclosure_margin(&inner_local, &outer_local, value),
-                    value,
-                ));
-            } else if !certified && c.bbox().touches(&core) {
-                return (out, view.rect_count(), Some(view.index()));
-            }
-        }
-        (out, view.rect_count(), None)
-    });
-    collect_certified(fold, id, || {
-        format!(
-            "an under-enclosed component's interaction range (value {value}) crosses the tile window"
-        )
-    })
+    }
+    RulePartial::Certified { violations: out, rects: view.rect_count(), refused: None }
 }
 
 /// Wide-class spacing, certified per tile *and* per candidate.
@@ -597,56 +751,56 @@ fn enclosure_tiled(
 /// component near its core is complete — strictly inside the window.
 /// A long wire crossing the window refuses the run rather than risk a
 /// wrong wide mask or exemption.
-fn wide_space_tiled(
-    layout: &TiledLayout,
+fn wide_space_tile(
+    view: &TileView,
     layer: Layer,
     wide_width: i64,
     space: i64,
-    id: &str,
-    make: &(impl Fn(Rect, i64, i64) -> Violation + Sync),
-) -> Result<(Vec<Violation>, TileStats), TiledDrcError> {
+    make: &impl Fn(Rect, i64, i64) -> Violation,
+) -> RulePartial {
     let reach = wide_width + space + 4;
-    let halo = wide_width + space + 8;
-    let fold = stream(layout, &[layer], halo, |view| {
-        let core = view.core();
-        let window = view.window();
-        let region = view.region(layer);
-        let zone = core.expanded(reach);
-        let comps = region.connected_components();
-        for comp in &comps {
-            if comp.bbox().touches(&zone) && !window.contains_rect(&comp.bbox().expanded(1)) {
-                return (Vec::new(), view.rect_count(), Some(view.index()));
+    let refuse = |out: Vec<Violation>| RulePartial::Certified {
+        violations: out,
+        rects: view.rect_count(),
+        refused: Some(view.index()),
+    };
+    let core = view.core();
+    let window = view.window();
+    let region = view.region(layer);
+    let zone = core.expanded(reach);
+    let comps = region.connected_components();
+    for comp in &comps {
+        if comp.bbox().touches(&zone) && !window.contains_rect(&comp.bbox().expanded(1)) {
+            return refuse(Vec::new());
+        }
+    }
+    let wide = region.opened(wide_width / 2);
+    let mut out = Vec::new();
+    if wide.is_empty() {
+        return RulePartial::Certified {
+            violations: out,
+            rects: view.rect_count(),
+            refused: None,
+        };
+    }
+    for comp in &comps {
+        let wide_part = comp.intersection(&wide);
+        if wide_part.is_empty() {
+            continue;
+        }
+        let others = region.difference(comp);
+        let near = wide_part.bloated(space).intersection(&others);
+        for c in near.connected_components() {
+            let certified = window.contains_rect(&c.bbox().expanded(reach));
+            if owns(core, region_anchor(&c)) && certified {
+                let wide_local = wide_part.clipped(c.bbox().expanded(space + 1));
+                out.push(make(c.bbox(), min_separation(&wide_local, &c, space), space));
+            } else if !certified && c.bbox().touches(&core) {
+                return refuse(out);
             }
         }
-        let wide = region.opened(wide_width / 2);
-        let mut out = Vec::new();
-        if wide.is_empty() {
-            return (out, view.rect_count(), None);
-        }
-        for comp in &comps {
-            let wide_part = comp.intersection(&wide);
-            if wide_part.is_empty() {
-                continue;
-            }
-            let others = region.difference(comp);
-            let near = wide_part.bloated(space).intersection(&others);
-            for c in near.connected_components() {
-                let certified = window.contains_rect(&c.bbox().expanded(reach));
-                if owns(core, region_anchor(&c)) && certified {
-                    let wide_local = wide_part.clipped(c.bbox().expanded(space + 1));
-                    out.push(make(c.bbox(), min_separation(&wide_local, &c, space), space));
-                } else if !certified && c.bbox().touches(&core) {
-                    return (out, view.rect_count(), Some(view.index()));
-                }
-            }
-        }
-        (out, view.rect_count(), None)
-    });
-    collect_certified(fold, id, || {
-        format!(
-            "a component near the core (wide {wide_width}, space {space}) crosses the tile window"
-        )
-    })
+    }
+    RulePartial::Certified { violations: out, rects: view.rect_count(), refused: None }
 }
 
 #[cfg(test)]

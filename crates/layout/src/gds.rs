@@ -474,6 +474,30 @@ enum Element {
     Label(Label),
 }
 
+// A record whose payload is too short for even one value of its type
+// is malformed; defaulting the value would silently change the layout
+// (layer 0, width 0, …), so it is a parse error with the record's
+// byte offset instead.
+
+fn short_record(rec: &Record<'_>, what: &str) -> LayoutError {
+    LayoutError::GdsParse {
+        offset: rec.offset,
+        message: format!("{what} record with short payload ({} bytes)", rec.payload.len()),
+    }
+}
+
+fn first_i16(rec: &Record<'_>, what: &str) -> Result<i16, LayoutError> {
+    rec.as_i16s().first().copied().ok_or_else(|| short_record(rec, what))
+}
+
+fn first_i32(rec: &Record<'_>, what: &str) -> Result<i32, LayoutError> {
+    rec.as_i32s().first().copied().ok_or_else(|| short_record(rec, what))
+}
+
+fn first_real8(rec: &Record<'_>, what: &str) -> Result<f64, LayoutError> {
+    rec.as_real8s().first().copied().ok_or_else(|| short_record(rec, what))
+}
+
 fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, LayoutError> {
     let mut layer: i16 = 0;
     let mut datatype: i16 = 0;
@@ -489,10 +513,10 @@ fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, 
     loop {
         let rec = r.next_record()?;
         match rec.rectype {
-            LAYER_REC => layer = rec.as_i16s().first().copied().unwrap_or(0),
-            DATATYPE | TEXTTYPE => datatype = rec.as_i16s().first().copied().unwrap_or(0),
-            WIDTH => width = rec.as_i32s().first().copied().unwrap_or(0) as i64,
-            PATHTYPE => pathtype = rec.as_i16s().first().copied().unwrap_or(0),
+            LAYER_REC => layer = first_i16(&rec, "LAYER")?,
+            DATATYPE | TEXTTYPE => datatype = first_i16(&rec, "DATATYPE")?,
+            WIDTH => width = first_i32(&rec, "WIDTH")? as i64,
+            PATHTYPE => pathtype = first_i16(&rec, "PATHTYPE")?,
             XY => pts = rec.points(),
             SNAME => sname = rec.as_string(),
             STRING => text = rec.as_string(),
@@ -502,11 +526,11 @@ fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, 
                 }
             }
             ANGLE => {
-                let deg = rec.as_real8s().first().copied().unwrap_or(0.0);
+                let deg = first_real8(&rec, "ANGLE")?;
                 rotation = angle_to_rotation(deg, rec.offset)?;
             }
             MAG => {
-                let mag = rec.as_real8s().first().copied().unwrap_or(1.0);
+                let mag = first_real8(&rec, "MAG")?;
                 if (mag - 1.0).abs() > 1e-9 {
                     return Err(LayoutError::GdsUnsupported(format!(
                         "magnification {mag} at byte {}",
@@ -516,15 +540,25 @@ fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, 
             }
             COLROW => {
                 let v = rec.as_i16s();
-                if v.len() == 2 {
-                    colrow = Some((v[0], v[1]));
+                if v.len() != 2 {
+                    return Err(LayoutError::GdsParse {
+                        offset: rec.offset,
+                        message: format!("COLROW record with {} values, want 2", v.len()),
+                    });
                 }
+                colrow = Some((v[0], v[1]));
             }
             ENDEL => break,
             _ => {}
         }
     }
 
+    if layer < 0 || datatype < 0 {
+        return Err(LayoutError::GdsParse {
+            offset: start,
+            message: format!("negative layer/datatype {layer}/{datatype}"),
+        });
+    }
     let lay = Layer::new(layer as u16, datatype as u16);
     match kind {
         BOUNDARY => {
@@ -556,7 +590,10 @@ fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, 
             Ok(Element::Shapes(lay, rects.into_iter().map(Shape::Rect).collect()))
         }
         SREF => {
-            let origin = pts.first().copied().unwrap_or(Point::origin());
+            let origin = pts.first().copied().ok_or_else(|| LayoutError::GdsParse {
+                offset: start,
+                message: "sref without an xy origin".into(),
+            })?;
             Ok(Element::Ref(CellRef::new(
                 sname,
                 Transform::new(origin.to_vector(), rotation, mirror),
@@ -592,7 +629,10 @@ fn parse_element(r: &mut Reader<'_>, kind: u8, start: usize) -> Result<Element, 
             )))
         }
         TEXT => {
-            let position = pts.first().copied().unwrap_or(Point::origin());
+            let position = pts.first().copied().ok_or_else(|| LayoutError::GdsParse {
+                offset: start,
+                message: "text without an xy position".into(),
+            })?;
             Ok(Element::Label(Label { layer: lay, position, text }))
         }
         other => Err(LayoutError::GdsParse {
@@ -848,6 +888,158 @@ mod tests {
             from_bytes(&w.buf),
             Err(LayoutError::GdsUnsupported(_))
         ));
+    }
+
+    /// A stream prelude up to and including `BGNSTR`/`STRNAME`, ready
+    /// for one hand-crafted element.
+    fn element_stream(build: impl FnOnce(&mut Writer)) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.rec_i16(HEADER, &[600]);
+        w.rec_i16(BGNLIB, &[0; 12]);
+        w.rec_string(LIBNAME, "x");
+        w.rec_real8(UNITS, &[1e-3, 1e-9]);
+        w.rec_i16(BGNSTR, &[0; 12]);
+        w.rec_string(STRNAME, "TOP");
+        build(&mut w);
+        w.rec_none(ENDSTR);
+        w.rec_none(ENDLIB);
+        w.buf
+    }
+
+    fn expect_parse_error(bytes: &[u8], needle: &str) {
+        match from_bytes(bytes) {
+            Err(LayoutError::GdsParse { message, .. }) => {
+                assert!(message.contains(needle), "diagnostic '{message}' lacks '{needle}'");
+            }
+            other => panic!("wanted GdsParse mentioning '{needle}', got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_scalar_records_are_diagnosed_not_defaulted() {
+        // Each of these records legally carries at least one value; an
+        // empty payload used to silently default (layer 0, width 0,
+        // angle 0°…) and now must name the record in a parse error.
+        type BuildCase = (&'static str, Box<dyn Fn(&mut Writer)>);
+        let cases: [BuildCase; 5] = [
+            ("LAYER", Box::new(|w: &mut Writer| {
+                w.rec_none(BOUNDARY);
+                w.record(LAYER_REC, DT_I16, &[]);
+            })),
+            ("DATATYPE", Box::new(|w: &mut Writer| {
+                w.rec_none(BOUNDARY);
+                w.rec_i16(LAYER_REC, &[4]);
+                w.record(DATATYPE, DT_I16, &[]);
+            })),
+            ("WIDTH", Box::new(|w: &mut Writer| {
+                w.rec_none(PATH);
+                w.rec_i16(LAYER_REC, &[4]);
+                w.record(WIDTH, DT_I32, &[0, 1]); // 2 bytes: short for an i32
+            })),
+            ("PATHTYPE", Box::new(|w: &mut Writer| {
+                w.rec_none(PATH);
+                w.rec_i16(LAYER_REC, &[4]);
+                w.record(PATHTYPE, DT_I16, &[9]); // 1 byte: short for an i16
+            })),
+            ("ANGLE", Box::new(|w: &mut Writer| {
+                w.rec_none(SREF);
+                w.rec_string(SNAME, "LEAF");
+                w.record(ANGLE, DT_REAL8, &[0x41, 0x10]); // 2 bytes: short real8
+            })),
+        ];
+        for (needle, build) in cases {
+            let bytes = element_stream(|w| {
+                build(w);
+                w.rec_none(ENDEL);
+            });
+            expect_parse_error(&bytes, needle);
+        }
+    }
+
+    #[test]
+    fn empty_mag_record_is_diagnosed() {
+        let bytes = element_stream(|w| {
+            w.rec_none(SREF);
+            w.rec_string(SNAME, "LEAF");
+            w.record(MAG, DT_REAL8, &[]);
+            w.xy(&[Point::new(0, 0)]);
+            w.rec_none(ENDEL);
+        });
+        expect_parse_error(&bytes, "MAG");
+    }
+
+    #[test]
+    fn sref_without_xy_origin_is_diagnosed() {
+        let bytes = element_stream(|w| {
+            w.rec_none(SREF);
+            w.rec_string(SNAME, "LEAF");
+            w.rec_none(ENDEL); // no XY record at all
+        });
+        expect_parse_error(&bytes, "sref without an xy origin");
+
+        let bytes = element_stream(|w| {
+            w.rec_none(SREF);
+            w.rec_string(SNAME, "LEAF");
+            w.xy(&[]); // XY present but empty
+            w.rec_none(ENDEL);
+        });
+        expect_parse_error(&bytes, "sref without an xy origin");
+    }
+
+    #[test]
+    fn text_without_xy_position_is_diagnosed() {
+        let bytes = element_stream(|w| {
+            w.rec_none(TEXT);
+            w.rec_i16(LAYER_REC, &[63]);
+            w.rec_i16(TEXTTYPE, &[0]);
+            w.rec_string(STRING, "label");
+            w.rec_none(ENDEL);
+        });
+        expect_parse_error(&bytes, "text without an xy position");
+    }
+
+    #[test]
+    fn malformed_colrow_is_diagnosed() {
+        let bytes = element_stream(|w| {
+            w.rec_none(AREF);
+            w.rec_string(SNAME, "LEAF");
+            w.rec_i16(COLROW, &[3]); // one value, want two
+            w.xy(&[Point::new(0, 0), Point::new(600, 0), Point::new(0, 200)]);
+            w.rec_none(ENDEL);
+        });
+        expect_parse_error(&bytes, "COLROW");
+    }
+
+    #[test]
+    fn negative_layer_is_diagnosed_not_wrapped() {
+        let bytes = element_stream(|w| {
+            w.rec_none(BOUNDARY);
+            w.rec_i16(LAYER_REC, &[-2]);
+            w.rec_i16(DATATYPE, &[0]);
+            w.xy(&[
+                Point::new(0, 0),
+                Point::new(10, 0),
+                Point::new(10, 10),
+                Point::new(0, 10),
+                Point::new(0, 0),
+            ]);
+            w.rec_none(ENDEL);
+        });
+        expect_parse_error(&bytes, "negative layer");
+    }
+
+    #[test]
+    fn diagnostics_carry_the_record_offset() {
+        let bytes = element_stream(|w| {
+            w.rec_none(BOUNDARY);
+            w.record(LAYER_REC, DT_I16, &[]);
+        });
+        match from_bytes(&bytes) {
+            Err(LayoutError::GdsParse { offset, .. }) => {
+                assert!(offset > 0 && offset < bytes.len(), "offset {offset} out of stream");
+            }
+            other => panic!("wanted GdsParse, got {other:?}"),
+        }
     }
 
     #[test]

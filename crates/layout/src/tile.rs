@@ -242,6 +242,22 @@ impl TiledLayout {
         })
     }
 
+    /// Parses a GDSII stream and shards it in one step — the
+    /// job-scoped handle a signoff service builds per uploaded job.
+    /// The hierarchy is kept (tile views stream straight from it, with
+    /// subtree-bbox pruning); nothing is flattened up front.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::gds::from_bytes`] parse diagnostic (offset +
+    /// message for corrupt uploads), plus the [`from_library`]
+    /// validation errors.
+    ///
+    /// [`from_library`]: TiledLayout::from_library
+    pub fn from_gds_bytes(bytes: &[u8], config: TilingConfig) -> Result<TiledLayout, LayoutError> {
+        TiledLayout::from_library(crate::gds::from_bytes(bytes)?, config)
+    }
+
     /// The shard configuration.
     pub fn config(&self) -> &TilingConfig {
         &self.config

@@ -48,4 +48,4 @@ mod sim;
 
 pub use optics::{Condition, OpticalModel};
 pub use raster::Raster;
-pub use sim::LithoSimulator;
+pub use sim::{merge_printed_pieces, LithoSimulator};

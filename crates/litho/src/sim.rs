@@ -177,43 +177,67 @@ impl LithoSimulator {
     /// the lattice-aligned simulation then guarantees each window
     /// reproduces the flat intensities exactly.
     pub fn printed_tiled(&self, layout: &TiledLayout, layer: Layer, cond: Condition) -> Region {
-        let extent = layout.bbox();
-        if extent.is_empty() {
+        if layout.bbox().is_empty() {
             return Region::new();
         }
-        let halo = self.halo_nm(cond);
-        let view_halo = 2 * halo + 2 * self.pixel_nm;
-        let layers = [layer];
         let n = layout.tile_count();
         let stream_window = (dfm_par::thread_count() * 2).max(1);
         let pieces: Vec<Vec<Rect>> = dfm_par::par_reduce_streaming(
             n,
             stream_window,
-            |i| {
-                let view = layout.view_layers(i, view_halo, &layers);
-                let core = view.core();
-                let window = Rect::new(
-                    if core.x0 == extent.x0 { core.x0 - halo } else { core.x0 },
-                    if core.y0 == extent.y0 { core.y0 - halo } else { core.y0 },
-                    if core.x1 == extent.x1 { core.x1 + halo } else { core.x1 },
-                    if core.y1 == extent.y1 { core.y1 + halo } else { core.y1 },
-                );
-                let Some(mask) = view.region_ref(layer) else {
-                    return Vec::new();
-                };
-                if mask.clipped(window.expanded(halo)).is_empty() {
-                    return Vec::new();
-                }
-                self.printed_in_window(mask, window, cond).into_rects()
-            },
+            |i| self.printed_tile_piece(layout, layer, cond, i),
             Vec::with_capacity(n),
             |mut acc, rects| {
                 acc.push(rects);
                 acc
             },
         );
-        Region::from_rects(pieces.into_iter().flatten())
+        merge_printed_pieces(pieces)
     }
+
+    /// One tile's contribution to [`printed_tiled`](LithoSimulator::printed_tiled):
+    /// the printed rects of the tile's own print window. A pure
+    /// function of `(simulator, layout, layer, condition, tile index)`
+    /// — computable in any order, on any thread or process, and merged
+    /// with [`merge_printed_pieces`].
+    pub fn printed_tile_piece(
+        &self,
+        layout: &TiledLayout,
+        layer: Layer,
+        cond: Condition,
+        tile: usize,
+    ) -> Vec<Rect> {
+        let extent = layout.bbox();
+        if extent.is_empty() {
+            return Vec::new();
+        }
+        let halo = self.halo_nm(cond);
+        let view_halo = 2 * halo + 2 * self.pixel_nm;
+        let view = layout.view_layers(tile, view_halo, &[layer]);
+        let core = view.core();
+        let window = Rect::new(
+            if core.x0 == extent.x0 { core.x0 - halo } else { core.x0 },
+            if core.y0 == extent.y0 { core.y0 - halo } else { core.y0 },
+            if core.x1 == extent.x1 { core.x1 + halo } else { core.x1 },
+            if core.y1 == extent.y1 { core.y1 + halo } else { core.y1 },
+        );
+        let Some(mask) = view.region_ref(layer) else {
+            return Vec::new();
+        };
+        if mask.clipped(window.expanded(halo)).is_empty() {
+            return Vec::new();
+        }
+        self.printed_in_window(mask, window, cond).into_rects()
+    }
+}
+
+/// Merges per-tile printed pieces (given in tile order) into the
+/// canonical printed region — the merge half of
+/// [`LithoSimulator::printed_tiled`]. Because the print windows
+/// partition the halo-expanded extent, canonicalisation through
+/// [`Region::from_rects`] reproduces the flat printed region exactly.
+pub fn merge_printed_pieces(pieces: impl IntoIterator<Item = Vec<Rect>>) -> Region {
+    Region::from_rects(pieces.into_iter().flatten())
 }
 
 #[cfg(test)]

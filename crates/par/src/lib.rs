@@ -378,6 +378,232 @@ pub fn par_reduce_ordered<T: Sync, A: Send>(
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool + cooperative cancellation
+// ---------------------------------------------------------------------------
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A cooperative cancellation flag shared between a task's submitter and
+/// its executors. Cloning shares the flag. Cancellation is a latch: once
+/// set it never resets — resumable computations mint a fresh token per
+/// attempt instead of reusing a cancelled one.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Latches the token cancelled.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Counters a [`WorkerPool`] maintains about its queue — the "queue
+/// depth hooks" long-running services publish as load gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks submitted but not yet started.
+    pub queue_depth: usize,
+    /// Tasks currently executing on a worker.
+    pub in_flight: usize,
+    /// Largest queue depth ever observed.
+    pub queue_depth_peak: usize,
+    /// Largest concurrent in-flight count ever observed.
+    pub in_flight_peak: usize,
+    /// Tasks that ran to completion (including ones that panicked).
+    pub completed: u64,
+    /// Tasks skipped because their [`CancelToken`] was already
+    /// cancelled when a worker picked them up.
+    pub skipped: u64,
+    /// Tasks whose closure panicked (the panic is contained; the worker
+    /// survives).
+    pub panicked: u64,
+}
+
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    tasks: VecDeque<(Option<CancelToken>, PoolTask)>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a task is pushed or shutdown begins.
+    available: Condvar,
+    /// Signalled when the pool drains to idle.
+    idle: Condvar,
+    queue_depth_peak: AtomicUsize,
+    in_flight_peak: AtomicUsize,
+    completed: AtomicU64,
+    skipped: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A persistent fork-free worker pool for long-running services.
+///
+/// Unlike the scoped fork-join primitives above, a `WorkerPool` owns its
+/// threads for its whole lifetime and accepts `'static` boxed tasks —
+/// the execution substrate for job services that schedule many
+/// independent work units (layout tiles) and merge results *by index*
+/// on the consumer side. The pool itself makes no ordering promise
+/// beyond FIFO dispatch; determinism is the caller's ordered merge.
+///
+/// Tasks submitted with [`submit_cancellable`](WorkerPool::submit_cancellable)
+/// are skipped (never run) if their [`CancelToken`] is already
+/// cancelled when a worker dequeues them — the pool-level half of
+/// cancelling at a work-unit boundary. A task that panics is contained
+/// ([`std::panic::catch_unwind`]); the worker thread survives and the
+/// panic is counted in [`PoolStats::panicked`].
+///
+/// Dropping the pool shuts it down: queued tasks still drain, then the
+/// workers exit and are joined.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                tasks: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            idle: Condvar::new(),
+            queue_depth_peak: AtomicUsize::new(0),
+            in_flight_peak: AtomicUsize::new(0),
+            completed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a task.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.push(None, Box::new(task));
+    }
+
+    /// Enqueues a task that is silently skipped if `token` is already
+    /// cancelled when a worker dequeues it.
+    pub fn submit_cancellable(&self, token: &CancelToken, task: impl FnOnce() + Send + 'static) {
+        self.push(Some(token.clone()), Box::new(task));
+    }
+
+    fn push(&self, token: Option<CancelToken>, task: PoolTask) {
+        let depth = {
+            let mut q = self.shared.queue.lock().expect("dfm-par pool lock");
+            assert!(!q.shutdown, "submit on a shut-down WorkerPool");
+            q.tasks.push_back((token, task));
+            q.tasks.len()
+        };
+        self.shared.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+        self.shared.available.notify_one();
+    }
+
+    /// A snapshot of the pool's load counters.
+    pub fn stats(&self) -> PoolStats {
+        let (queue_depth, in_flight) = {
+            let q = self.shared.queue.lock().expect("dfm-par pool lock");
+            (q.tasks.len(), q.in_flight)
+        };
+        PoolStats {
+            queue_depth,
+            in_flight,
+            queue_depth_peak: self.shared.queue_depth_peak.load(Ordering::Relaxed),
+            in_flight_peak: self.shared.in_flight_peak.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            skipped: self.shared.skipped.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until the queue is empty and no task is executing.
+    pub fn wait_idle(&self) {
+        let mut q = self.shared.queue.lock().expect("dfm-par pool lock");
+        while !q.tasks.is_empty() || q.in_flight > 0 {
+            q = self.shared.idle.wait(q).expect("dfm-par pool wait");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("dfm-par pool lock");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let (token, task) = {
+            let mut q = shared.queue.lock().expect("dfm-par pool lock");
+            loop {
+                if let Some(item) = q.tasks.pop_front() {
+                    q.in_flight += 1;
+                    let now = q.in_flight;
+                    shared.in_flight_peak.fetch_max(now, Ordering::Relaxed);
+                    break item;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).expect("dfm-par pool wait");
+            }
+        };
+        if token.is_some_and(|t| t.is_cancelled()) {
+            shared.skipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if outcome.is_err() {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut q = shared.queue.lock().expect("dfm-par pool lock");
+        q.in_flight -= 1;
+        if q.tasks.is_empty() && q.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +757,104 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_threads_panics() {
         with_threads(0, || ());
+    }
+
+    #[test]
+    fn pool_runs_all_tasks() {
+        let pool = WorkerPool::new(3);
+        let sum = Arc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move || {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(sum.load(Ordering::SeqCst), 99 * 100 / 2);
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.queue_depth_peak >= 1);
+        assert!(stats.in_flight_peak >= 1);
+    }
+
+    #[test]
+    fn pool_skips_cancelled_tasks() {
+        // One worker, first task blocks until we cancel the token the
+        // queued tasks carry — those must be skipped, never run.
+        let pool = WorkerPool::new(1);
+        let token = CancelToken::new();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            pool.submit_cancellable(&token, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        token.cancel();
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        let stats = pool.stats();
+        assert_eq!(stats.skipped, 5);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn pool_survives_panicking_task() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("task boom"));
+        let ok = Arc::new(AtomicUsize::new(0));
+        {
+            let ok = Arc::clone(&ok);
+            pool.submit(move || {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn pool_drop_drains_queue() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..20 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn cancel_token_latches_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
     }
 }

@@ -1,0 +1,570 @@
+//! On-disk checkpointing: one directory per job, one file per
+//! completed tile.
+//!
+//! Layout under the checkpoint root:
+//!
+//! ```text
+//! job-<id>/
+//!   spec.json     — the JobSpec, JSON
+//!   layout.gds    — the submitted GDS bytes, verbatim
+//!   tile-<i>.bin  — one TilePartial (see below)
+//! ```
+//!
+//! Tile files are fixed-width little-endian: a `DFMS` magic + format
+//! version header, the tile index, the encoded partial, and a trailing
+//! FNV-1a 64 checksum over everything before it. Writes go through a
+//! temp file + rename so a crash mid-write leaves either the old state
+//! or nothing; readers treat any malformed or checksum-failing file as
+//! absent (the tile is simply recomputed). That makes kill -9 at any
+//! instant safe: the resumed job loads the surviving tile set and
+//! recomputes exactly the rest.
+
+use crate::codec::fnv1a_64;
+use crate::job::TilePartial;
+use dfm_drc::{AreaPiece, PairFragment, RulePartial, Violation};
+use dfm_geom::Rect;
+use dfm_yield::critical_area::CaTilePartial;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"DFMS";
+const VERSION: u32 = 1;
+
+/// Paths of one job's checkpoint directory.
+#[derive(Clone, Debug)]
+pub struct JobDir {
+    root: PathBuf,
+}
+
+impl JobDir {
+    /// The directory for job `id` under `root` (not created yet).
+    pub fn new(root: &Path, id: u64) -> JobDir {
+        JobDir { root: root.join(format!("job-{id}")) }
+    }
+
+    /// The job directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Creates the directory and persists the submission (spec +
+    /// GDS), so a restarted service can rebuild the job from disk.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem diagnostics.
+    pub fn persist_submission(&self, spec_json: &str, gds: &[u8]) -> Result<(), String> {
+        fs::create_dir_all(&self.root).map_err(|e| format!("create {:?}: {e}", self.root))?;
+        write_atomic(&self.root.join("spec.json"), spec_json.as_bytes())?;
+        write_atomic(&self.root.join("layout.gds"), gds)
+    }
+
+    /// Loads the persisted submission, if this directory holds one.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem diagnostics (a missing directory is an error; a
+    /// missing tile file is not).
+    pub fn load_submission(&self) -> Result<(String, Vec<u8>), String> {
+        let spec = fs::read_to_string(self.root.join("spec.json"))
+            .map_err(|e| format!("read spec.json: {e}"))?;
+        let gds = fs::read(self.root.join("layout.gds"))
+            .map_err(|e| format!("read layout.gds: {e}"))?;
+        Ok((spec, gds))
+    }
+
+    /// Atomically writes one completed tile partial.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem diagnostics.
+    pub fn write_tile(&self, partial: &TilePartial) -> Result<(), String> {
+        let mut enc = Enc::default();
+        enc.bytes_raw(MAGIC);
+        enc.u32(VERSION);
+        enc.u64(partial.tile as u64);
+        encode_partial(&mut enc, partial);
+        let checksum = fnv1a_64(&enc.buf);
+        enc.u64(checksum);
+        write_atomic(&self.root.join(format!("tile-{}.bin", partial.tile)), &enc.buf)
+    }
+
+    /// Loads every tile partial that survives validation, sorted by
+    /// tile index. Corrupt, truncated, or wrong-version files are
+    /// skipped — their tiles get recomputed.
+    pub fn load_tiles(&self, tile_count: usize) -> Vec<TilePartial> {
+        let mut out = Vec::new();
+        for tile in 0..tile_count {
+            let path = self.root.join(format!("tile-{tile}.bin"));
+            let Ok(bytes) = fs::read(&path) else { continue };
+            if let Some(p) = decode_tile_file(&bytes, tile) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Removes the whole job directory (cancel-and-forget).
+    pub fn remove(&self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Lists job ids that have a checkpoint directory under `root`.
+pub fn list_job_dirs(root: &Path) -> Vec<u64> {
+    let mut ids = Vec::new();
+    let Ok(entries) = fs::read_dir(root) else { return ids };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if let Some(id) = name.to_str().and_then(|n| n.strip_prefix("job-")) {
+            if let Ok(id) = id.parse::<u64>() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    let mut f = fs::File::create(&tmp).map_err(|e| format!("create {tmp:?}: {e}"))?;
+    f.write_all(bytes).map_err(|e| format!("write {tmp:?}: {e}"))?;
+    f.sync_all().map_err(|e| format!("sync {tmp:?}: {e}"))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| format!("rename {tmp:?}: {e}"))
+}
+
+fn decode_tile_file(bytes: &[u8], expect_tile: usize) -> Option<TilePartial> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a_64(body) != stored {
+        return None;
+    }
+    let mut dec = Dec { buf: body, pos: 0 };
+    if dec.bytes_raw(4)? != MAGIC {
+        return None;
+    }
+    if dec.u32()? != VERSION {
+        return None;
+    }
+    let tile = dec.u64()? as usize;
+    if tile != expect_tile {
+        return None;
+    }
+    let partial = decode_partial(&mut dec, tile)?;
+    if dec.pos != body.len() {
+        return None; // trailing garbage
+    }
+    Some(partial)
+}
+
+// ---------------------------------------------------------------------------
+// TilePartial wire format (fixed-width LE throughout; f64 via to_bits).
+// ---------------------------------------------------------------------------
+
+fn encode_partial(enc: &mut Enc, p: &TilePartial) {
+    enc.u64(p.rects_peak as u64);
+    enc.u64(p.drc.len() as u64);
+    for rp in &p.drc {
+        encode_rule_partial(enc, rp);
+    }
+    match &p.ca {
+        None => enc.u8(0),
+        Some(ca) => {
+            enc.u8(1);
+            encode_frags(enc, &ca.short);
+            encode_frags(enc, &ca.open);
+            enc.u64(ca.rects as u64);
+        }
+    }
+    match &p.litho {
+        None => enc.u8(0),
+        Some(rects) => {
+            enc.u8(1);
+            enc.u64(rects.len() as u64);
+            for r in rects {
+                enc.rect(r);
+            }
+        }
+    }
+}
+
+fn decode_partial(dec: &mut Dec<'_>, tile: usize) -> Option<TilePartial> {
+    let rects_peak = dec.u64()? as usize;
+    let rule_count = dec.len()?;
+    let mut drc = Vec::with_capacity(rule_count);
+    for _ in 0..rule_count {
+        drc.push(decode_rule_partial(dec)?);
+    }
+    let ca = match dec.u8()? {
+        0 => None,
+        1 => {
+            let short = decode_frags(dec)?;
+            let open = decode_frags(dec)?;
+            let rects = dec.u64()? as usize;
+            Some(CaTilePartial { short, open, rects })
+        }
+        _ => return None,
+    };
+    let litho = match dec.u8()? {
+        0 => None,
+        1 => {
+            let n = dec.len()?;
+            let mut rects = Vec::with_capacity(n);
+            for _ in 0..n {
+                rects.push(dec.rect()?);
+            }
+            Some(rects)
+        }
+        _ => return None,
+    };
+    Some(TilePartial { tile, drc, ca, litho, rects_peak })
+}
+
+fn encode_rule_partial(enc: &mut Enc, rp: &RulePartial) {
+    match rp {
+        RulePartial::Fragments { frags, rects } => {
+            enc.u8(0);
+            encode_frags(enc, frags);
+            enc.u64(*rects as u64);
+        }
+        RulePartial::Spacing { frags, corners, rects } => {
+            enc.u8(1);
+            encode_frags(enc, frags);
+            enc.u64(corners.len() as u64);
+            for (r, d) in corners {
+                enc.rect(r);
+                enc.i64(*d);
+            }
+            enc.u64(*rects as u64);
+        }
+        RulePartial::Area { complete, pieces, rects } => {
+            enc.u8(2);
+            enc.u64(complete.len() as u64);
+            for (bbox, area) in complete {
+                enc.rect(bbox);
+                enc.i128(*area);
+            }
+            enc.u64(pieces.len() as u64);
+            for piece in pieces {
+                enc.i128(piece.area);
+                enc.rect(&piece.bbox);
+                enc.u64(piece.seam_rects.len() as u64);
+                for r in &piece.seam_rects {
+                    enc.rect(r);
+                }
+            }
+            enc.u64(*rects as u64);
+        }
+        RulePartial::Density { partials, rects } => {
+            enc.u8(3);
+            enc.u64(partials.len() as u64);
+            for (window, area) in partials {
+                enc.u64(*window as u64);
+                enc.i128(*area);
+            }
+            enc.u64(*rects as u64);
+        }
+        RulePartial::Certified { violations, rects, refused } => {
+            enc.u8(4);
+            enc.u64(violations.len() as u64);
+            for v in violations {
+                enc.str(&v.rule);
+                enc.rect(&v.location);
+                enc.i64(v.actual);
+                enc.i64(v.limit);
+            }
+            enc.u64(*rects as u64);
+            match refused {
+                None => enc.u8(0),
+                Some(t) => {
+                    enc.u8(1);
+                    enc.u64(*t as u64);
+                }
+            }
+        }
+    }
+}
+
+fn decode_rule_partial(dec: &mut Dec<'_>) -> Option<RulePartial> {
+    match dec.u8()? {
+        0 => {
+            let frags = decode_frags(dec)?;
+            let rects = dec.u64()? as usize;
+            Some(RulePartial::Fragments { frags, rects })
+        }
+        1 => {
+            let frags = decode_frags(dec)?;
+            let n = dec.len()?;
+            let mut corners = Vec::with_capacity(n);
+            for _ in 0..n {
+                let r = dec.rect()?;
+                let d = dec.i64()?;
+                corners.push((r, d));
+            }
+            let rects = dec.u64()? as usize;
+            Some(RulePartial::Spacing { frags, corners, rects })
+        }
+        2 => {
+            let n = dec.len()?;
+            let mut complete = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bbox = dec.rect()?;
+                let area = dec.i128()?;
+                complete.push((bbox, area));
+            }
+            let n = dec.len()?;
+            let mut pieces = Vec::with_capacity(n);
+            for _ in 0..n {
+                let area = dec.i128()?;
+                let bbox = dec.rect()?;
+                let m = dec.len()?;
+                let mut seam_rects = Vec::with_capacity(m);
+                for _ in 0..m {
+                    seam_rects.push(dec.rect()?);
+                }
+                pieces.push(AreaPiece { area, bbox, seam_rects });
+            }
+            let rects = dec.u64()? as usize;
+            Some(RulePartial::Area { complete, pieces, rects })
+        }
+        3 => {
+            let n = dec.len()?;
+            let mut partials = Vec::with_capacity(n);
+            for _ in 0..n {
+                let window = dec.u64()? as usize;
+                let area = dec.i128()?;
+                partials.push((window, area));
+            }
+            let rects = dec.u64()? as usize;
+            Some(RulePartial::Density { partials, rects })
+        }
+        4 => {
+            let n = dec.len()?;
+            let mut violations = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rule = dec.str()?;
+                let location = dec.rect()?;
+                let actual = dec.i64()?;
+                let limit = dec.i64()?;
+                violations.push(Violation { rule, location, actual, limit });
+            }
+            let rects = dec.u64()? as usize;
+            let refused = match dec.u8()? {
+                0 => None,
+                1 => Some(dec.u64()? as usize),
+                _ => return None,
+            };
+            Some(RulePartial::Certified { violations, rects, refused })
+        }
+        _ => None,
+    }
+}
+
+fn encode_frags(enc: &mut Enc, frags: &[PairFragment]) {
+    enc.u64(frags.len() as u64);
+    for f in frags {
+        enc.u8(f.vertical as u8);
+        enc.i64(f.gap_lo);
+        enc.i64(f.gap_hi);
+        enc.i64(f.span_lo);
+        enc.i64(f.span_hi);
+    }
+}
+
+fn decode_frags(dec: &mut Dec<'_>) -> Option<Vec<PairFragment>> {
+    let n = dec.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let vertical = match dec.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let gap_lo = dec.i64()?;
+        let gap_hi = dec.i64()?;
+        let span_lo = dec.i64()?;
+        let span_hi = dec.i64()?;
+        out.push(PairFragment { vertical, gap_lo, gap_hi, span_lo, span_hi });
+    }
+    Some(out)
+}
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn bytes_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn rect(&mut self, r: &Rect) {
+        for c in [r.x0, r.y0, r.x1, r.y1] {
+            self.i64(c);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes_raw(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn bytes_raw(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        let b = self.bytes_raw(1)?;
+        Some(b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes_raw(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes_raw(8)?.try_into().ok()?))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.bytes_raw(8)?.try_into().ok()?))
+    }
+    fn i128(&mut self) -> Option<i128> {
+        Some(i128::from_le_bytes(self.bytes_raw(16)?.try_into().ok()?))
+    }
+    /// A u64 length, bounded by the remaining bytes so corrupt lengths
+    /// can never trigger huge allocations.
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining {
+            return None;
+        }
+        Some(n as usize)
+    }
+    fn rect(&mut self) -> Option<Rect> {
+        let x0 = self.i64()?;
+        let y0 = self.i64()?;
+        let x1 = self.i64()?;
+        let y1 = self.i64()?;
+        Some(Rect { x0, y0, x1, y1 })
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.bytes_raw(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobContext;
+    use crate::spec::JobSpec;
+    use dfm_layout::{gds, generate, layers, Technology};
+
+    fn sample_partials() -> (JobContext, Vec<TilePartial>) {
+        let tech = Technology::n65();
+        let params = generate::RoutedBlockParams {
+            width: 5_000,
+            height: 5_000,
+            ..Default::default()
+        };
+        let bytes = gds::to_bytes(&generate::routed_block(&tech, params, 23)).expect("gds");
+        let spec = JobSpec {
+            tile: 1600,
+            halo: 64,
+            litho_layer: Some(layers::METAL1),
+            ..JobSpec::default()
+        };
+        let ctx = JobContext::build(&spec, &bytes).expect("context");
+        let partials = (0..ctx.tile_count()).map(|i| ctx.compute_tile(i)).collect();
+        (ctx, partials)
+    }
+
+    #[test]
+    fn tile_files_round_trip_exactly() {
+        let dir = std::env::temp_dir().join(format!("dfms-ckpt-rt-{}", std::process::id()));
+        let (ctx, partials) = sample_partials();
+        let job = JobDir::new(&dir, 1);
+        job.persist_submission("{}", b"gds").expect("submission");
+        for p in &partials {
+            job.write_tile(p).expect("write tile");
+        }
+        let loaded = job.load_tiles(ctx.tile_count());
+        assert_eq!(loaded, partials);
+        job.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tile_files_are_skipped_not_trusted() {
+        let dir = std::env::temp_dir().join(format!("dfms-ckpt-corrupt-{}", std::process::id()));
+        let (ctx, partials) = sample_partials();
+        let job = JobDir::new(&dir, 2);
+        job.persist_submission("{}", b"gds").expect("submission");
+        for p in &partials {
+            job.write_tile(p).expect("write tile");
+        }
+        // Flip one byte in the middle of tile 0's file: checksum must
+        // reject it and the loader must simply drop that tile.
+        let path = job.path().join("tile-0.bin");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        // And truncate tile 1's file (simulated torn write without the
+        // atomic rename).
+        if partials.len() > 1 {
+            let path = job.path().join("tile-1.bin");
+            let bytes = std::fs::read(&path).expect("read");
+            std::fs::write(&path, &bytes[..bytes.len() / 3]).expect("truncate");
+        }
+        let loaded = job.load_tiles(ctx.tile_count());
+        let expect: Vec<TilePartial> = partials
+            .iter()
+            .filter(|p| p.tile != 0 && (partials.len() == 1 || p.tile != 1))
+            .cloned()
+            .collect();
+        assert_eq!(loaded, expect);
+        job.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_dir_listing_finds_persisted_jobs() {
+        let dir = std::env::temp_dir().join(format!("dfms-ckpt-list-{}", std::process::id()));
+        for id in [3u64, 7, 5] {
+            JobDir::new(&dir, id).persist_submission("{}", b"g").expect("persist");
+        }
+        std::fs::create_dir_all(dir.join("not-a-job")).expect("noise dir");
+        assert_eq!(list_job_dirs(&dir), vec![3, 5, 7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,173 @@
+//! A blocking client for the signoff protocol — used by the
+//! `dfm-signoff` CLI and the end-to-end tests.
+
+use crate::codec::{read_frame, MAX_LINE_BYTES};
+use crate::proto::{Request, Response};
+use crate::service::{JobEvent, JobStatus};
+use crate::spec::JobSpec;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a signoff server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4517`).
+    ///
+    /// # Errors
+    ///
+    /// Socket diagnostics.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Socket, framing, and protocol diagnostics; a server-side
+    /// [`Response::Error`] is surfaced as `Err` too.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.to_json().render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let reply = read_frame(&mut self.reader, MAX_LINE_BYTES)?
+            .ok_or("server closed the connection")?;
+        match Response::parse(&reply)? {
+            Response::Error { error } => Err(error),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected reply to ping: {other:?}")),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and submission rejections.
+    pub fn submit(&mut self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, String> {
+        match self.request(&Request::Submit { spec, gds })? {
+            Response::Submitted { job } => Ok(job),
+            other => Err(format!("unexpected reply to submit: {other:?}")),
+        }
+    }
+
+    /// Fetches a job's status.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and unknown ids.
+    pub fn status(&mut self, job: u64) -> Result<JobStatus, String> {
+        match self.request(&Request::Status { job })? {
+            Response::Status(status) => Ok(status),
+            other => Err(format!("unexpected reply to status: {other:?}")),
+        }
+    }
+
+    /// Fetches the event delta from `since` on, plus the next poll
+    /// cursor.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and unknown ids.
+    pub fn events(&mut self, job: u64, since: u64) -> Result<(Vec<JobEvent>, u64), String> {
+        match self.request(&Request::Events { job, since })? {
+            Response::Events { events, next_seq } => Ok((events, next_seq)),
+            other => Err(format!("unexpected reply to events: {other:?}")),
+        }
+    }
+
+    /// Fetches the merged report text (final, or the completed-prefix
+    /// view with `partial`).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics; without `partial`, also jobs
+    /// that have not finished.
+    pub fn results(&mut self, job: u64, partial: bool) -> Result<(JobStatus, String), String> {
+        match self.request(&Request::Results { job, partial })? {
+            Response::Results { status, report_text } => Ok((status, report_text)),
+            other => Err(format!("unexpected reply to results: {other:?}")),
+        }
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and invalid transitions.
+    pub fn cancel(&mut self, job: u64) -> Result<JobStatus, String> {
+        match self.request(&Request::Cancel { job })? {
+            Response::Status(status) => Ok(status),
+            other => Err(format!("unexpected reply to cancel: {other:?}")),
+        }
+    }
+
+    /// Resumes a partial/cancelled job.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and invalid transitions.
+    pub fn resume(&mut self, job: u64) -> Result<JobStatus, String> {
+        match self.request(&Request::Resume { job })? {
+            Response::Status(status) => Ok(status),
+            other => Err(format!("unexpected reply to resume: {other:?}")),
+        }
+    }
+
+    /// Lists every job on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics.
+    pub fn list(&mut self) -> Result<Vec<JobStatus>, String> {
+        match self.request(&Request::List)? {
+            Response::List { jobs } => Ok(jobs),
+            other => Err(format!("unexpected reply to list: {other:?}")),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+
+    /// Polls `status` until the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and unknown ids.
+    pub fn wait(&mut self, job: u64) -> Result<JobStatus, String> {
+        loop {
+            let status = self.status(job)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The per-tile task a scheduler runs and the ordered merge that turns
+//! a set of per-tile results back into the flat report.
+//!
+//! [`JobContext::compute_tile`] is a **pure** function of the context
+//! (spec + layout) and the tile index: no clocks, no RNG, no shared
+//! mutable state. That purity is what lets the service compute tiles
+//! in any order, on any number of workers, kill the process between
+//! any two tiles, and still merge to the exact flat bytes.
+
+use crate::report::{CaSummary, LithoSummary, SignoffReport, CA_D0_PER_CM2};
+use crate::spec::JobSpec;
+use dfm_drc::{merge_rule_partials, rule_tile_partial, DrcReport, RuleDeck, RulePartial};
+use dfm_geom::{Rect, Region};
+use dfm_layout::{Technology, TiledLayout, TilingConfig};
+use dfm_litho::{merge_printed_pieces, Condition, LithoSimulator};
+use dfm_yield::critical_area::{ca_tile_partial, merge_ca_partials, CaTilePartial};
+use dfm_yield::DefectModel;
+
+/// Everything one tile contributes to the job: one mergeable partial
+/// per enabled engine. Stored (and checkpointed) per tile index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TilePartial {
+    /// Tile index this partial was computed for.
+    pub tile: usize,
+    /// One [`RulePartial`] per deck rule, in deck order (empty when
+    /// DRC is disabled).
+    pub drc: Vec<RulePartial>,
+    /// Critical-area fragments (when a CA layer is configured).
+    pub ca: Option<CaTilePartial>,
+    /// Printed rects of the tile core (when a litho layer is
+    /// configured).
+    pub litho: Option<Vec<Rect>>,
+    /// Largest materialised tile-view rect count across the engines —
+    /// the job-level memory gauge.
+    pub rects_peak: usize,
+}
+
+/// The immutable, shareable half of a job: spec, resolved technology,
+/// rule deck, and the tile-sharded layout. Built once per job (and
+/// once more on resume), then shared read-only by every tile task.
+pub struct JobContext {
+    /// The spec the job was submitted with.
+    pub spec: JobSpec,
+    /// Resolved technology preset.
+    pub tech: Technology,
+    /// DRC deck (empty when the spec disables DRC).
+    pub deck: RuleDeck,
+    /// Tile-sharded layout; hierarchy is kept, tiles materialise on
+    /// demand.
+    pub layout: TiledLayout,
+    defects: DefectModel,
+    sim: LithoSimulator,
+    cond: Condition,
+}
+
+impl JobContext {
+    /// Builds a context from a spec and raw GDS bytes.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation failures and GDS parse diagnostics (malformed
+    /// records are reported with their byte offset, not defaulted).
+    pub fn build(spec: &JobSpec, gds: &[u8]) -> Result<JobContext, String> {
+        spec.validate()?;
+        let tech = spec.technology()?;
+        let config = TilingConfig::builder()
+            .tile(spec.tile)
+            .halo(spec.halo)
+            .build()
+            .map_err(|e| format!("bad tiling config: {e}"))?;
+        let layout = TiledLayout::from_gds_bytes(gds, config)
+            .map_err(|e| format!("layout rejected: {e}"))?;
+        let deck = if spec.drc {
+            RuleDeck::for_technology(&tech)
+        } else {
+            RuleDeck::new()
+        };
+        Ok(JobContext {
+            defects: DefectModel::new(spec.ca_x0.max(1), CA_D0_PER_CM2),
+            sim: LithoSimulator::for_feature_size(spec.litho_feature),
+            cond: Condition::nominal(),
+            spec: spec.clone(),
+            tech,
+            deck,
+            layout,
+        })
+    }
+
+    /// Number of tiles the job decomposes into.
+    pub fn tile_count(&self) -> usize {
+        self.layout.tile_count()
+    }
+
+    /// Computes one tile's partial. Pure: equal `(context, tile)` in,
+    /// equal partial out, regardless of thread, order, or retry count.
+    pub fn compute_tile(&self, tile: usize) -> TilePartial {
+        let drc: Vec<RulePartial> = self
+            .deck
+            .rules()
+            .iter()
+            .map(|rule| rule_tile_partial(rule, &self.layout, tile))
+            .collect();
+        let ca = self
+            .spec
+            .ca_layer
+            .map(|layer| ca_tile_partial(&self.layout, layer, self.spec.ca_range(), tile));
+        let litho = self
+            .spec
+            .litho_layer
+            .map(|layer| self.sim.printed_tile_piece(&self.layout, layer, self.cond, tile));
+        let mut rects_peak = drc.iter().map(RulePartial::rect_count).max().unwrap_or(0);
+        if let Some(ca) = &ca {
+            rects_peak = rects_peak.max(ca.rects);
+        }
+        TilePartial { tile, drc, ca, litho, rects_peak }
+    }
+
+    /// Merges tile partials — **which must be sorted by tile index** —
+    /// into a report. Passing all `tile_count()` partials yields the
+    /// final report, bit-identical to [`crate::flat_report`]; passing a
+    /// prefix yields the incremental view of the completed region.
+    ///
+    /// # Errors
+    ///
+    /// Tiled-DRC certification refusals and partial/rule mismatches.
+    pub fn merge(&self, partials: &[TilePartial]) -> Result<SignoffReport, String> {
+        debug_assert!(partials.windows(2).all(|w| w[0].tile < w[1].tile));
+        let mut report = SignoffReport::default();
+        if self.spec.drc {
+            let mut drc = DrcReport::new();
+            for (r, rule) in self.deck.rules().iter().enumerate() {
+                let per_rule: Vec<RulePartial> = partials
+                    .iter()
+                    .map(|p| {
+                        p.drc.get(r).cloned().ok_or_else(|| {
+                            format!("tile {} partial is missing rule #{r}", p.tile)
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                let (violations, _) = merge_rule_partials(rule, &self.layout, per_rule)
+                    .map_err(|e| e.to_string())?;
+                drc.extend(violations);
+            }
+            report.drc = Some(drc);
+        }
+        if self.spec.ca_layer.is_some() {
+            let ca_parts: Vec<CaTilePartial> = partials
+                .iter()
+                .map(|p| {
+                    p.ca.clone()
+                        .ok_or_else(|| format!("tile {} partial is missing CA data", p.tile))
+                })
+                .collect::<Result<_, String>>()?;
+            let result = merge_ca_partials(ca_parts, &self.defects);
+            report.ca = Some(CaSummary::from_result(&result));
+        }
+        if self.spec.litho_layer.is_some() {
+            let pieces: Vec<Vec<Rect>> = partials
+                .iter()
+                .map(|p| {
+                    p.litho
+                        .clone()
+                        .ok_or_else(|| format!("tile {} partial is missing litho data", p.tile))
+                })
+                .collect::<Result<_, String>>()?;
+            let printed: Region = merge_printed_pieces(pieces);
+            report.litho = Some(LithoSummary::from_region(&printed));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::flat_report;
+    use dfm_layout::{gds, generate};
+
+    fn small_gds() -> Vec<u8> {
+        let tech = Technology::n65();
+        let params = generate::RoutedBlockParams {
+            width: 6_000,
+            height: 6_000,
+            ..Default::default()
+        };
+        gds::to_bytes(&generate::routed_block(&tech, params, 11)).expect("serialise")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            tile: 1700,
+            halo: 64,
+            litho_layer: Some(dfm_layout::layers::METAL1),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn all_tiles_merge_to_the_flat_report_bytes() {
+        let gds = small_gds();
+        let spec = spec();
+        let ctx = JobContext::build(&spec, &gds).expect("context");
+        assert!(ctx.tile_count() > 1, "want a multi-tile job");
+        // Compute in reverse order to prove order independence.
+        let mut partials: Vec<TilePartial> =
+            (0..ctx.tile_count()).rev().map(|i| ctx.compute_tile(i)).collect();
+        partials.sort_by_key(|p| p.tile);
+        let merged = ctx.merge(&partials).expect("merge");
+        let flat = flat_report(&spec, &gds::from_bytes(&gds).expect("parse")).expect("flat");
+        assert_eq!(
+            merged.render_text(&spec),
+            flat.render_text(&spec),
+            "tiled merge must be bit-identical to the flat run"
+        );
+    }
+
+    #[test]
+    fn prefix_merge_gives_an_incremental_view() {
+        let gds = small_gds();
+        let spec = spec();
+        let ctx = JobContext::build(&spec, &gds).expect("context");
+        let partials: Vec<TilePartial> =
+            (0..2.min(ctx.tile_count())).map(|i| ctx.compute_tile(i)).collect();
+        let partial_report = ctx.merge(&partials).expect("merge prefix");
+        assert!(partial_report.ca.is_some());
+    }
+
+    #[test]
+    fn corrupt_gds_is_a_diagnostic_not_a_panic() {
+        let err = match JobContext::build(&spec(), b"not gds at all") {
+            Ok(_) => panic!("corrupt GDS must not build a context"),
+            Err(e) => e,
+        };
+        assert!(err.contains("layout rejected"), "{err}");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dfm-signoff — an async signoff job service
+//!
+//! The "always-on" delivery vehicle for the workspace's signoff
+//! engines: a long-running service that accepts GDS jobs, decomposes
+//! each into per-tile tasks (DRC via [`dfm_drc::rule_tile_partial`],
+//! litho print via [`dfm_litho::LithoSimulator::printed_tile_piece`],
+//! critical area via [`dfm_yield::critical_area::ca_tile_partial`]),
+//! schedules them across a persistent [`dfm_par::WorkerPool`], and
+//! merges the per-tile partials **in tile order** so the final report
+//! is bit-identical to a flat single-shot run — at any worker count,
+//! and after any number of cancel/kill/resume cycles.
+//!
+//! The pieces:
+//!
+//! * [`JobSpec`] — what to analyse (tech, tiling, which engines),
+//! * [`JobContext`] / [`TilePartial`] — the pure per-tile task and its
+//!   mergeable result,
+//! * [`SignoffReport`] — the merged report with a canonical text
+//!   rendering ([`SignoffReport::render_text`]) that is byte-compared
+//!   against [`flat_report`] in tests and CI,
+//! * [`SignoffService`] — the job store: states, per-tile progress,
+//!   monotonic event sequence numbers, incremental (prefix-merged)
+//!   results, checkpoint/resume,
+//! * [`proto`] / [`server`] / [`client`] — a line-delimited-JSON
+//!   protocol over `std::net` TCP, rendered through the hand-rolled
+//!   [`dfm_bench::json`] writer.
+//!
+//! # Determinism argument
+//!
+//! Every tile task is a pure function of `(spec, tile index)`; the
+//! scheduler's only job is to get each partial computed *once* and
+//! into the store. The merge folds partials in tile index order, so
+//! the report depends on the set of partials — never on when, where,
+//! or how often they were computed. A resumed job recomputes exactly
+//! the missing tiles and merges the same set, hence the same bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod client;
+pub mod codec;
+pub mod job;
+pub mod proto;
+pub mod report;
+pub mod server;
+pub mod service;
+pub mod spec;
+
+pub use client::Client;
+pub use job::{JobContext, TilePartial};
+pub use report::{flat_report, CaSummary, LithoSummary, SignoffReport};
+pub use server::Server;
+pub use service::{JobEvent, JobEventKind, JobState, JobStatus, SignoffService};
+pub use spec::JobSpec;

@@ -1,0 +1,490 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every frame is one JSON value on one `\n`-terminated line, rendered
+//! by the workspace's hand-rolled writer ([`dfm_bench::json`]) and
+//! parsed by the total parser in [`crate::codec`]. Requests carry a
+//! `cmd` discriminator; responses carry `ok` plus a payload (or an
+//! `error` diagnostic). GDS bytes travel hex-encoded so frames stay
+//! valid UTF-8 text.
+//!
+//! Both directions are implemented symmetrically (`to_json` and
+//! `parse`) so the test suite can round-trip every frame kind.
+
+use crate::codec::{from_hex, parse_json, to_hex};
+use crate::service::{JobEvent, JobEventKind, JobState, JobStatus};
+use crate::spec::{json_i64, JobSpec};
+use dfm_bench::json::JsonValue;
+
+/// A client→server frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit a job: a spec plus hex-encoded GDS bytes.
+    Submit {
+        /// The job spec.
+        spec: JobSpec,
+        /// Raw GDSII stream bytes.
+        gds: Vec<u8>,
+    },
+    /// Fetch a job's status.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Fetch a job's events from a sequence number on.
+    Events {
+        /// Job id.
+        job: u64,
+        /// First sequence number wanted.
+        since: u64,
+    },
+    /// Fetch a job's merged report.
+    Results {
+        /// Job id.
+        job: u64,
+        /// Allow a prefix merge of an unfinished job.
+        partial: bool,
+    },
+    /// Cancel a job (completed tiles are kept).
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Resume a partial/cancelled job.
+    Resume {
+        /// Job id.
+        job: u64,
+    },
+    /// List all jobs.
+    List,
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request frame.
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Request::Ping => JsonValue::obj([("cmd", JsonValue::str("ping"))]),
+            Request::Submit { spec, gds } => JsonValue::obj([
+                ("cmd", JsonValue::str("submit")),
+                ("spec", spec.to_json()),
+                ("gds_hex", JsonValue::str(to_hex(gds))),
+            ]),
+            Request::Status { job } => JsonValue::obj([
+                ("cmd", JsonValue::str("status")),
+                ("job", JsonValue::Num(*job as f64)),
+            ]),
+            Request::Events { job, since } => JsonValue::obj([
+                ("cmd", JsonValue::str("events")),
+                ("job", JsonValue::Num(*job as f64)),
+                ("since", JsonValue::Num(*since as f64)),
+            ]),
+            Request::Results { job, partial } => JsonValue::obj([
+                ("cmd", JsonValue::str("results")),
+                ("job", JsonValue::Num(*job as f64)),
+                ("partial", JsonValue::Bool(*partial)),
+            ]),
+            Request::Cancel { job } => JsonValue::obj([
+                ("cmd", JsonValue::str("cancel")),
+                ("job", JsonValue::Num(*job as f64)),
+            ]),
+            Request::Resume { job } => JsonValue::obj([
+                ("cmd", JsonValue::str("resume")),
+                ("job", JsonValue::Num(*job as f64)),
+            ]),
+            Request::List => JsonValue::obj([("cmd", JsonValue::str("list"))]),
+            Request::Shutdown => JsonValue::obj([("cmd", JsonValue::str("shutdown"))]),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for malformed JSON, an unknown `cmd`, or a missing
+    /// or mistyped field. Never panics, whatever the bytes.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = parse_json(line)?;
+        let cmd = v
+            .get("cmd")
+            .and_then(JsonValue::as_str)
+            .ok_or("request needs a string \"cmd\" field")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "submit" => {
+                let spec =
+                    JobSpec::from_json(v.get("spec").ok_or("submit needs a \"spec\" object")?)?;
+                let hex = v
+                    .get("gds_hex")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("submit needs a \"gds_hex\" string")?;
+                Ok(Request::Submit { spec, gds: from_hex(hex)? })
+            }
+            "status" => Ok(Request::Status { job: job_id(&v)? }),
+            "events" => Ok(Request::Events {
+                job: job_id(&v)?,
+                since: v.get("since").map_or(Ok(0), |s| field_u64(s, "since"))?,
+            }),
+            "results" => Ok(Request::Results {
+                job: job_id(&v)?,
+                partial: v.get("partial").and_then(JsonValue::as_bool).unwrap_or(false),
+            }),
+            "cancel" => Ok(Request::Cancel { job: job_id(&v)? }),
+            "resume" => Ok(Request::Resume { job: job_id(&v)? }),
+            "list" => Ok(Request::List),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+}
+
+/// A server→client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ping answer.
+    Pong,
+    /// Job accepted.
+    Submitted {
+        /// The new job's id.
+        job: u64,
+    },
+    /// One job's status.
+    Status(JobStatus),
+    /// A job's event delta.
+    Events {
+        /// Events with `seq >= since`, in order.
+        events: Vec<JobEvent>,
+        /// The sequence number to poll from next.
+        next_seq: u64,
+    },
+    /// A job's merged report.
+    Results {
+        /// Status at merge time.
+        status: JobStatus,
+        /// The canonical report text ([`crate::SignoffReport::render_text`]).
+        report_text: String,
+    },
+    /// All jobs.
+    List {
+        /// Status per job, ordered by id.
+        jobs: Vec<JobStatus>,
+    },
+    /// The server acknowledges shutdown.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// The diagnostic.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Renders the response frame.
+    pub fn to_json(&self) -> JsonValue {
+        let ok = |fields: Vec<(String, JsonValue)>| {
+            let mut all = vec![("ok".to_string(), JsonValue::Bool(true))];
+            all.extend(fields);
+            JsonValue::Obj(all)
+        };
+        match self {
+            Response::Pong => ok(vec![("pong".to_string(), JsonValue::Bool(true))]),
+            Response::Submitted { job } => {
+                ok(vec![("job".to_string(), JsonValue::Num(*job as f64))])
+            }
+            Response::Status(status) => ok(vec![("status".to_string(), status_to_json(status))]),
+            Response::Events { events, next_seq } => ok(vec![
+                (
+                    "events".to_string(),
+                    JsonValue::Arr(events.iter().map(event_to_json).collect()),
+                ),
+                ("next_seq".to_string(), JsonValue::Num(*next_seq as f64)),
+            ]),
+            Response::Results { status, report_text } => ok(vec![
+                ("status".to_string(), status_to_json(status)),
+                ("report_text".to_string(), JsonValue::str(report_text)),
+            ]),
+            Response::List { jobs } => ok(vec![(
+                "jobs".to_string(),
+                JsonValue::Arr(jobs.iter().map(status_to_json).collect()),
+            )]),
+            Response::ShuttingDown => {
+                ok(vec![("shutting_down".to_string(), JsonValue::Bool(true))])
+            }
+            Response::Error { error } => JsonValue::obj([
+                ("ok", JsonValue::Bool(false)),
+                ("error", JsonValue::str(error)),
+            ]),
+        }
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for malformed JSON or an unrecognisable frame.
+    /// Never panics, whatever the bytes.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = parse_json(line)?;
+        let ok = v
+            .get("ok")
+            .and_then(JsonValue::as_bool)
+            .ok_or("response needs a boolean \"ok\" field")?;
+        if !ok {
+            let error = v
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .ok_or("error response needs an \"error\" string")?
+                .to_string();
+            return Ok(Response::Error { error });
+        }
+        if v.get("pong").is_some() {
+            return Ok(Response::Pong);
+        }
+        if v.get("shutting_down").is_some() {
+            return Ok(Response::ShuttingDown);
+        }
+        if let Some(events) = v.get("events") {
+            let arr = events.as_arr().ok_or("\"events\" must be an array")?;
+            let events = arr.iter().map(event_from_json).collect::<Result<_, _>>()?;
+            let next_seq = v
+                .get("next_seq")
+                .map_or(Ok(0), |s| field_u64(s, "next_seq"))?;
+            return Ok(Response::Events { events, next_seq });
+        }
+        if let Some(report_text) = v.get("report_text") {
+            let report_text =
+                report_text.as_str().ok_or("\"report_text\" must be a string")?.to_string();
+            let status =
+                status_from_json(v.get("status").ok_or("results response needs \"status\"")?)?;
+            return Ok(Response::Results { status, report_text });
+        }
+        if let Some(status) = v.get("status") {
+            return Ok(Response::Status(status_from_json(status)?));
+        }
+        if let Some(jobs) = v.get("jobs") {
+            let arr = jobs.as_arr().ok_or("\"jobs\" must be an array")?;
+            let jobs = arr.iter().map(status_from_json).collect::<Result<_, _>>()?;
+            return Ok(Response::List { jobs });
+        }
+        if let Some(job) = v.get("job") {
+            return Ok(Response::Submitted { job: field_u64(job, "job")? });
+        }
+        Err("unrecognised response frame".to_string())
+    }
+}
+
+fn job_id(v: &JsonValue) -> Result<u64, String> {
+    field_u64(v.get("job").ok_or("request needs a \"job\" id")?, "job")
+}
+
+fn field_u64(v: &JsonValue, what: &str) -> Result<u64, String> {
+    let n = json_i64(v, what)?;
+    u64::try_from(n).map_err(|_| format!("{what} must be non-negative"))
+}
+
+fn status_to_json(s: &JobStatus) -> JsonValue {
+    JsonValue::obj([
+        ("id", JsonValue::Num(s.id as f64)),
+        ("name", JsonValue::str(&s.name)),
+        ("state", JsonValue::str(s.state.name())),
+        ("tiles_total", JsonValue::Num(s.tiles_total as f64)),
+        ("tiles_done", JsonValue::Num(s.tiles_done as f64)),
+        ("next_seq", JsonValue::Num(s.next_seq as f64)),
+        (
+            "error",
+            match &s.error {
+                Some(e) => JsonValue::str(e),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn status_from_json(v: &JsonValue) -> Result<JobStatus, String> {
+    let state_name = v
+        .get("state")
+        .and_then(JsonValue::as_str)
+        .ok_or("status needs a \"state\" string")?;
+    let state =
+        JobState::from_name(state_name).ok_or_else(|| format!("unknown state '{state_name}'"))?;
+    let error = match v.get("error") {
+        None | Some(JsonValue::Null) => None,
+        Some(e) => Some(e.as_str().ok_or("status \"error\" must be a string")?.to_string()),
+    };
+    Ok(JobStatus {
+        id: field_u64(v.get("id").ok_or("status needs an \"id\"")?, "id")?,
+        name: v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("status needs a \"name\" string")?
+            .to_string(),
+        state,
+        tiles_total: field_u64(v.get("tiles_total").ok_or("status needs \"tiles_total\"")?, "tiles_total")?
+            as usize,
+        tiles_done: field_u64(v.get("tiles_done").ok_or("status needs \"tiles_done\"")?, "tiles_done")?
+            as usize,
+        next_seq: v.get("next_seq").map_or(Ok(0), |s| field_u64(s, "next_seq"))?,
+        error,
+    })
+}
+
+fn event_to_json(e: &JobEvent) -> JsonValue {
+    match &e.kind {
+        JobEventKind::State(state) => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("state")),
+            ("state", JsonValue::str(state.name())),
+        ]),
+        JobEventKind::TileDone { tile, completed, total } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("tile")),
+            ("tile", JsonValue::Num(*tile as f64)),
+            ("completed", JsonValue::Num(*completed as f64)),
+            ("total", JsonValue::Num(*total as f64)),
+        ]),
+    }
+}
+
+fn event_from_json(v: &JsonValue) -> Result<JobEvent, String> {
+    let seq = field_u64(v.get("seq").ok_or("event needs a \"seq\"")?, "seq")?;
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("event needs a \"kind\" string")?;
+    let kind = match kind {
+        "state" => {
+            let name = v
+                .get("state")
+                .and_then(JsonValue::as_str)
+                .ok_or("state event needs a \"state\"")?;
+            JobEventKind::State(
+                JobState::from_name(name).ok_or_else(|| format!("unknown state '{name}'"))?,
+            )
+        }
+        "tile" => JobEventKind::TileDone {
+            tile: field_u64(v.get("tile").ok_or("tile event needs \"tile\"")?, "tile")? as usize,
+            completed: field_u64(
+                v.get("completed").ok_or("tile event needs \"completed\"")?,
+                "completed",
+            )? as usize,
+            total: field_u64(v.get("total").ok_or("tile event needs \"total\"")?, "total")?
+                as usize,
+        },
+        other => return Err(format!("unknown event kind '{other}'")),
+    };
+    Ok(JobEvent { seq, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_status() -> JobStatus {
+        JobStatus {
+            id: 7,
+            name: "block-a".to_string(),
+            state: JobState::Running,
+            tiles_total: 9,
+            tiles_done: 4,
+            next_seq: 6,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = vec![
+            Request::Ping,
+            Request::Submit { spec: JobSpec::default(), gds: vec![0, 1, 254, 255] },
+            Request::Status { job: 3 },
+            Request::Events { job: 3, since: 17 },
+            Request::Results { job: 3, partial: true },
+            Request::Cancel { job: 3 },
+            Request::Resume { job: 3 },
+            Request::List,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = req.to_json().render();
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            let back = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = vec![
+            Response::Pong,
+            Response::Submitted { job: 12 },
+            Response::Status(sample_status()),
+            Response::Status(JobStatus {
+                state: JobState::Failed,
+                error: Some("tile 3 panicked".to_string()),
+                ..sample_status()
+            }),
+            Response::Events {
+                events: vec![
+                    JobEvent { seq: 0, kind: JobEventKind::State(JobState::Queued) },
+                    JobEvent {
+                        seq: 1,
+                        kind: JobEventKind::TileDone { tile: 0, completed: 1, total: 9 },
+                    },
+                ],
+                next_seq: 2,
+            },
+            Response::Results {
+                status: sample_status(),
+                report_text: "signoff report\nline \"two\"\n".to_string(),
+            },
+            Response::List { jobs: vec![sample_status()] },
+            Response::ShuttingDown,
+            Response::Error { error: "no such job: 4".to_string() },
+        ];
+        for resp in responses {
+            let line = resp.to_json().render();
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            let back = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        for line in [
+            "",
+            "{",
+            "null",
+            "42",
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"status"}"#,
+            r#"{"cmd":"status","job":-1}"#,
+            r#"{"cmd":"status","job":1.5}"#,
+            r#"{"cmd":"submit","spec":{},"gds_hex":"zz"}"#,
+            r#"{"ok":"yes"}"#,
+            r#"{"ok":true}"#,
+            r#"{"ok":true,"status":{"id":1}}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"meteor"}],"next_seq":1}"#,
+        ] {
+            assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn all_job_states_survive_the_wire() {
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Partial,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::from_name(state.name()), Some(state));
+            let resp = Response::Status(JobStatus { state, ..sample_status() });
+            assert_eq!(Response::parse(&resp.to_json().render()), Ok(resp));
+        }
+    }
+}

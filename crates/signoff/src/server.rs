@@ -1,0 +1,134 @@
+//! The TCP front-end: one [`Server`] wraps a [`SignoffService`] and
+//! speaks the line-delimited JSON protocol of [`crate::proto`] on a
+//! loopback listener (`std::net` only — no async runtime, one thread
+//! per connection, which is plenty for a signoff queue's fan-in).
+
+use crate::codec::{read_frame, MAX_LINE_BYTES};
+use crate::proto::{Request, Response};
+use crate::service::SignoffService;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A listening signoff server. Bind, then [`Server::serve`] until a
+/// client sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<SignoffService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `127.0.0.1:port` (`port = 0` picks an ephemeral port;
+    /// read it back with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket diagnostics.
+    pub fn bind(service: Arc<SignoffService>, port: u16) -> Result<Server, String> {
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+        Ok(Server { listener, service, shutdown: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (cannot happen after
+    /// a successful bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Accepts and serves connections until a `shutdown` frame
+    /// arrives. Each connection gets its own thread; requests on one
+    /// connection are handled in order.
+    ///
+    /// # Errors
+    ///
+    /// Accept-loop diagnostics.
+    pub fn serve(&self) -> Result<(), String> {
+        let addr = self.local_addr();
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = conn.map_err(|e| format!("accept: {e}"))?;
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &service, &shutdown, addr);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &SignoffService,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, MAX_LINE_BYTES) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) => {
+                // Framing violation (oversized line, torn frame,
+                // bad UTF-8): answer once, then drop the connection.
+                write_response(&mut writer, &Response::Error { error: e })?;
+                return Ok(());
+            }
+        };
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                write_response(&mut writer, &Response::Error { error: e })?;
+                continue;
+            }
+        };
+        let stop = matches!(request, Request::Shutdown);
+        let response = handle_request(service, request);
+        write_response(&mut writer, &response)?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so serve() can return.
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(service: &SignoffService, request: Request) -> Response {
+    let result = match request {
+        Request::Ping => Ok(Response::Pong),
+        Request::Submit { spec, gds } => {
+            service.submit(spec, gds).map(|job| Response::Submitted { job })
+        }
+        Request::Status { job } => service.status(job).map(Response::Status),
+        Request::Events { job, since } => service.events(job, since).map(|events| {
+            let next_seq = events.last().map_or(since, |e| e.seq + 1);
+            Response::Events { events, next_seq }
+        }),
+        Request::Results { job, partial } => service
+            .report_text(job, partial)
+            .map(|(status, report_text)| Response::Results { status, report_text }),
+        Request::Cancel { job } => service.cancel(job).map(Response::Status),
+        Request::Resume { job } => service.resume(job).map(Response::Status),
+        Request::List => Ok(Response::List { jobs: service.list() }),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    };
+    result.unwrap_or_else(|error| Response::Error { error })
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.to_json().render();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}

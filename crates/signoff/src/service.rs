@@ -1,0 +1,712 @@
+//! The job store and scheduler: states, per-tile progress, monotonic
+//! event sequences, incremental results, checkpoint/resume.
+//!
+//! One [`SignoffService`] owns one persistent [`WorkerPool`]. A
+//! submitted job decomposes into `tile_count` independent tasks; each
+//! task computes its [`TilePartial`] (pure), checkpoints it (when a
+//! checkpoint root is configured), records it in the job, and emits a
+//! `TileDone` event with the next sequence number. The last tile in
+//! triggers the ordered merge. Because partials are pure and the merge
+//! is ordered, *nothing* the scheduler does — worker count, dispatch
+//! order, cancellation, process death — can change the final bytes.
+
+use crate::checkpoint::{list_job_dirs, JobDir};
+use crate::job::{JobContext, TilePartial};
+use crate::report::SignoffReport;
+use crate::spec::JobSpec;
+use dfm_par::{CancelToken, PoolStats, WorkerPool};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Environment variable (milliseconds) that slows every tile task
+/// down. A test/CI hook: it widens the window in which a kill or
+/// cancel lands mid-job, without touching any result bytes.
+pub const TILE_DELAY_ENV: &str = "DFM_SIGNOFF_TILE_DELAY_MS";
+
+/// Lifecycle of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, tasks not yet dispatched.
+    Queued,
+    /// Tile tasks are dispatched to the pool.
+    Running,
+    /// Holds a subset of tiles and is not running (checkpoint loaded
+    /// after a restart, waiting for `resume`).
+    Partial,
+    /// All tiles merged; final report available.
+    Done,
+    /// A tile task or the merge failed; diagnostic recorded.
+    Failed,
+    /// Cancelled by request; completed tiles are kept for `resume`.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states no event can follow (except via `resume`).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+
+    /// Stable lower-case name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Partial => "partial",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses [`JobState::name`] back.
+    pub fn from_name(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "partial" => JobState::Partial,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an event records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// The job entered a new state.
+    State(JobState),
+    /// A tile completed.
+    TileDone {
+        /// The completed tile's index.
+        tile: usize,
+        /// Tiles completed so far (including this one).
+        completed: usize,
+        /// Total tiles in the job.
+        total: usize,
+    },
+}
+
+/// One entry in a job's event log. Sequence numbers are per-job,
+/// start at 0, and increase by exactly 1 per event, so a client
+/// polling `events(since)` can prove it has seen everything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Monotonic per-job sequence number.
+    pub seq: u64,
+    /// What happened.
+    pub kind: JobEventKind,
+}
+
+/// A point-in-time summary of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Job id (service-wide, monotonically assigned).
+    pub id: u64,
+    /// The spec's client-chosen name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Total tiles (0 until the layout is parsed).
+    pub tiles_total: usize,
+    /// Completed tiles.
+    pub tiles_done: usize,
+    /// Next event sequence number (== number of events so far).
+    pub next_seq: u64,
+    /// Failure diagnostic, when `state == Failed`.
+    pub error: Option<String>,
+}
+
+struct JobMut {
+    spec: JobSpec,
+    gds: Vec<u8>,
+    ctx: Option<Arc<JobContext>>,
+    state: JobState,
+    cancel: CancelToken,
+    partials: BTreeMap<usize, TilePartial>,
+    events: Vec<JobEvent>,
+    error: Option<String>,
+    report: Option<SignoffReport>,
+}
+
+impl JobMut {
+    fn emit(&mut self, kind: JobEventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(JobEvent { seq, kind });
+    }
+
+    fn set_state(&mut self, state: JobState) {
+        self.state = state;
+        self.emit(JobEventKind::State(state));
+    }
+
+    fn tiles_total(&self) -> usize {
+        self.ctx.as_ref().map_or(0, |c| c.tile_count())
+    }
+}
+
+struct Job {
+    id: u64,
+    dir: Option<JobDir>,
+    m: Mutex<JobMut>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn status(&self) -> JobStatus {
+        let m = self.m.lock().expect("job lock");
+        JobStatus {
+            id: self.id,
+            name: m.spec.name.clone(),
+            state: m.state,
+            tiles_total: m.tiles_total(),
+            tiles_done: m.partials.len(),
+            next_seq: m.events.len() as u64,
+            error: m.error.clone(),
+        }
+    }
+}
+
+/// The signoff job service. See the module docs.
+pub struct SignoffService {
+    pool: WorkerPool,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    ckpt_root: Option<PathBuf>,
+    tile_delay: Duration,
+}
+
+impl SignoffService {
+    /// Creates a service with `threads` pool workers and an optional
+    /// checkpoint root. When the root already holds job directories
+    /// from an earlier process, they are loaded back in state
+    /// [`JobState::Partial`] with their surviving tile set, ready for
+    /// [`SignoffService::resume`].
+    pub fn new(threads: usize, ckpt_root: Option<PathBuf>) -> SignoffService {
+        let tile_delay = std::env::var(TILE_DELAY_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(Duration::ZERO, Duration::from_millis);
+        SignoffService::with_tile_delay(threads, ckpt_root, tile_delay)
+    }
+
+    /// Like [`SignoffService::new`] with an explicit per-tile delay
+    /// (tests use this instead of the environment hook).
+    pub fn with_tile_delay(
+        threads: usize,
+        ckpt_root: Option<PathBuf>,
+        tile_delay: Duration,
+    ) -> SignoffService {
+        let service = SignoffService {
+            pool: WorkerPool::new(threads),
+            jobs: Mutex::new(BTreeMap::new()),
+            ckpt_root,
+            tile_delay,
+        };
+        service.load_persisted_jobs();
+        service
+    }
+
+    fn load_persisted_jobs(&self) {
+        let Some(root) = &self.ckpt_root else { return };
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        for id in list_job_dirs(root) {
+            let dir = JobDir::new(root, id);
+            let Ok((spec_json, gds)) = dir.load_submission() else { continue };
+            let Ok(spec) = JobSpec::from_json_text(&spec_json) else { continue };
+            // The tile set is loaded lazily at resume/results time
+            // (it needs the context for the tile count); record the
+            // job as Partial so it is visible and resumable.
+            let mut m = JobMut {
+                spec,
+                gds,
+                ctx: None,
+                state: JobState::Partial,
+                cancel: CancelToken::new(),
+                partials: BTreeMap::new(),
+                events: Vec::new(),
+                error: None,
+                report: None,
+            };
+            m.emit(JobEventKind::State(JobState::Partial));
+            jobs.insert(id, Arc::new(Job { id, dir: Some(dir), m: Mutex::new(m), cv: Condvar::new() }));
+        }
+    }
+
+    /// Worker-pool load counters (queue depth, in-flight, peaks).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Submits a job: validates the spec, parses the GDS (malformed
+    /// bytes are rejected here with a diagnostic), persists the
+    /// submission when checkpointing is on, and dispatches every tile.
+    ///
+    /// # Errors
+    ///
+    /// Spec/GDS diagnostics; nothing is enqueued on error.
+    pub fn submit(&self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, String> {
+        let ctx = Arc::new(JobContext::build(&spec, &gds)?);
+        let id = {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            jobs.keys().next_back().map_or(1, |last| last + 1)
+        };
+        let dir = match &self.ckpt_root {
+            None => None,
+            Some(root) => {
+                let dir = JobDir::new(root, id);
+                dir.persist_submission(&spec.to_json().render(), &gds)?;
+                Some(dir)
+            }
+        };
+        let mut m = JobMut {
+            spec,
+            gds,
+            ctx: Some(Arc::clone(&ctx)),
+            state: JobState::Queued,
+            cancel: CancelToken::new(),
+            partials: BTreeMap::new(),
+            events: Vec::new(),
+            error: None,
+            report: None,
+        };
+        m.emit(JobEventKind::State(JobState::Queued));
+        let job = Arc::new(Job { id, dir, m: Mutex::new(m), cv: Condvar::new() });
+        self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
+        self.dispatch(&job, &ctx, (0..ctx.tile_count()).collect());
+        Ok(id)
+    }
+
+    /// Dispatches the given tiles, moving the job to Running (or
+    /// straight to the merge when nothing is missing).
+    fn dispatch(&self, job: &Arc<Job>, ctx: &Arc<JobContext>, tiles: Vec<usize>) {
+        let token = {
+            let mut m = job.m.lock().expect("job lock");
+            m.set_state(JobState::Running);
+            job.cv.notify_all();
+            m.cancel.clone()
+        };
+        if tiles.is_empty() {
+            finalize_if_complete(job, ctx);
+            return;
+        }
+        for tile in tiles {
+            let job = Arc::clone(job);
+            let ctx = Arc::clone(ctx);
+            let delay = self.tile_delay;
+            self.pool.submit_cancellable(&token, move || {
+                run_tile(&job, &ctx, tile, delay);
+            });
+        }
+    }
+
+    fn job(&self, id: u64) -> Result<Arc<Job>, String> {
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| format!("no such job: {id}"))
+    }
+
+    /// A job's current status.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        Ok(self.job(id)?.status())
+    }
+
+    /// Statuses of every job, by id.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let jobs: Vec<Arc<Job>> =
+            self.jobs.lock().expect("jobs lock").values().cloned().collect();
+        jobs.iter().map(|j| j.status()).collect()
+    }
+
+    /// The job's events with `seq >= since` — the incremental
+    /// delta-stream a client polls.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn events(&self, id: u64, since: u64) -> Result<Vec<JobEvent>, String> {
+        let job = self.job(id)?;
+        let m = job.m.lock().expect("job lock");
+        let start = (since as usize).min(m.events.len());
+        Ok(m.events[start..].to_vec())
+    }
+
+    /// The job's merged report.
+    ///
+    /// For a Done job this is the cached final report. With
+    /// `partial = true` a non-terminal job answers with the ordered
+    /// merge of its **contiguous completed prefix** `[0..k)` — an
+    /// exact signoff of the region covered so far.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, failed job, or (without `partial`) a job that has
+    /// not finished.
+    pub fn results(&self, id: u64, partial: bool) -> Result<(JobStatus, SignoffReport), String> {
+        let job = self.job(id)?;
+        self.ensure_loaded(&job)?;
+        let m = job.m.lock().expect("job lock");
+        if let Some(report) = &m.report {
+            let status = status_of(&job, &m);
+            return Ok((status, report.clone()));
+        }
+        if let Some(err) = &m.error {
+            return Err(format!("job {id} failed: {err}"));
+        }
+        if !partial {
+            return Err(format!("job {id} is {}; pass partial=true for a prefix merge", m.state));
+        }
+        let ctx = m.ctx.clone().ok_or("job context missing")?;
+        let prefix: Vec<TilePartial> = m
+            .partials
+            .values()
+            .enumerate()
+            .take_while(|(i, p)| p.tile == *i)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let report = ctx.merge(&prefix)?;
+        let status = status_of(&job, &m);
+        drop(m);
+        Ok((status, report))
+    }
+
+    /// Like [`SignoffService::results`], but rendered to the canonical
+    /// report text with the job's own spec — the form that travels
+    /// over the wire and is byte-compared in tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SignoffService::results`].
+    pub fn report_text(&self, id: u64, partial: bool) -> Result<(JobStatus, String), String> {
+        let (status, report) = self.results(id, partial)?;
+        let job = self.job(id)?;
+        let spec = job.m.lock().expect("job lock").spec.clone();
+        Ok((status, report.render_text(&spec)))
+    }
+
+    /// Cancels a running/queued job. Completed tiles are kept (and
+    /// remain checkpointed) so the job can be resumed.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id or a Done/Failed job.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
+        let job = self.job(id)?;
+        let mut m = job.m.lock().expect("job lock");
+        match m.state {
+            JobState::Done | JobState::Failed => {
+                return Err(format!("job {id} is already {}", m.state))
+            }
+            JobState::Cancelled => {}
+            _ => {
+                m.cancel.cancel();
+                m.set_state(JobState::Cancelled);
+                job.cv.notify_all();
+            }
+        }
+        Ok(status_of(&job, &m))
+    }
+
+    /// Resumes a Partial or Cancelled job: re-reads any checkpointed
+    /// tiles, mints a fresh cancel token, and dispatches exactly the
+    /// missing tiles. The eventual report is bit-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, a job in a non-resumable state, or context-rebuild
+    /// diagnostics.
+    pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
+        let job = self.job(id)?;
+        self.ensure_loaded(&job)?;
+        let (ctx, missing) = {
+            let mut m = job.m.lock().expect("job lock");
+            match m.state {
+                JobState::Partial | JobState::Cancelled => {}
+                s => return Err(format!("job {id} is {s}; only partial/cancelled jobs resume")),
+            }
+            m.cancel = CancelToken::new();
+            let ctx = m.ctx.clone().ok_or("job context missing")?;
+            let missing: Vec<usize> =
+                (0..ctx.tile_count()).filter(|t| !m.partials.contains_key(t)).collect();
+            (ctx, missing)
+        };
+        self.dispatch(&job, &ctx, missing);
+        Ok(job.status())
+    }
+
+    /// Blocks until the job reaches a terminal state, then returns its
+    /// status.
+    ///
+    /// # Errors
+    ///
+    /// Unknown job id.
+    pub fn wait(&self, id: u64) -> Result<JobStatus, String> {
+        let job = self.job(id)?;
+        let mut m = job.m.lock().expect("job lock");
+        while !m.state.is_terminal() {
+            m = job.cv.wait(m).expect("job wait");
+        }
+        Ok(status_of(&job, &m))
+    }
+
+    /// Rebuilds the job context and reloads checkpointed tiles for a
+    /// job that was constructed from disk (ctx == None).
+    fn ensure_loaded(&self, job: &Arc<Job>) -> Result<(), String> {
+        let mut m = job.m.lock().expect("job lock");
+        if m.ctx.is_some() {
+            return Ok(());
+        }
+        let ctx = Arc::new(JobContext::build(&m.spec, &m.gds)?);
+        if let Some(dir) = &job.dir {
+            for p in dir.load_tiles(ctx.tile_count()) {
+                m.partials.insert(p.tile, p);
+            }
+        }
+        m.ctx = Some(ctx);
+        Ok(())
+    }
+}
+
+impl Drop for SignoffService {
+    fn drop(&mut self) {
+        // The pool's Drop drains the queue; cancel every job so queued
+        // tasks are skipped at dequeue instead of executed.
+        let jobs: Vec<Arc<Job>> =
+            self.jobs.lock().expect("jobs lock").values().cloned().collect();
+        for job in jobs {
+            let m = job.m.lock().expect("job lock");
+            m.cancel.cancel();
+        }
+    }
+}
+
+fn status_of(job: &Job, m: &JobMut) -> JobStatus {
+    JobStatus {
+        id: job.id,
+        name: m.spec.name.clone(),
+        state: m.state,
+        tiles_total: m.tiles_total(),
+        tiles_done: m.partials.len(),
+        next_seq: m.events.len() as u64,
+        error: m.error.clone(),
+    }
+}
+
+/// The body of one pool task: compute the tile, checkpoint it, record
+/// it, emit the event, and finalize when it was the last one.
+fn run_tile(job: &Arc<Job>, ctx: &Arc<JobContext>, tile: usize, delay: Duration) {
+    {
+        let m = job.m.lock().expect("job lock");
+        if m.cancel.is_cancelled() || m.state != JobState::Running {
+            return;
+        }
+        if m.partials.contains_key(&tile) {
+            return; // duplicate dispatch (e.g. overlapping resume)
+        }
+    }
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.compute_tile(tile)));
+    let partial = match computed {
+        Ok(p) => p,
+        Err(panic) => {
+            let msg = panic_message(&panic);
+            let mut m = job.m.lock().expect("job lock");
+            if !m.state.is_terminal() {
+                m.error = Some(format!("tile {tile} panicked: {msg}"));
+                m.set_state(JobState::Failed);
+                m.cancel.cancel();
+                job.cv.notify_all();
+            }
+            return;
+        }
+    };
+    // Checkpoint BEFORE recording completion: a crash after the write
+    // re-loads the tile; a crash before it recomputes it. Either way
+    // the partial's value is identical (purity), so resume converges.
+    if let Some(dir) = &job.dir {
+        if let Err(e) = dir.write_tile(&partial) {
+            let mut m = job.m.lock().expect("job lock");
+            if !m.state.is_terminal() {
+                m.error = Some(format!("checkpoint write failed: {e}"));
+                m.set_state(JobState::Failed);
+                m.cancel.cancel();
+                job.cv.notify_all();
+            }
+            return;
+        }
+    }
+    {
+        let mut m = job.m.lock().expect("job lock");
+        if m.state != JobState::Running {
+            // Cancelled (or failed) while we computed: keep the
+            // checkpoint on disk but do not mutate a terminal job.
+            return;
+        }
+        m.partials.insert(tile, partial);
+        let completed = m.partials.len();
+        let total = ctx.tile_count();
+        m.emit(JobEventKind::TileDone { tile, completed, total });
+        job.cv.notify_all();
+    }
+    finalize_if_complete(job, ctx);
+}
+
+/// Runs the ordered merge once every tile is in.
+fn finalize_if_complete(job: &Arc<Job>, ctx: &Arc<JobContext>) {
+    let partials: Vec<TilePartial> = {
+        let m = job.m.lock().expect("job lock");
+        if m.state != JobState::Running || m.partials.len() != ctx.tile_count() {
+            return;
+        }
+        m.partials.values().cloned().collect()
+    };
+    let merged = ctx.merge(&partials);
+    let mut m = job.m.lock().expect("job lock");
+    if m.state != JobState::Running {
+        return;
+    }
+    match merged {
+        Ok(report) => {
+            m.report = Some(report);
+            m.set_state(JobState::Done);
+        }
+        Err(e) => {
+            m.error = Some(format!("merge failed: {e}"));
+            m.set_state(JobState::Failed);
+        }
+    }
+    job.cv.notify_all();
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::flat_report;
+    use dfm_layout::{gds, generate, layers, Technology};
+
+    fn small_gds(seed: u64) -> Vec<u8> {
+        let tech = Technology::n65();
+        let params = generate::RoutedBlockParams {
+            width: 6_000,
+            height: 6_000,
+            ..Default::default()
+        };
+        gds::to_bytes(&generate::routed_block(&tech, params, seed)).expect("gds")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            tile: 1700,
+            halo: 64,
+            litho_layer: Some(layers::METAL1),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submitted_job_finishes_with_flat_bytes_at_several_worker_counts() {
+        let gds = small_gds(31);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        for threads in [1usize, 2, 8] {
+            let service = SignoffService::new(threads, None);
+            let id = service.submit(spec.clone(), gds.clone()).expect("submit");
+            let status = service.wait(id).expect("wait");
+            assert_eq!(status.state, JobState::Done, "threads={threads}: {:?}", status.error);
+            assert_eq!(status.tiles_done, status.tiles_total);
+            let (_, report) = service.results(id, false).expect("results");
+            assert_eq!(report.render_text(&spec), flat, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn events_are_gapless_and_monotonic() {
+        let service = SignoffService::new(4, None);
+        let id = service.submit(spec(), small_gds(32)).expect("submit");
+        service.wait(id).expect("wait");
+        let events = service.events(id, 0).expect("events");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "gapless sequence");
+        }
+        assert!(matches!(events.first().map(|e| &e.kind), Some(JobEventKind::State(JobState::Queued))));
+        assert!(matches!(events.last().map(|e| &e.kind), Some(JobEventKind::State(JobState::Done))));
+        // Delta poll: everything from the midpoint on, nothing more.
+        let mid = events.len() as u64 / 2;
+        let tail = service.events(id, mid).expect("tail");
+        assert_eq!(tail, events[mid as usize..]);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected_with_diagnostics() {
+        let service = SignoffService::new(1, None);
+        let err = service.submit(spec(), b"garbage".to_vec()).expect_err("bad gds");
+        assert!(err.contains("layout rejected"), "{err}");
+        let err = service
+            .submit(JobSpec { tech: "n3".into(), ..spec() }, small_gds(33))
+            .expect_err("bad tech");
+        assert!(err.contains("unknown technology"), "{err}");
+        assert!(service.status(99).is_err());
+    }
+
+    #[test]
+    fn cancel_keeps_partials_and_resume_completes_identically() {
+        let gds = small_gds(34);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        let service = SignoffService::with_tile_delay(2, None, Duration::from_millis(30));
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.cancel(id).expect("cancel");
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(status.tiles_done < status.tiles_total, "cancel landed mid-run");
+        assert!(service.results(id, false).is_err(), "no final results while cancelled");
+        let status = service.resume(id).expect("resume");
+        assert_eq!(status.state, JobState::Running);
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let (_, report) = service.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
+    }
+
+    #[test]
+    fn partial_results_cover_the_completed_prefix() {
+        let service = SignoffService::new(2, None);
+        let id = service.submit(spec(), small_gds(35)).expect("submit");
+        service.wait(id).expect("wait");
+        // Done job: partial=true must agree with the final report.
+        let (_, full) = service.results(id, false).expect("full");
+        let (_, partial) = service.results(id, true).expect("partial");
+        assert_eq!(full, partial);
+    }
+}

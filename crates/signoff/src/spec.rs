@@ -1,0 +1,237 @@
+//! Job specifications: what a signoff job analyses and how it is
+//! sharded. A spec plus the GDS bytes fully determines the report.
+
+use crate::codec::parse_json;
+use dfm_bench::json::JsonValue;
+use dfm_layout::{layers, Layer, Technology};
+
+/// Everything a signoff job needs besides the layout itself.
+///
+/// The spec round-trips through JSON ([`JobSpec::to_json`] /
+/// [`JobSpec::from_json`]) for the wire protocol and the on-disk
+/// checkpoint, and every field participates in the analysis — there
+/// are no timestamps or ids in here, so two jobs with equal specs and
+/// equal GDS bytes produce byte-identical reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen label (reported back, not analysed).
+    pub name: String,
+    /// Technology preset: `"n65"`, `"n45"`, or `"n28"`.
+    pub tech: String,
+    /// Tile side, nm (square tiles).
+    pub tile: i64,
+    /// Baseline tile halo, nm (rules still widen it per their own
+    /// interaction range).
+    pub halo: i64,
+    /// Run the full DRC deck of the technology.
+    pub drc: bool,
+    /// Critical-area layer, if critical area is wanted.
+    pub ca_layer: Option<Layer>,
+    /// Characteristic defect size x₀ for the CA closed form, nm.
+    pub ca_x0: i64,
+    /// Litho print-simulation layer, if litho is wanted.
+    pub litho_layer: Option<Layer>,
+    /// Minimum feature size the litho simulator is tuned for, nm.
+    pub litho_feature: i64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: "job".to_string(),
+            tech: "n65".to_string(),
+            tile: 8192,
+            halo: 512,
+            drc: true,
+            ca_layer: Some(layers::METAL1),
+            ca_x0: 40,
+            litho_layer: None,
+            litho_feature: 90,
+        }
+    }
+}
+
+impl JobSpec {
+    /// The CA extraction range (`10·x₀`, matching
+    /// [`dfm_yield::critical_area::analyze`]).
+    pub fn ca_range(&self) -> i64 {
+        10 * self.ca_x0
+    }
+
+    /// Resolves the technology preset.
+    ///
+    /// # Errors
+    ///
+    /// On an unknown preset name.
+    pub fn technology(&self) -> Result<Technology, String> {
+        match self.tech.as_str() {
+            "n65" => Ok(Technology::n65()),
+            "n45" => Ok(Technology::n45()),
+            "n28" => Ok(Technology::n28()),
+            other => Err(format!("unknown technology '{other}' (want n65|n45|n28)")),
+        }
+    }
+
+    /// Basic sanity checks a service applies before accepting a job.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when a field is out of range or nothing is enabled.
+    pub fn validate(&self) -> Result<(), String> {
+        self.technology()?;
+        if self.tile <= 0 {
+            return Err(format!("tile must be positive, got {}", self.tile));
+        }
+        if self.halo < 0 {
+            return Err(format!("halo must be non-negative, got {}", self.halo));
+        }
+        if self.ca_layer.is_some() && self.ca_x0 <= 0 {
+            return Err(format!("ca_x0 must be positive, got {}", self.ca_x0));
+        }
+        if self.litho_layer.is_some() && self.litho_feature <= 0 {
+            return Err(format!("litho_feature must be positive, got {}", self.litho_feature));
+        }
+        if !self.drc && self.ca_layer.is_none() && self.litho_layer.is_none() {
+            return Err("spec enables no analysis (drc, ca, litho all off)".to_string());
+        }
+        Ok(())
+    }
+
+    /// Renders the spec as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let layer_json = |l: &Option<Layer>| match l {
+            Some(l) => JsonValue::str(format!("{}/{}", l.layer, l.datatype)),
+            None => JsonValue::Null,
+        };
+        JsonValue::obj([
+            ("name", JsonValue::str(&self.name)),
+            ("tech", JsonValue::str(&self.tech)),
+            ("tile", JsonValue::Num(self.tile as f64)),
+            ("halo", JsonValue::Num(self.halo as f64)),
+            ("drc", JsonValue::Bool(self.drc)),
+            ("ca_layer", layer_json(&self.ca_layer)),
+            ("ca_x0", JsonValue::Num(self.ca_x0 as f64)),
+            ("litho_layer", layer_json(&self.litho_layer)),
+            ("litho_feature", JsonValue::Num(self.litho_feature as f64)),
+        ])
+    }
+
+    /// Parses a spec from a JSON object node. Missing fields take the
+    /// [`Default`] values, so clients may send sparse specs.
+    ///
+    /// # Errors
+    ///
+    /// On a non-object node or a malformed field.
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec, String> {
+        if !matches!(v, JsonValue::Obj(_)) {
+            return Err("spec must be a JSON object".to_string());
+        }
+        let mut spec = JobSpec::default();
+        if let Some(n) = v.get("name") {
+            spec.name = n.as_str().ok_or("spec.name must be a string")?.to_string();
+        }
+        if let Some(t) = v.get("tech") {
+            spec.tech = t.as_str().ok_or("spec.tech must be a string")?.to_string();
+        }
+        if let Some(t) = v.get("tile") {
+            spec.tile = json_i64(t, "spec.tile")?;
+        }
+        if let Some(h) = v.get("halo") {
+            spec.halo = json_i64(h, "spec.halo")?;
+        }
+        if let Some(d) = v.get("drc") {
+            spec.drc = d.as_bool().ok_or("spec.drc must be a boolean")?;
+        }
+        if let Some(l) = v.get("ca_layer") {
+            spec.ca_layer = parse_layer(l, "spec.ca_layer")?;
+        }
+        if let Some(x) = v.get("ca_x0") {
+            spec.ca_x0 = json_i64(x, "spec.ca_x0")?;
+        }
+        if let Some(l) = v.get("litho_layer") {
+            spec.litho_layer = parse_layer(l, "spec.litho_layer")?;
+        }
+        if let Some(f) = v.get("litho_feature") {
+            spec.litho_feature = json_i64(f, "spec.litho_feature")?;
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Parse or field diagnostics.
+    pub fn from_json_text(s: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&parse_json(s)?)
+    }
+}
+
+/// Reads an exactly-integral JSON number.
+pub(crate) fn json_i64(v: &JsonValue, what: &str) -> Result<i64, String> {
+    let n = v.as_f64().ok_or_else(|| format!("{what} must be a number"))?;
+    if n.fract() != 0.0 || n.abs() > 9e15 {
+        return Err(format!("{what} must be an integer, got {n}"));
+    }
+    Ok(n as i64)
+}
+
+/// Parses `"layer/datatype"` (or null → None).
+fn parse_layer(v: &JsonValue, what: &str) -> Result<Option<Layer>, String> {
+    match v {
+        JsonValue::Null => Ok(None),
+        JsonValue::Str(s) => {
+            let (l, d) = s
+                .split_once('/')
+                .ok_or_else(|| format!("{what} must look like \"4/0\""))?;
+            let l: u16 = l.parse().map_err(|_| format!("{what}: bad layer number"))?;
+            let d: u16 = d.parse().map_err(|_| format!("{what}: bad datatype"))?;
+            Ok(Some(Layer::new(l, d)))
+        }
+        _ => Err(format!("{what} must be a \"layer/datatype\" string or null")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            name: "block-a".to_string(),
+            litho_layer: Some(layers::METAL2),
+            tile: 1700,
+            ..JobSpec::default()
+        };
+        let rendered = spec.to_json().render();
+        let back = JobSpec::from_json_text(&rendered).expect("parse");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn sparse_spec_takes_defaults() {
+        let spec = JobSpec::from_json_text(r#"{"tile":2048}"#).expect("parse");
+        assert_eq!(spec.tile, 2048);
+        assert_eq!(spec.tech, "n65");
+        assert!(spec.drc);
+        assert_eq!(spec.ca_layer, Some(layers::METAL1));
+    }
+
+    #[test]
+    fn bad_specs_are_diagnosed() {
+        assert!(JobSpec { tech: "n14".into(), ..JobSpec::default() }.validate().is_err());
+        assert!(JobSpec { tile: 0, ..JobSpec::default() }.validate().is_err());
+        assert!(JobSpec {
+            drc: false,
+            ca_layer: None,
+            litho_layer: None,
+            ..JobSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::from_json_text(r#"{"ca_layer":"x"}"#).is_err());
+        assert!(JobSpec::from_json_text(r#"{"tile":1.5}"#).is_err());
+        assert!(JobSpec::from_json_text("[1]").is_err());
+    }
+}

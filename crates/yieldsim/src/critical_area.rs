@@ -1,7 +1,10 @@
 //! Critical-area extraction and the closed-form average critical area.
 
 use crate::DefectModel;
-use dfm_drc::{exterior_facing_pairs, interior_facing_pairs, tiled_facing_pairs, FacingPair};
+use dfm_drc::{
+    exterior_facing_pairs, facing_pair_partial, interior_facing_pairs, merge_facing_pair_partials,
+    tiled_facing_pairs, FacingPair, PairFragment,
+};
 use dfm_geom::Region;
 use dfm_layout::{Layer, LayoutView, TiledLayout};
 
@@ -76,6 +79,56 @@ pub fn analyze_tiled_with_range(
     let short_pairs = tiled_facing_pairs(layout, layer, max_range, false);
     let open_pairs = tiled_facing_pairs(layout, layer, max_range, true);
     from_pairs(short_pairs, open_pairs, defects)
+}
+
+/// One tile's mergeable critical-area partial: the core-owned facing
+/// fragment strips of both senses (exterior gaps for shorts, interior
+/// runs for opens), plus the tile's canonical rect count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaTilePartial {
+    /// Owned exterior (spacing) fragment strips — the short candidates.
+    pub short: Vec<PairFragment>,
+    /// Owned interior (width) fragment strips — the open candidates.
+    pub open: Vec<PairFragment>,
+    /// Canonical rect count of the materialised tile view.
+    pub rects: usize,
+}
+
+/// Computes one tile's [`CaTilePartial`] — a pure function of
+/// `(layout, layer, max_range, tile index)` a job scheduler can run as
+/// an independent task and persist across restarts. Merging every
+/// tile's partial in tile order with [`merge_ca_partials`] reproduces
+/// [`analyze_with_range`] on the flat layer bit-for-bit.
+pub fn ca_tile_partial(
+    layout: &TiledLayout,
+    layer: Layer,
+    max_range: i64,
+    tile: usize,
+) -> CaTilePartial {
+    let (short, rects) = facing_pair_partial(layout, layer, max_range, false, tile);
+    let (open, _) = facing_pair_partial(layout, layer, max_range, true, tile);
+    CaTilePartial { short, open, rects }
+}
+
+/// Merges per-tile partials (given in tile order) into the exact flat
+/// [`CaResult`]: fragments re-coalesce into the canonical flat pair
+/// order, so the f64 accumulation — and therefore every CA figure's
+/// bits — match [`analyze_with_range`].
+pub fn merge_ca_partials(
+    partials: impl IntoIterator<Item = CaTilePartial>,
+    defects: &DefectModel,
+) -> CaResult {
+    let mut short = Vec::new();
+    let mut open = Vec::new();
+    for p in partials {
+        short.push(p.short);
+        open.push(p.open);
+    }
+    from_pairs(
+        merge_facing_pair_partials(short),
+        merge_facing_pair_partials(open),
+        defects,
+    )
 }
 
 /// Sums the closed-form contributions. Both extraction paths hand this
@@ -218,5 +271,33 @@ mod tests {
             assert_eq!(ca, reference, "tile {tile}");
             assert!(ca.short_ca_nm2 > 0.0 && ca.open_ca_nm2 > 0.0);
         }
+    }
+
+    #[test]
+    fn per_tile_partials_merge_to_flat_result() {
+        // The scheduler-facing path: compute each tile's partial
+        // independently (any order), merge in tile order, and land on
+        // the exact flat analysis.
+        let region = two_wires(120, 200, 2_000);
+        let mut flat_layout = dfm_layout::FlatLayout::default();
+        flat_layout.set_region(dfm_layout::layers::METAL1, region.clone());
+        let defects = DefectModel::new(50, 1.0);
+        let max_range = 10 * defects.x0;
+        let reference = analyze_with_range(&region, &defects, max_range);
+        let cfg = dfm_layout::TilingConfig::builder()
+            .tile(700)
+            .halo(8)
+            .build()
+            .expect("config");
+        let tiled = TiledLayout::from_flat(flat_layout, cfg);
+        // Deliberately compute partials in reverse tile order, then
+        // merge in tile order.
+        let mut partials: Vec<CaTilePartial> = (0..tiled.tile_count())
+            .rev()
+            .map(|i| ca_tile_partial(&tiled, dfm_layout::layers::METAL1, max_range, i))
+            .collect();
+        partials.reverse();
+        let merged = merge_ca_partials(partials, &defects);
+        assert_eq!(merged, reference);
     }
 }

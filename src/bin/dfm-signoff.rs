@@ -1,0 +1,339 @@
+//! `dfm-signoff` — the command-line front-end of the signoff job
+//! service.
+//!
+//! ```text
+//! dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
+//! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
+//! dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
+//! dfm-signoff status  --addr HOST:PORT --job ID
+//! dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
+//! dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+//! dfm-signoff cancel  --addr HOST:PORT --job ID
+//! dfm-signoff resume  --addr HOST:PORT --job ID
+//! dfm-signoff list    --addr HOST:PORT
+//! dfm-signoff shutdown --addr HOST:PORT
+//! dfm-signoff flat-report --gds FILE [spec flags]
+//! ```
+//!
+//! Spec flags (shared by `submit` and `flat-report`, so both paths use
+//! identical defaults): `--name S --tech n65|n45|n28 --tile NM --halo
+//! NM --no-drc --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none
+//! --litho-feature NM`.
+//!
+//! `flat-report` runs the same job single-shot with no tiling and no
+//! service; its output is byte-identical to `results` for the same
+//! spec and GDS — that equality is checked in CI.
+
+use dfm_practice::layout::{gds, generate, Technology};
+use dfm_practice::signoff::service::JobEventKind;
+use dfm_practice::signoff::{flat_report, Client, JobSpec, Server, SignoffService};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dfm-signoff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(format!("no subcommand\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "serve" => serve(rest),
+        "gen" => gen(rest),
+        "submit" => submit(rest),
+        "status" => status(rest),
+        "events" => events(rest),
+        "results" => results(rest),
+        "cancel" => with_job(rest, |client, job| client.cancel(job).map(print_status)),
+        "resume" => with_job(rest, |client, job| client.resume(job).map(print_status)),
+        "list" => list(rest),
+        "shutdown" => shutdown(rest),
+        "flat-report" => flat(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
+  dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
+  dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
+  dfm-signoff status  --addr HOST:PORT --job ID
+  dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
+  dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+  dfm-signoff cancel  --addr HOST:PORT --job ID
+  dfm-signoff resume  --addr HOST:PORT --job ID
+  dfm-signoff list    --addr HOST:PORT
+  dfm-signoff shutdown --addr HOST:PORT
+  dfm-signoff flat-report --gds FILE [spec flags]
+spec flags: --name S --tech n65|n45|n28 --tile NM --halo NM --no-drc
+            --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none --litho-feature NM";
+
+/// Minimal `--flag value` / `--flag` scanner.
+struct Flags<'a> {
+    args: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Flags<'a> {
+        Flags { args, used: vec![false; args.len()] }
+    }
+
+    fn value(&mut self, flag: &str) -> Result<Option<&'a str>, String> {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag {
+                let v = self.args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))?;
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn present(&mut self, flag: &str) -> bool {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Option<T>, String> {
+        match self.value(flag)? {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad value for {flag}: '{v}'")),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(format!("unexpected argument '{}'\n{USAGE}", self.args[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The shared spec flags: `submit` and `flat-report` parse through
+/// this one function, so their defaults can never drift apart.
+fn spec_from_flags(flags: &mut Flags<'_>) -> Result<JobSpec, String> {
+    let mut spec = JobSpec::default();
+    if let Some(name) = flags.value("--name")? {
+        spec.name = name.to_string();
+    }
+    if let Some(tech) = flags.value("--tech")? {
+        spec.tech = tech.to_string();
+    }
+    if let Some(tile) = flags.parsed("--tile")? {
+        spec.tile = tile;
+    }
+    if let Some(halo) = flags.parsed("--halo")? {
+        spec.halo = halo;
+    }
+    if flags.present("--no-drc") {
+        spec.drc = false;
+    }
+    if let Some(layer) = flags.value("--ca-layer")? {
+        spec.ca_layer = parse_layer_flag(layer, "--ca-layer")?;
+    }
+    if let Some(x0) = flags.parsed("--ca-x0")? {
+        spec.ca_x0 = x0;
+    }
+    if let Some(layer) = flags.value("--litho-layer")? {
+        spec.litho_layer = parse_layer_flag(layer, "--litho-layer")?;
+    }
+    if let Some(f) = flags.parsed("--litho-feature")? {
+        spec.litho_feature = f;
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn parse_layer_flag(
+    v: &str,
+    flag: &str,
+) -> Result<Option<dfm_practice::layout::Layer>, String> {
+    if v == "none" {
+        return Ok(None);
+    }
+    let (l, d) = v.split_once('/').ok_or_else(|| format!("{flag} wants L/D or 'none'"))?;
+    let l: u16 = l.parse().map_err(|_| format!("{flag}: bad layer number '{v}'"))?;
+    let d: u16 = d.parse().map_err(|_| format!("{flag}: bad datatype '{v}'"))?;
+    Ok(Some(dfm_practice::layout::Layer::new(l, d)))
+}
+
+fn connect(flags: &mut Flags<'_>) -> Result<Client, String> {
+    let addr = flags.value("--addr")?.ok_or("--addr HOST:PORT is required")?;
+    Client::connect(addr)
+}
+
+fn job_id(flags: &mut Flags<'_>) -> Result<u64, String> {
+    flags.parsed("--job")?.ok_or_else(|| "--job ID is required".to_string())
+}
+
+/// Writes lines to stdout, treating a broken pipe (e.g. `| head`) as
+/// a normal early exit instead of a panic.
+fn emit_lines(lines: &[String]) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in lines {
+        match writeln!(out, "{line}") {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+            Err(e) => return Err(format!("stdout: {e}")),
+        }
+    }
+    Ok(())
+}
+
+fn print_status(s: dfm_practice::signoff::service::JobStatus) {
+    let err = s.error.as_deref().unwrap_or("-");
+    println!(
+        "job {} '{}': {} tiles {}/{} next_seq {} error {}",
+        s.id, s.name, s.state, s.tiles_done, s.tiles_total, s.next_seq, err
+    );
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let threads = flags.parsed("--threads")?.unwrap_or(4);
+    let port: u16 = flags.parsed("--port")?.unwrap_or(0);
+    let ckpt = flags.value("--ckpt")?.map(std::path::PathBuf::from);
+    let port_file = flags.value("--port-file")?.map(str::to_string);
+    flags.finish()?;
+    let service = Arc::new(SignoffService::new(threads, ckpt));
+    let server = Server::bind(service, port)?;
+    let addr = server.local_addr();
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{}\n", addr.port()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!("listening on {addr}");
+    server.serve()
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let out = flags.value("--out")?.ok_or("--out FILE is required")?.to_string();
+    let width = flags.parsed("--width")?.unwrap_or(6_000);
+    let height = flags.parsed("--height")?.unwrap_or(6_000);
+    let seed = flags.parsed("--seed")?.unwrap_or(7);
+    flags.finish()?;
+    let tech = Technology::n65();
+    let params = generate::RoutedBlockParams { width, height, ..Default::default() };
+    let lib = generate::routed_block(&tech, params, seed);
+    gds::write_file(&lib, &out).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn submit(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
+    let spec = spec_from_flags(&mut flags)?;
+    flags.finish()?;
+    let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
+    let job = client.submit(spec, bytes)?;
+    println!("{job}");
+    Ok(())
+}
+
+fn status(args: &[String]) -> Result<(), String> {
+    with_job(args, |client, job| client.status(job).map(print_status))
+}
+
+fn with_job(
+    args: &[String],
+    f: impl FnOnce(&mut Client, u64) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    let job = job_id(&mut flags)?;
+    flags.finish()?;
+    f(&mut client, job)
+}
+
+fn events(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    let job = job_id(&mut flags)?;
+    let since = flags.parsed("--since")?.unwrap_or(0);
+    flags.finish()?;
+    let (events, next) = client.events(job, since)?;
+    let mut lines = Vec::with_capacity(events.len() + 1);
+    for e in &events {
+        lines.push(match &e.kind {
+            JobEventKind::State(state) => format!("{} state {state}", e.seq),
+            JobEventKind::TileDone { tile, completed, total } => {
+                format!("{} tile {tile} done ({completed}/{total})", e.seq)
+            }
+        });
+    }
+    lines.push(format!("next_seq {next}"));
+    emit_lines(&lines)
+}
+
+fn results(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    let job = job_id(&mut flags)?;
+    let partial = flags.present("--partial");
+    let wait = flags.present("--wait");
+    flags.finish()?;
+    if wait {
+        let status = client.wait(job)?;
+        if let Some(err) = &status.error {
+            return Err(format!("job {job} failed: {err}"));
+        }
+    }
+    let (_, report_text) = client.results(job, partial)?;
+    print!("{report_text}");
+    Ok(())
+}
+
+fn list(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    flags.finish()?;
+    for status in client.list()? {
+        print_status(status);
+    }
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    flags.finish()?;
+    client.shutdown()
+}
+
+fn flat(args: &[String]) -> Result<(), String> {
+    let mut flags = Flags::new(args);
+    let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
+    let spec = spec_from_flags(&mut flags)?;
+    flags.finish()?;
+    let lib = gds::read_file(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
+    let report = flat_report(&spec, &lib)?;
+    print!("{}", report.render_text(&spec));
+    Ok(())
+}

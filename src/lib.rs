@@ -19,6 +19,8 @@
 //! | [`timing`] | `dfm-timing` | variability-aware STA |
 //! | [`dfm`] | `dfm-core` | DFM techniques & hit-or-hype evaluator |
 //! | [`rand`] | `dfm-rand` | deterministic PRNG (hermetic, seed-everywhere) |
+//! | [`par`] | `dfm-par` | deterministic thread pool & worker pool |
+//! | [`signoff`] | `dfm-signoff` | async signoff job service (scheduler, checkpoints) |
 
 #![forbid(unsafe_code)]
 
@@ -29,7 +31,9 @@ pub use dfm_geom as geom;
 pub use dfm_layout as layout;
 pub use dfm_litho as litho;
 pub use dfm_opc as opc;
+pub use dfm_par as par;
 pub use dfm_pattern as pattern;
 pub use dfm_rand as rand;
+pub use dfm_signoff as signoff;
 pub use dfm_timing as timing;
 pub use dfm_yield as yieldsim;
