@@ -94,4 +94,52 @@ SERVER=""
 diff "$WORK/flat.txt" "$WORK/resumed.txt"
 echo "ok: resumed report is byte-identical to the flat run"
 
+echo "== fault-injection smoke (offline, loopback only) =="
+# Two deterministic fault plans through the real server, each at a
+# 1-thread and a 4-thread pool:
+#  * retry.plan — every tile's first attempt panics; the supervisor
+#    retries, the job ends 'done', and the report must be byte-identical
+#    to the no-fault flat run (faults below the quarantine threshold are
+#    invisible in the bytes).
+#  * quarantine.plan — tile 1 panics on every attempt; the job must
+#    settle 'partial' (never bare 'failed') with a manifest naming
+#    exactly tile 1.
+# Both runs must also agree with each other byte-for-byte across thread
+# counts — events included (the fixed-plan determinism contract).
+cat >"$WORK/retry.plan" <<'EOF'
+seed 11
+rule signoff.tile.compute panic attempt<1
+EOF
+cat >"$WORK/quarantine.plan" <<'EOF'
+seed 11
+rule signoff.tile.compute panic key=1
+EOF
+for PLAN in retry quarantine; do
+    for T in 1 4; do
+        PORTF="$WORK/port-$PLAN-$T"
+        DFM_THREADS=$T "$BIN" serve --threads "$T" --port 0 --port-file "$PORTF" \
+            --fault-plan "$WORK/$PLAN.plan" >/dev/null &
+        SERVER=$!
+        for _ in $(seq 100); do [[ -s "$PORTF" ]] && break; sleep 0.05; done
+        PORT=$(cat "$PORTF")
+        JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+        "$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/$PLAN-$T.txt"
+        "$BIN" status --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/$PLAN-$T.status"
+        "$BIN" events --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/$PLAN-$T.events"
+        "$BIN" shutdown --addr "127.0.0.1:$PORT"
+        wait "$SERVER" 2>/dev/null || true
+        SERVER=""
+    done
+    diff "$WORK/$PLAN-1.txt" "$WORK/$PLAN-4.txt"
+    diff "$WORK/$PLAN-1.events" "$WORK/$PLAN-4.events"
+done
+grep -q ": done tiles" "$WORK/retry-1.status"
+diff "$WORK/flat.txt" "$WORK/retry-1.txt"
+grep -q " retry " "$WORK/retry-1.events"
+grep -q ": partial tiles" "$WORK/quarantine-1.status"
+grep -q "quarantined 1 " "$WORK/quarantine-1.status"
+grep -q "^quarantine: 1 tiles excluded$" "$WORK/quarantine-1.txt"
+grep -q "^quarantine.tile 1: " "$WORK/quarantine-1.txt"
+echo "ok: supervised retries keep the bytes; quarantine settles partial with a manifest"
+
 echo "CI OK"

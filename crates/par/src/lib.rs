@@ -143,10 +143,23 @@ fn fork_join_indexed<R: Send>(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("dfm-par worker panicked"))
-            .collect()
+        // Join every worker before reacting to any panic, then rethrow
+        // the first worker's payload on the calling thread — a single
+        // clean unwind instead of a panic-while-panicking teardown.
+        let mut results = Vec::with_capacity(workers);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
     });
     // Ordered reduction: place every result at its input index.
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n_chunks);
@@ -293,14 +306,25 @@ pub fn par_reduce_streaming<T: Send, A>(
     use std::sync::{Condvar, Mutex};
 
     /// Shared pipeline state: the next index to claim, the next index
-    /// the consumer will fold, and the finished-but-unfolded items.
+    /// the consumer will fold, the finished-but-unfolded items, and the
+    /// poison latch a panicking producer leaves behind (so the consumer
+    /// rethrows instead of waiting forever for an item that will never
+    /// arrive).
     struct State<T> {
         next_claim: usize,
         base: usize,
         done: BTreeMap<usize, T>,
+        poisoned: bool,
+        poison: Option<Box<dyn std::any::Any + Send>>,
     }
 
-    let state = Mutex::new(State { next_claim: 0, base: 0, done: BTreeMap::new() });
+    let state = Mutex::new(State {
+        next_claim: 0,
+        base: 0,
+        done: BTreeMap::new(),
+        poisoned: false,
+        poison: None,
+    });
     // `item`: signalled when the item the consumer waits for arrives.
     // `space`: signalled when `base` advances and claims may resume.
     let item = Condvar::new();
@@ -315,20 +339,33 @@ pub fn par_reduce_streaming<T: Send, A>(
                 with_threads(threads, || loop {
                     let i = {
                         let mut s = state.lock().expect("dfm-par streaming lock");
-                        while s.next_claim < n && s.next_claim - s.base >= window {
+                        while !s.poisoned && s.next_claim < n && s.next_claim - s.base >= window {
                             s = space.wait(s).expect("dfm-par streaming wait");
                         }
-                        if s.next_claim >= n {
+                        if s.poisoned || s.next_claim >= n {
                             return;
                         }
                         s.next_claim += 1;
                         s.next_claim - 1
                     };
-                    let t = produce(i);
-                    let mut s = state.lock().expect("dfm-par streaming lock");
-                    s.done.insert(i, t);
-                    if i == s.base {
-                        item.notify_all();
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| produce(i))) {
+                        Ok(t) => {
+                            let mut s = state.lock().expect("dfm-par streaming lock");
+                            s.done.insert(i, t);
+                            if i == s.base {
+                                item.notify_all();
+                            }
+                        }
+                        Err(payload) => {
+                            let mut s = state.lock().expect("dfm-par streaming lock");
+                            if !s.poisoned {
+                                s.poisoned = true;
+                                s.poison = Some(payload);
+                            }
+                            item.notify_all();
+                            space.notify_all();
+                            return;
+                        }
                     }
                 })
             });
@@ -339,6 +376,17 @@ pub fn par_reduce_streaming<T: Send, A>(
             let t = {
                 let mut s = state.lock().expect("dfm-par streaming lock");
                 loop {
+                    if s.poisoned {
+                        // `poisoned` stays latched so remaining workers
+                        // drain; rethrow the producer's panic here.
+                        let payload = s.poison.take();
+                        space.notify_all();
+                        drop(s);
+                        match payload {
+                            Some(p) => std::panic::resume_unwind(p),
+                            None => panic!("dfm-par streaming producer panicked"),
+                        }
+                    }
                     if let Some(t) = s.done.remove(&i) {
                         s.base = i + 1;
                         space.notify_all();
@@ -382,9 +430,19 @@ pub fn par_reduce_ordered<T: Sync, A: Send>(
 // Persistent worker pool + cooperative cancellation
 // ---------------------------------------------------------------------------
 
+use dfm_fault::FaultPlane;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Fault-injection site: panic inside a pool task, keyed by submission
+/// index (see [`WorkerPool::with_fault_plane`]).
+pub const SITE_TASK_PANIC: &str = "par.task.panic";
+
+/// Fault-injection site: delay before a pool task runs, keyed by
+/// submission index. The injected virtual milliseconds are slept as
+/// real milliseconds, capped at one second.
+pub const SITE_TASK_DELAY: &str = "par.task.delay";
 
 /// A cooperative cancellation flag shared between a task's submitter and
 /// its executors. Cloning shares the flag. Cancellation is a latch: once
@@ -433,10 +491,33 @@ pub struct PoolStats {
     pub panicked: u64,
 }
 
+/// How a task submitted with [`WorkerPool::submit_supervised`] ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The closure ran to completion.
+    Completed,
+    /// The closure panicked; the payload is rendered to a message. The
+    /// panic was contained and the worker survives.
+    Panicked(String),
+    /// The task never ran: its [`CancelToken`] was already cancelled
+    /// when a worker dequeued it.
+    Skipped,
+}
+
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+type ExitHook = Box<dyn FnOnce(TaskOutcome) + Send + 'static>;
+
+struct QueuedTask {
+    token: Option<CancelToken>,
+    task: PoolTask,
+    on_exit: Option<ExitHook>,
+    /// Monotonic submission index — the fault-plane key for the
+    /// pool-level injection sites.
+    submit_idx: u64,
+}
 
 struct PoolQueue {
-    tasks: VecDeque<(Option<CancelToken>, PoolTask)>,
+    tasks: VecDeque<QueuedTask>,
     in_flight: usize,
     shutdown: bool,
 }
@@ -447,6 +528,9 @@ struct PoolShared {
     available: Condvar,
     /// Signalled when the pool drains to idle.
     idle: Condvar,
+    /// Fault-injection plane; `None` (the default) costs nothing.
+    plane: Option<Arc<FaultPlane>>,
+    submitted: AtomicU64,
     queue_depth_peak: AtomicUsize,
     in_flight_peak: AtomicUsize,
     completed: AtomicU64,
@@ -480,6 +564,15 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
+        WorkerPool::with_fault_plane(threads, None)
+    }
+
+    /// Spawns a pool whose workers consult a fault-injection plane:
+    /// [`SITE_TASK_DELAY`] before a task runs (slept as real
+    /// milliseconds, capped at 1 s) and [`SITE_TASK_PANIC`] inside the
+    /// task's containment boundary, both keyed by the task's submission
+    /// index. `None` is exactly [`WorkerPool::new`].
+    pub fn with_fault_plane(threads: usize, plane: Option<Arc<FaultPlane>>) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
@@ -489,6 +582,8 @@ impl WorkerPool {
             }),
             available: Condvar::new(),
             idle: Condvar::new(),
+            plane,
+            submitted: AtomicU64::new(0),
             queue_depth_peak: AtomicUsize::new(0),
             in_flight_peak: AtomicUsize::new(0),
             completed: AtomicU64::new(0),
@@ -509,22 +604,44 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// The fault plane this pool consults, if any.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.shared.plane.as_ref()
+    }
+
     /// Enqueues a task.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
-        self.push(None, Box::new(task));
+        self.push(None, Box::new(task), None);
     }
 
     /// Enqueues a task that is silently skipped if `token` is already
     /// cancelled when a worker dequeues it.
     pub fn submit_cancellable(&self, token: &CancelToken, task: impl FnOnce() + Send + 'static) {
-        self.push(Some(token.clone()), Box::new(task));
+        self.push(Some(token.clone()), Box::new(task), None);
     }
 
-    fn push(&self, token: Option<CancelToken>, task: PoolTask) {
+    /// Enqueues a task under supervision: `on_exit` is called exactly
+    /// once with how the task ended — [`TaskOutcome::Completed`],
+    /// [`TaskOutcome::Panicked`] (with the rendered payload), or
+    /// [`TaskOutcome::Skipped`] if `token` was already cancelled at
+    /// dequeue. This is the pool-level half of a retry/quarantine
+    /// supervisor: even a panic the task's own bookkeeping missed still
+    /// reaches the supervisor.
+    pub fn submit_supervised(
+        &self,
+        token: &CancelToken,
+        task: impl FnOnce() + Send + 'static,
+        on_exit: impl FnOnce(TaskOutcome) + Send + 'static,
+    ) {
+        self.push(Some(token.clone()), Box::new(task), Some(Box::new(on_exit)));
+    }
+
+    fn push(&self, token: Option<CancelToken>, task: PoolTask, on_exit: Option<ExitHook>) {
+        let submit_idx = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let depth = {
             let mut q = self.shared.queue.lock().expect("dfm-par pool lock");
             assert!(!q.shutdown, "submit on a shut-down WorkerPool");
-            q.tasks.push_back((token, task));
+            q.tasks.push_back(QueuedTask { token, task, on_exit, submit_idx });
             q.tasks.len()
         };
         self.shared.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
@@ -572,7 +689,7 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let (token, task) = {
+        let item = {
             let mut q = shared.queue.lock().expect("dfm-par pool lock");
             loop {
                 if let Some(item) = q.tasks.pop_front() {
@@ -587,20 +704,55 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.available.wait(q).expect("dfm-par pool wait");
             }
         };
-        if token.is_some_and(|t| t.is_cancelled()) {
+        let QueuedTask { token, task, on_exit, submit_idx } = item;
+        let outcome = if token.is_some_and(|t| t.is_cancelled()) {
             shared.skipped.fetch_add(1, Ordering::Relaxed);
+            TaskOutcome::Skipped
         } else {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-            shared.completed.fetch_add(1, Ordering::Relaxed);
-            if outcome.is_err() {
-                shared.panicked.fetch_add(1, Ordering::Relaxed);
+            if let Some(plane) = &shared.plane {
+                if let Some(vms) = plane.delay_vms(SITE_TASK_DELAY, submit_idx, 0) {
+                    std::thread::sleep(std::time::Duration::from_millis(vms.min(1000)));
+                }
             }
+            let plane = shared.plane.as_deref();
+            let run = move || {
+                if let Some(plane) = plane {
+                    plane.maybe_panic(SITE_TASK_PANIC, submit_idx, 0);
+                }
+                task();
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(()) => TaskOutcome::Completed,
+                Err(payload) => {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                    TaskOutcome::Panicked(panic_payload_message(payload.as_ref()))
+                }
+            }
+        };
+        if let Some(hook) = on_exit {
+            // The hook runs outside the task's containment: a panicking
+            // supervisor is a bug we want loud, not a task failure.
+            hook(outcome);
         }
         let mut q = shared.queue.lock().expect("dfm-par pool lock");
         q.in_flight -= 1;
         if q.tasks.is_empty() && q.in_flight == 0 {
             shared.idle.notify_all();
         }
+    }
+}
+
+/// Renders a caught panic payload to a stable message (`&str` and
+/// `String` payloads verbatim, anything else a fixed fallback).
+pub fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
     }
 }
 
@@ -856,5 +1008,103 @@ mod tests {
         assert!(!a.is_cancelled() && !b.is_cancelled());
         b.cancel();
         assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn fork_join_propagates_worker_panic_cleanly() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_range(64, |i| {
+                    if i == 17 {
+                        panic!("chunk 17 exploded");
+                    }
+                    i
+                })
+            })
+        });
+        let payload = caught.expect_err("must propagate the worker panic");
+        assert_eq!(panic_payload_message(payload.as_ref()), "chunk 17 exploded");
+    }
+
+    #[test]
+    fn streaming_producer_panic_does_not_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_reduce_streaming(
+                    100,
+                    3,
+                    |i| {
+                        if i == 5 {
+                            panic!("producer 5 exploded");
+                        }
+                        i
+                    },
+                    0usize,
+                    |a, x| a + x,
+                )
+            })
+        });
+        let payload = caught.expect_err("must propagate the producer panic");
+        assert_eq!(panic_payload_message(payload.as_ref()), "producer 5 exploded");
+    }
+
+    #[test]
+    fn supervised_tasks_report_outcomes() {
+        let pool = WorkerPool::new(2);
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let record = |outcomes: &Arc<Mutex<Vec<(u8, TaskOutcome)>>>, tag: u8| {
+            let outcomes = Arc::clone(outcomes);
+            move |o: TaskOutcome| outcomes.lock().unwrap().push((tag, o))
+        };
+        let live = CancelToken::new();
+        let dead = CancelToken::new();
+        dead.cancel();
+        pool.submit_supervised(&live, || (), record(&outcomes, 0));
+        pool.submit_supervised(&live, || panic!("supervised boom"), record(&outcomes, 1));
+        pool.submit_supervised(&dead, || unreachable!("cancelled"), record(&outcomes, 2));
+        pool.wait_idle();
+        let mut got = outcomes.lock().unwrap().clone();
+        got.sort_by_key(|(tag, _)| *tag);
+        assert_eq!(
+            got,
+            vec![
+                (0, TaskOutcome::Completed),
+                (1, TaskOutcome::Panicked("supervised boom".to_string())),
+                (2, TaskOutcome::Skipped),
+            ]
+        );
+    }
+
+    #[test]
+    fn pool_fault_plane_injects_deterministic_panics() {
+        use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
+        // Submission index 2 panics; everything else completes.
+        let plan = FaultPlan::seeded(11)
+            .with_rule(FaultRule::new(SITE_TASK_PANIC, FaultAction::Panic).key(2));
+        let pool = WorkerPool::with_fault_plane(1, Some(Arc::new(FaultPlane::new(plan))));
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let token = CancelToken::new();
+        for i in 0..4u64 {
+            let outcomes = Arc::clone(&outcomes);
+            pool.submit_supervised(&token, || (), move |o| {
+                outcomes.lock().unwrap().push((i, o));
+            });
+        }
+        pool.wait_idle();
+        let got = outcomes.lock().unwrap().clone();
+        for (i, o) in &got {
+            if *i == 2 {
+                assert_eq!(
+                    *o,
+                    TaskOutcome::Panicked("injected panic at par.task.panic (key 2, attempt 0)".to_string())
+                );
+            } else {
+                assert_eq!(*o, TaskOutcome::Completed, "task {i}");
+            }
+        }
+        assert_eq!(pool.stats().panicked, 1);
+        let injected = pool.fault_plane().expect("plane").injected();
+        assert_eq!(injected.len(), 1);
+        assert_eq!(injected[0].key, 2);
     }
 }

@@ -156,7 +156,8 @@ impl Client {
         }
     }
 
-    /// Polls `status` until the job reaches a terminal state.
+    /// Polls `status` until the job settles (Done, Partial-settled,
+    /// Failed, or Cancelled).
     ///
     /// # Errors
     ///
@@ -164,7 +165,7 @@ impl Client {
     pub fn wait(&mut self, job: u64) -> Result<JobStatus, String> {
         loop {
             let status = self.status(job)?;
-            if status.state.is_terminal() {
+            if status.state.is_settled() {
                 return Ok(status);
             }
             std::thread::sleep(std::time::Duration::from_millis(20));

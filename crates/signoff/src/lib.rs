@@ -20,7 +20,11 @@
 //!   against [`flat_report`] in tests and CI,
 //! * [`SignoffService`] — the job store: states, per-tile progress,
 //!   monotonic event sequence numbers, incremental (prefix-merged)
-//!   results, checkpoint/resume,
+//!   results, checkpoint/resume, and supervised retry/quarantine
+//!   (bounded per-tile retries with deterministic virtual-clock
+//!   backoff; tiles that exhaust their budget are quarantined and the
+//!   job settles `Partial` with an explicit manifest — testable
+//!   end-to-end through the `dfm_fault` injection plane),
 //! * [`proto`] / [`server`] / [`client`] — a line-delimited-JSON
 //!   protocol over `std::net` TCP, rendered through the hand-rolled
 //!   [`dfm_bench::json`] writer.
@@ -49,7 +53,9 @@ pub mod spec;
 
 pub use client::Client;
 pub use job::{JobContext, TilePartial};
-pub use report::{flat_report, CaSummary, LithoSummary, SignoffReport};
+pub use report::{flat_report, CaSummary, LithoSummary, QuarantinedTile, SignoffReport};
 pub use server::Server;
-pub use service::{JobEvent, JobEventKind, JobState, JobStatus, SignoffService};
+pub use service::{
+    JobEvent, JobEventKind, JobState, JobStatus, ServiceConfig, SignoffService, SupervisionPolicy,
+};
 pub use spec::JobSpec;

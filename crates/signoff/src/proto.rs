@@ -291,6 +291,7 @@ fn status_to_json(s: &JobStatus) -> JsonValue {
         ("state", JsonValue::str(s.state.name())),
         ("tiles_total", JsonValue::Num(s.tiles_total as f64)),
         ("tiles_done", JsonValue::Num(s.tiles_done as f64)),
+        ("tiles_quarantined", JsonValue::Num(s.tiles_quarantined as f64)),
         ("next_seq", JsonValue::Num(s.next_seq as f64)),
         (
             "error",
@@ -325,6 +326,9 @@ fn status_from_json(v: &JsonValue) -> Result<JobStatus, String> {
             as usize,
         tiles_done: field_u64(v.get("tiles_done").ok_or("status needs \"tiles_done\"")?, "tiles_done")?
             as usize,
+        tiles_quarantined: v
+            .get("tiles_quarantined")
+            .map_or(Ok(0), |s| field_u64(s, "tiles_quarantined"))? as usize,
         next_seq: v.get("next_seq").map_or(Ok(0), |s| field_u64(s, "next_seq"))?,
         error,
     })
@@ -343,6 +347,26 @@ fn event_to_json(e: &JobEvent) -> JsonValue {
             ("tile", JsonValue::Num(*tile as f64)),
             ("completed", JsonValue::Num(*completed as f64)),
             ("total", JsonValue::Num(*total as f64)),
+        ]),
+        JobEventKind::TileRetry { tile, attempt, backoff_vms, reason } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("retry")),
+            ("tile", JsonValue::Num(*tile as f64)),
+            ("attempt", JsonValue::Num(*attempt as f64)),
+            ("backoff_vms", JsonValue::Num(*backoff_vms as f64)),
+            ("reason", JsonValue::str(reason)),
+        ]),
+        JobEventKind::TileQuarantined { tile, attempts, reason } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("quarantine")),
+            ("tile", JsonValue::Num(*tile as f64)),
+            ("attempts", JsonValue::Num(*attempts as f64)),
+            ("reason", JsonValue::str(reason)),
+        ]),
+        JobEventKind::CkptDegraded { tile } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("ckpt")),
+            ("tile", JsonValue::Num(*tile as f64)),
         ]),
     }
 }
@@ -372,6 +396,35 @@ fn event_from_json(v: &JsonValue) -> Result<JobEvent, String> {
             total: field_u64(v.get("total").ok_or("tile event needs \"total\"")?, "total")?
                 as usize,
         },
+        "retry" => JobEventKind::TileRetry {
+            tile: field_u64(v.get("tile").ok_or("retry event needs \"tile\"")?, "tile")? as usize,
+            attempt: field_u64(v.get("attempt").ok_or("retry event needs \"attempt\"")?, "attempt")?,
+            backoff_vms: field_u64(
+                v.get("backoff_vms").ok_or("retry event needs \"backoff_vms\"")?,
+                "backoff_vms",
+            )?,
+            reason: v
+                .get("reason")
+                .and_then(JsonValue::as_str)
+                .ok_or("retry event needs a \"reason\" string")?
+                .to_string(),
+        },
+        "quarantine" => JobEventKind::TileQuarantined {
+            tile: field_u64(v.get("tile").ok_or("quarantine event needs \"tile\"")?, "tile")?
+                as usize,
+            attempts: field_u64(
+                v.get("attempts").ok_or("quarantine event needs \"attempts\"")?,
+                "attempts",
+            )?,
+            reason: v
+                .get("reason")
+                .and_then(JsonValue::as_str)
+                .ok_or("quarantine event needs a \"reason\" string")?
+                .to_string(),
+        },
+        "ckpt" => JobEventKind::CkptDegraded {
+            tile: field_u64(v.get("tile").ok_or("ckpt event needs \"tile\"")?, "tile")? as usize,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(JobEvent { seq, kind })
@@ -388,6 +441,7 @@ mod tests {
             state: JobState::Running,
             tiles_total: 9,
             tiles_done: 4,
+            tiles_quarantined: 0,
             next_seq: 6,
             error: None,
         }
@@ -432,8 +486,26 @@ mod tests {
                         seq: 1,
                         kind: JobEventKind::TileDone { tile: 0, completed: 1, total: 9 },
                     },
+                    JobEvent {
+                        seq: 2,
+                        kind: JobEventKind::TileRetry {
+                            tile: 3,
+                            attempt: 0,
+                            backoff_vms: 8,
+                            reason: "tile 3 panicked: injected".to_string(),
+                        },
+                    },
+                    JobEvent {
+                        seq: 3,
+                        kind: JobEventKind::TileQuarantined {
+                            tile: 3,
+                            attempts: 3,
+                            reason: "tile 3 panicked: injected".to_string(),
+                        },
+                    },
+                    JobEvent { seq: 4, kind: JobEventKind::CkptDegraded { tile: 5 } },
                 ],
-                next_seq: 2,
+                next_seq: 5,
             },
             Response::Results {
                 status: sample_status(),
@@ -467,6 +539,8 @@ mod tests {
             r#"{"ok":true}"#,
             r#"{"ok":true,"status":{"id":1}}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"meteor"}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"retry","tile":1}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"quarantine","tile":1,"attempts":3}],"next_seq":1}"#,
         ] {
             assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
         }

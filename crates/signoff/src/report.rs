@@ -71,6 +71,19 @@ impl LithoSummary {
     }
 }
 
+/// One quarantined tile in a `Partial`-complete job's report: the tile
+/// exhausted its retry budget and its results are **excluded** from
+/// every figure above the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedTile {
+    /// Tile index.
+    pub tile: usize,
+    /// Failed attempts consumed before quarantine.
+    pub attempts: u64,
+    /// The last failure's diagnostic.
+    pub reason: String,
+}
+
 /// The merged result of a signoff job: one section per enabled engine.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct SignoffReport {
@@ -80,6 +93,10 @@ pub struct SignoffReport {
     pub ca: Option<CaSummary>,
     /// Litho print figures (present when the spec names a litho layer).
     pub litho: Option<LithoSummary>,
+    /// Quarantined-tile manifest, sorted by tile. Empty on a clean run
+    /// — and rendered only when non-empty, so fault-free reports are
+    /// byte-identical to reports from before quarantine existed.
+    pub quarantined: Vec<QuarantinedTile>,
 }
 
 impl SignoffReport {
@@ -136,6 +153,16 @@ impl SignoffReport {
                     out,
                     "litho.printed: {} nm2 in {} rects, digest {:#018x}",
                     l.printed_area, l.rect_count, l.digest
+                );
+            }
+        }
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(out, "quarantine: {} tiles excluded", self.quarantined.len());
+            for q in &self.quarantined {
+                let _ = writeln!(
+                    out,
+                    "quarantine.tile {}: {} attempts, {}",
+                    q.tile, q.attempts, q.reason
                 );
             }
         }

@@ -6,10 +6,18 @@
 use crate::codec::{read_frame, MAX_LINE_BYTES};
 use crate::proto::{Request, Response};
 use crate::service::SignoffService;
+use dfm_fault::FaultPlane;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Fault site: a server response write. Keyed by connection id (accept
+/// order); `attempt` is the frame index on that connection. A firing
+/// `Drop` rule tears the frame mid-line and slams the socket shut —
+/// the client sees a torn frame, the server keeps serving everyone
+/// else.
+pub const SITE_SERVER_WRITE: &str = "server.write";
 
 /// A listening signoff server. Bind, then [`Server::serve`] until a
 /// client sends `shutdown`.
@@ -51,7 +59,7 @@ impl Server {
     /// Accept-loop diagnostics.
     pub fn serve(&self) -> Result<(), String> {
         let addr = self.local_addr();
-        for conn in self.listener.incoming() {
+        for (conn_id, conn) in (0_u64..).zip(self.listener.incoming()) {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -59,7 +67,7 @@ impl Server {
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &service, &shutdown, addr);
+                let _ = handle_connection(stream, &service, &shutdown, addr, conn_id);
             });
         }
         Ok(())
@@ -71,8 +79,16 @@ fn handle_connection(
     service: &SignoffService,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    conn_id: u64,
 ) -> std::io::Result<()> {
+    let plane = service.fault_plane().cloned();
     let mut writer = stream.try_clone()?;
+    let mut frame: u64 = 0;
+    let mut write = |writer: &mut TcpStream, response: &Response| {
+        let this_frame = frame;
+        frame += 1;
+        write_response(writer, plane.as_ref(), conn_id, this_frame, response)
+    };
     let mut reader = BufReader::new(stream);
     loop {
         let line = match read_frame(&mut reader, MAX_LINE_BYTES) {
@@ -81,26 +97,31 @@ fn handle_connection(
             Err(e) => {
                 // Framing violation (oversized line, torn frame,
                 // bad UTF-8): answer once, then drop the connection.
-                write_response(&mut writer, &Response::Error { error: e })?;
+                write(&mut writer, &Response::Error { error: e })?;
                 return Ok(());
             }
         };
         let request = match Request::parse(&line) {
             Ok(r) => r,
             Err(e) => {
-                write_response(&mut writer, &Response::Error { error: e })?;
+                write(&mut writer, &Response::Error { error: e })?;
                 continue;
             }
         };
         let stop = matches!(request, Request::Shutdown);
         let response = handle_request(service, request);
-        write_response(&mut writer, &response)?;
         if stop {
+            // Latch shutdown before answering, so a dropped (injected
+            // or real) response write cannot strand a stopping server.
             shutdown.store(true, Ordering::SeqCst);
+        }
+        let wrote = write(&mut writer, &response);
+        if stop {
             // Unblock the accept loop so serve() can return.
             let _ = TcpStream::connect(addr);
             return Ok(());
         }
+        wrote?;
     }
 }
 
@@ -126,9 +147,30 @@ fn handle_request(service: &SignoffService, request: Request) -> Response {
     result.unwrap_or_else(|error| Response::Error { error })
 }
 
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn write_response(
+    writer: &mut TcpStream,
+    plane: Option<&Arc<FaultPlane>>,
+    conn: u64,
+    frame: u64,
+    response: &Response,
+) -> std::io::Result<()> {
     let mut line = response.to_json().render();
     line.push('\n');
+    if let Some(plane) = plane {
+        if plane.should_drop(SITE_SERVER_WRITE, conn, frame) {
+            // Tear the frame mid-line: ship half the bytes, then slam
+            // the socket shut in both directions. The client observes
+            // an interrupted frame; this connection is done.
+            let half = &line.as_bytes()[..line.len() / 2];
+            let _ = writer.write_all(half);
+            let _ = writer.flush();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "injected socket drop",
+            ));
+        }
+    }
     writer.write_all(line.as_bytes())?;
     writer.flush()
 }

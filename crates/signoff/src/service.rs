@@ -1,30 +1,63 @@
 //! The job store and scheduler: states, per-tile progress, monotonic
-//! event sequences, incremental results, checkpoint/resume.
+//! event sequences, incremental results, checkpoint/resume, and
+//! supervised retry/quarantine.
 //!
 //! One [`SignoffService`] owns one persistent [`WorkerPool`]. A
-//! submitted job decomposes into `tile_count` independent tasks; each
-//! task computes its [`TilePartial`] (pure), checkpoints it (when a
-//! checkpoint root is configured), records it in the job, and emits a
-//! `TileDone` event with the next sequence number. The last tile in
-//! triggers the ordered merge. Because partials are pure and the merge
-//! is ordered, *nothing* the scheduler does — worker count, dispatch
-//! order, cancellation, process death — can change the final bytes.
+//! submitted job decomposes into `tile_count` independent attempts;
+//! each attempt computes its [`TilePartial`] (pure), checkpoints it
+//! (when a checkpoint root is configured), and hands the outcome to
+//! the supervisor. A failed attempt (panic, injected fault, virtual
+//! watchdog timeout) is retried up to [`SupervisionPolicy::max_attempts`]
+//! times with deterministic virtual-clock backoff; a tile that
+//! exhausts its budget is **quarantined** and the job still settles —
+//! as [`JobState::Partial`] with an explicit quarantined-tile manifest
+//! in the report, never a bare `Failed`.
+//!
+//! ## Determinism under faults
+//!
+//! Fault decisions are pure functions of `(plan seed, site, tile,
+//! attempt)` (see `dfm-fault`), so *which* attempts fail never depends
+//! on scheduling. Event emission is **committed in tile order**: each
+//! tile's outcome (its retries, then its `TileDone` or
+//! `TileQuarantined`) is buffered until every lower-indexed dispatched
+//! tile has resolved, so the full event stream — not just the report
+//! bytes — is identical at any worker count. Backoff is virtual
+//! milliseconds (bookkeeping the events record), not wall time, so
+//! retries cost nothing and reproduce exactly.
 
 use crate::checkpoint::{list_job_dirs, JobDir};
 use crate::job::{JobContext, TilePartial};
-use crate::report::SignoffReport;
+use crate::report::{QuarantinedTile, SignoffReport};
 use crate::spec::JobSpec;
-use dfm_par::{CancelToken, PoolStats, WorkerPool};
-use std::collections::BTreeMap;
+use dfm_fault::FaultPlane;
+use dfm_par::{CancelToken, PoolStats, TaskOutcome, WorkerPool};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
 /// Environment variable (milliseconds) that slows every tile task
 /// down. A test/CI hook: it widens the window in which a kill or
 /// cancel lands mid-job, without touching any result bytes.
 pub const TILE_DELAY_ENV: &str = "DFM_SIGNOFF_TILE_DELAY_MS";
+
+/// Fault site: panic inside a tile attempt's containment boundary.
+/// Keyed by tile index; `attempt` is the attempt number.
+pub const SITE_TILE_COMPUTE: &str = "signoff.tile.compute";
+
+/// Fault site: virtual delay of a tile attempt. Keyed by tile index.
+/// A delay at or past [`SupervisionPolicy::watchdog_vms`] fails the
+/// attempt as a watchdog timeout (cancel + requeue).
+pub const SITE_TILE_DELAY: &str = "signoff.tile.delay";
+
+/// Fault site: checkpoint tile write, keyed by tile index; `attempt`
+/// is the write-retry number.
+pub const SITE_CKPT_WRITE: &str = "signoff.ckpt.write";
+
+/// Fault site: checkpoint tile read at load time, keyed by tile index.
+/// An injected error skips the tile, which is then recomputed.
+pub const SITE_CKPT_READ: &str = "signoff.ckpt.read";
 
 /// Lifecycle of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,12 +66,16 @@ pub enum JobState {
     Queued,
     /// Tile tasks are dispatched to the pool.
     Running,
-    /// Holds a subset of tiles and is not running (checkpoint loaded
-    /// after a restart, waiting for `resume`).
+    /// Holds a subset of tiles and is not running: loaded from a
+    /// checkpoint after a restart (awaiting `resume`), or **settled**
+    /// with quarantined tiles excluded — in the settled case the
+    /// report (with its quarantine manifest) is available, and the job
+    /// can still be resumed to retry the quarantined tiles.
     Partial,
     /// All tiles merged; final report available.
     Done,
-    /// A tile task or the merge failed; diagnostic recorded.
+    /// The merge itself failed; diagnostic recorded. Tile failures
+    /// never produce this state — they retry and then quarantine.
     Failed,
     /// Cancelled by request; completed tiles are kept for `resume`.
     Cancelled,
@@ -48,6 +85,14 @@ impl JobState {
     /// True for states no event can follow (except via `resume`).
     pub fn is_terminal(self) -> bool {
         matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+
+    /// True once the job has stopped making progress on its own —
+    /// every state except `Queued`/`Running`. This is what `wait`
+    /// blocks on: a `Partial`-settled job (quarantined tiles) is a
+    /// finished job with a report, not one worth waiting longer for.
+    pub fn is_settled(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
     }
 
     /// Stable lower-case name used on the wire.
@@ -96,6 +141,35 @@ pub enum JobEventKind {
         /// Total tiles in the job.
         total: usize,
     },
+    /// A tile attempt failed and will be retried.
+    TileRetry {
+        /// The tile being retried.
+        tile: usize,
+        /// The failed attempt (0-based).
+        attempt: u64,
+        /// Deterministic virtual-clock backoff before the next
+        /// attempt, virtual milliseconds.
+        backoff_vms: u64,
+        /// The failure's diagnostic.
+        reason: String,
+    },
+    /// A tile exhausted its attempt budget and was quarantined; its
+    /// results are excluded from the job's report.
+    TileQuarantined {
+        /// The quarantined tile.
+        tile: usize,
+        /// Failed attempts consumed.
+        attempts: u64,
+        /// The last failure's diagnostic.
+        reason: String,
+    },
+    /// Every checkpoint-write attempt for this tile failed; the result
+    /// is kept in memory (the job continues degraded — a restart would
+    /// recompute this tile).
+    CkptDegraded {
+        /// The tile whose checkpoint write failed.
+        tile: usize,
+    },
 }
 
 /// One entry in a job's event log. Sequence numbers are per-job,
@@ -122,10 +196,103 @@ pub struct JobStatus {
     pub tiles_total: usize,
     /// Completed tiles.
     pub tiles_done: usize,
+    /// Quarantined tiles (excluded from the report).
+    pub tiles_quarantined: usize,
     /// Next event sequence number (== number of events so far).
     pub next_seq: u64,
     /// Failure diagnostic, when `state == Failed`.
     pub error: Option<String>,
+}
+
+/// Retry/quarantine/watchdog knobs of the supervisor.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisionPolicy {
+    /// Per-tile attempt budget; a tile failing this many times is
+    /// quarantined (clamped to at least 1).
+    pub max_attempts: u64,
+    /// Backoff before retrying attempt `k` is `backoff_base_vms << k`
+    /// virtual milliseconds (bookkeeping recorded in the retry event,
+    /// not wall time — see `real_ms_per_vms`).
+    pub backoff_base_vms: u64,
+    /// Write attempts per tile checkpoint before degrading to
+    /// in-memory-only (clamped to at least 1).
+    pub ckpt_write_attempts: u64,
+    /// Virtual watchdog budget: an injected tile delay of at least
+    /// this many virtual milliseconds fails the attempt as a timeout
+    /// (the stuck attempt is abandoned and the tile requeued). `None`
+    /// disables the watchdog.
+    pub watchdog_vms: Option<u64>,
+    /// Real milliseconds actually slept per virtual millisecond of
+    /// backoff/delay (capped at 1 s per sleep). 0 — the default —
+    /// keeps the virtual clock purely bookkeeping, so fault runs are
+    /// fast and exactly reproducible.
+    pub real_ms_per_vms: u64,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> SupervisionPolicy {
+        SupervisionPolicy {
+            max_attempts: 3,
+            backoff_base_vms: 8,
+            ckpt_write_attempts: 3,
+            watchdog_vms: Some(10_000),
+            real_ms_per_vms: 0,
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// Sleeps the real-time equivalent of `vms` virtual milliseconds
+    /// (no-op at the default scale of 0).
+    fn real_sleep(&self, vms: u64) {
+        if self.real_ms_per_vms > 0 {
+            let ms = vms.saturating_mul(self.real_ms_per_vms).min(1000);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// Full construction-time configuration of a [`SignoffService`].
+pub struct ServiceConfig {
+    /// Worker-pool threads.
+    pub threads: usize,
+    /// Checkpoint root (None disables persistence).
+    pub ckpt_root: Option<PathBuf>,
+    /// Artificial per-tile delay (test/CI hook).
+    pub tile_delay: Duration,
+    /// Fault-injection plane; `None` (the default) makes every fault
+    /// probe a no-op.
+    pub fault_plane: Option<Arc<FaultPlane>>,
+    /// Retry/quarantine/watchdog policy.
+    pub policy: SupervisionPolicy,
+}
+
+impl ServiceConfig {
+    /// A default config with `threads` workers: no checkpointing, no
+    /// delay, no faults, default policy.
+    pub fn new(threads: usize) -> ServiceConfig {
+        ServiceConfig {
+            threads,
+            ckpt_root: None,
+            tile_delay: Duration::ZERO,
+            fault_plane: None,
+            policy: SupervisionPolicy::default(),
+        }
+    }
+}
+
+/// One recorded (not yet committed) retry of a tile.
+#[derive(Clone, Debug)]
+struct RetryRecord {
+    attempt: u64,
+    backoff_vms: u64,
+    reason: String,
+}
+
+/// A tile's final outcome, buffered until its commit-order turn.
+enum TileResolution {
+    Done { partial: TilePartial, ckpt_degraded: bool },
+    Quarantined { attempts: u64, reason: String },
 }
 
 struct JobMut {
@@ -138,9 +305,39 @@ struct JobMut {
     events: Vec<JobEvent>,
     error: Option<String>,
     report: Option<SignoffReport>,
+    /// Attempt currently in flight per dispatched tile.
+    attempts: BTreeMap<usize, u64>,
+    /// Failed attempts awaiting commit, per tile, in attempt order.
+    retry_log: BTreeMap<usize, Vec<RetryRecord>>,
+    /// Resolved tiles whose events have not been committed yet.
+    pending_commit: BTreeMap<usize, TileResolution>,
+    /// Dispatched tiles in commit (ascending index) order; the head
+    /// commits as soon as it resolves.
+    commit_queue: VecDeque<usize>,
+    /// Quarantined tiles: tile → (attempts, last reason).
+    quarantined: BTreeMap<usize, (u64, String)>,
 }
 
 impl JobMut {
+    fn fresh(spec: JobSpec, gds: Vec<u8>, ctx: Option<Arc<JobContext>>, state: JobState) -> JobMut {
+        JobMut {
+            spec,
+            gds,
+            ctx,
+            state,
+            cancel: CancelToken::new(),
+            partials: BTreeMap::new(),
+            events: Vec::new(),
+            error: None,
+            report: None,
+            attempts: BTreeMap::new(),
+            retry_log: BTreeMap::new(),
+            pending_commit: BTreeMap::new(),
+            commit_queue: VecDeque::new(),
+            quarantined: BTreeMap::new(),
+        }
+    }
+
     fn emit(&mut self, kind: JobEventKind) {
         let seq = self.events.len() as u64;
         self.events.push(JobEvent { seq, kind });
@@ -156,6 +353,39 @@ impl JobMut {
     }
 }
 
+/// Commits resolved tiles strictly along the commit queue: the head
+/// tile's buffered retries, then its terminal event. Every event a
+/// fixed fault plan produces is therefore emitted in tile order — the
+/// same order at any worker count.
+fn advance_commits(m: &mut JobMut, total: usize) {
+    while let Some(&tile) = m.commit_queue.front() {
+        let Some(res) = m.pending_commit.remove(&tile) else { break };
+        m.commit_queue.pop_front();
+        for r in m.retry_log.remove(&tile).unwrap_or_default() {
+            m.emit(JobEventKind::TileRetry {
+                tile,
+                attempt: r.attempt,
+                backoff_vms: r.backoff_vms,
+                reason: r.reason,
+            });
+        }
+        match res {
+            TileResolution::Done { partial, ckpt_degraded } => {
+                if ckpt_degraded {
+                    m.emit(JobEventKind::CkptDegraded { tile });
+                }
+                m.partials.insert(tile, partial);
+                let completed = m.partials.len();
+                m.emit(JobEventKind::TileDone { tile, completed, total });
+            }
+            TileResolution::Quarantined { attempts, reason } => {
+                m.quarantined.insert(tile, (attempts, reason.clone()));
+                m.emit(JobEventKind::TileQuarantined { tile, attempts, reason });
+            }
+        }
+    }
+}
+
 struct Job {
     id: u64,
     dir: Option<JobDir>,
@@ -166,24 +396,26 @@ struct Job {
 impl Job {
     fn status(&self) -> JobStatus {
         let m = self.m.lock().expect("job lock");
-        JobStatus {
-            id: self.id,
-            name: m.spec.name.clone(),
-            state: m.state,
-            tiles_total: m.tiles_total(),
-            tiles_done: m.partials.len(),
-            next_seq: m.events.len() as u64,
-            error: m.error.clone(),
-        }
+        status_of(self, &m)
     }
+}
+
+/// The state tile tasks share: a weak pool handle for resubmission
+/// (weak, so queued retry closures never keep the pool — and thus
+/// themselves — alive), the fault plane, and the policy.
+struct RunShared {
+    pool: Weak<WorkerPool>,
+    plane: Option<Arc<FaultPlane>>,
+    policy: SupervisionPolicy,
+    tile_delay: Duration,
 }
 
 /// The signoff job service. See the module docs.
 pub struct SignoffService {
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
+    shared: Arc<RunShared>,
     jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
     ckpt_root: Option<PathBuf>,
-    tile_delay: Duration,
 }
 
 impl SignoffService {
@@ -197,7 +429,7 @@ impl SignoffService {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .map_or(Duration::ZERO, Duration::from_millis);
-        SignoffService::with_tile_delay(threads, ckpt_root, tile_delay)
+        SignoffService::with_config(ServiceConfig { ckpt_root, tile_delay, ..ServiceConfig::new(threads) })
     }
 
     /// Like [`SignoffService::new`] with an explicit per-tile delay
@@ -207,14 +439,32 @@ impl SignoffService {
         ckpt_root: Option<PathBuf>,
         tile_delay: Duration,
     ) -> SignoffService {
+        SignoffService::with_config(ServiceConfig { ckpt_root, tile_delay, ..ServiceConfig::new(threads) })
+    }
+
+    /// Creates a service from a full [`ServiceConfig`] — the only
+    /// constructor that can arm a fault plane or change the policy.
+    pub fn with_config(cfg: ServiceConfig) -> SignoffService {
+        let pool = Arc::new(WorkerPool::with_fault_plane(cfg.threads, cfg.fault_plane.clone()));
+        let shared = Arc::new(RunShared {
+            pool: Arc::downgrade(&pool),
+            plane: cfg.fault_plane,
+            policy: cfg.policy,
+            tile_delay: cfg.tile_delay,
+        });
         let service = SignoffService {
-            pool: WorkerPool::new(threads),
+            pool,
+            shared,
             jobs: Mutex::new(BTreeMap::new()),
-            ckpt_root,
-            tile_delay,
+            ckpt_root: cfg.ckpt_root,
         };
         service.load_persisted_jobs();
         service
+    }
+
+    /// The fault plane this service consults, if any.
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.shared.plane.as_ref()
     }
 
     fn load_persisted_jobs(&self) {
@@ -227,17 +477,7 @@ impl SignoffService {
             // The tile set is loaded lazily at resume/results time
             // (it needs the context for the tile count); record the
             // job as Partial so it is visible and resumable.
-            let mut m = JobMut {
-                spec,
-                gds,
-                ctx: None,
-                state: JobState::Partial,
-                cancel: CancelToken::new(),
-                partials: BTreeMap::new(),
-                events: Vec::new(),
-                error: None,
-                report: None,
-            };
+            let mut m = JobMut::fresh(spec, gds, None, JobState::Partial);
             m.emit(JobEventKind::State(JobState::Partial));
             jobs.insert(id, Arc::new(Job { id, dir: Some(dir), m: Mutex::new(m), cv: Condvar::new() }));
         }
@@ -269,17 +509,7 @@ impl SignoffService {
                 Some(dir)
             }
         };
-        let mut m = JobMut {
-            spec,
-            gds,
-            ctx: Some(Arc::clone(&ctx)),
-            state: JobState::Queued,
-            cancel: CancelToken::new(),
-            partials: BTreeMap::new(),
-            events: Vec::new(),
-            error: None,
-            report: None,
-        };
+        let mut m = JobMut::fresh(spec, gds, Some(Arc::clone(&ctx)), JobState::Queued);
         m.emit(JobEventKind::State(JobState::Queued));
         let job = Arc::new(Job { id, dir, m: Mutex::new(m), cv: Condvar::new() });
         self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
@@ -288,25 +518,33 @@ impl SignoffService {
     }
 
     /// Dispatches the given tiles, moving the job to Running (or
-    /// straight to the merge when nothing is missing).
-    fn dispatch(&self, job: &Arc<Job>, ctx: &Arc<JobContext>, tiles: Vec<usize>) {
+    /// straight to the merge when nothing is missing). Dispatched
+    /// tiles get a fresh attempt budget; any quarantine verdict on
+    /// them is cleared.
+    fn dispatch(&self, job: &Arc<Job>, ctx: &Arc<JobContext>, mut tiles: Vec<usize>) {
+        tiles.sort_unstable();
         let token = {
             let mut m = job.m.lock().expect("job lock");
+            m.report = None;
+            m.error = None;
+            m.attempts.clear();
+            m.retry_log.clear();
+            m.pending_commit.clear();
+            for &t in &tiles {
+                m.attempts.insert(t, 0);
+            }
+            m.quarantined.retain(|t, _| tiles.binary_search(t).is_err());
+            m.commit_queue = tiles.iter().copied().collect();
             m.set_state(JobState::Running);
             job.cv.notify_all();
             m.cancel.clone()
         };
         if tiles.is_empty() {
-            finalize_if_complete(job, ctx);
+            try_finalize(job, ctx);
             return;
         }
-        for tile in tiles {
-            let job = Arc::clone(job);
-            let ctx = Arc::clone(ctx);
-            let delay = self.tile_delay;
-            self.pool.submit_cancellable(&token, move || {
-                run_tile(&job, &ctx, tile, delay);
-            });
+        for &tile in &tiles {
+            submit_tile(&self.shared, job, ctx, &token, tile, 0);
         }
     }
 
@@ -350,10 +588,12 @@ impl SignoffService {
 
     /// The job's merged report.
     ///
-    /// For a Done job this is the cached final report. With
-    /// `partial = true` a non-terminal job answers with the ordered
-    /// merge of its **contiguous completed prefix** `[0..k)` — an
-    /// exact signoff of the region covered so far.
+    /// For a Done job this is the cached final report; for a settled
+    /// Partial job it is the merge of the surviving tiles plus the
+    /// quarantine manifest. With `partial = true` a non-settled job
+    /// answers with the ordered merge of its **contiguous completed
+    /// prefix** `[0..k)` — an exact signoff of the region covered so
+    /// far.
     ///
     /// # Errors
     ///
@@ -426,8 +666,9 @@ impl SignoffService {
 
     /// Resumes a Partial or Cancelled job: re-reads any checkpointed
     /// tiles, mints a fresh cancel token, and dispatches exactly the
-    /// missing tiles. The eventual report is bit-identical to an
-    /// uninterrupted run.
+    /// missing tiles — including quarantined ones, which get a fresh
+    /// attempt budget. The eventual report is bit-identical to an
+    /// uninterrupted run (given the tiles now succeed).
     ///
     /// # Errors
     ///
@@ -452,8 +693,8 @@ impl SignoffService {
         Ok(job.status())
     }
 
-    /// Blocks until the job reaches a terminal state, then returns its
-    /// status.
+    /// Blocks until the job settles (Done, Partial-settled, Failed, or
+    /// Cancelled), then returns its status.
     ///
     /// # Errors
     ///
@@ -461,14 +702,16 @@ impl SignoffService {
     pub fn wait(&self, id: u64) -> Result<JobStatus, String> {
         let job = self.job(id)?;
         let mut m = job.m.lock().expect("job lock");
-        while !m.state.is_terminal() {
+        while !m.state.is_settled() {
             m = job.cv.wait(m).expect("job wait");
         }
         Ok(status_of(&job, &m))
     }
 
     /// Rebuilds the job context and reloads checkpointed tiles for a
-    /// job that was constructed from disk (ctx == None).
+    /// job that was constructed from disk (ctx == None). A tile whose
+    /// checkpoint read faults (injected) is skipped — it is simply
+    /// recomputed on resume.
     fn ensure_loaded(&self, job: &Arc<Job>) -> Result<(), String> {
         let mut m = job.m.lock().expect("job lock");
         if m.ctx.is_some() {
@@ -477,6 +720,11 @@ impl SignoffService {
         let ctx = Arc::new(JobContext::build(&m.spec, &m.gds)?);
         if let Some(dir) = &job.dir {
             for p in dir.load_tiles(ctx.tile_count()) {
+                if let Some(plane) = &self.shared.plane {
+                    if plane.maybe_error(SITE_CKPT_READ, p.tile as u64, 0).is_err() {
+                        continue;
+                    }
+                }
                 m.partials.insert(p.tile, p);
             }
         }
@@ -487,14 +735,18 @@ impl SignoffService {
 
 impl Drop for SignoffService {
     fn drop(&mut self) {
-        // The pool's Drop drains the queue; cancel every job so queued
-        // tasks are skipped at dequeue instead of executed.
+        // Cancel every job so queued tasks are skipped at dequeue, then
+        // wait the pool idle: no worker may still hold an upgraded Arc
+        // to the pool (for a retry resubmission) when we drop ours —
+        // the pool must be torn down from this thread, never from one
+        // of its own workers.
         let jobs: Vec<Arc<Job>> =
             self.jobs.lock().expect("jobs lock").values().cloned().collect();
         for job in jobs {
             let m = job.m.lock().expect("job lock");
             m.cancel.cancel();
         }
+        self.pool.wait_idle();
     }
 }
 
@@ -505,90 +757,229 @@ fn status_of(job: &Job, m: &JobMut) -> JobStatus {
         state: m.state,
         tiles_total: m.tiles_total(),
         tiles_done: m.partials.len(),
+        tiles_quarantined: m.quarantined.len(),
         next_seq: m.events.len() as u64,
         error: m.error.clone(),
     }
 }
 
-/// The body of one pool task: compute the tile, checkpoint it, record
-/// it, emit the event, and finalize when it was the last one.
-fn run_tile(job: &Arc<Job>, ctx: &Arc<JobContext>, tile: usize, delay: Duration) {
+/// Enqueues one attempt of one tile. The pool-level supervision hook
+/// is the safety net: a panic that escapes the attempt body's own
+/// containment (e.g. injected at the pool site) still reaches
+/// [`attempt_failed`].
+fn submit_tile(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    token: &CancelToken,
+    tile: usize,
+    attempt: u64,
+) {
+    let Some(pool) = shared.pool.upgrade() else { return };
+    let task = {
+        let (shared, job, ctx) = (Arc::clone(shared), Arc::clone(job), Arc::clone(ctx));
+        move || run_tile_attempt(&shared, &job, &ctx, tile, attempt)
+    };
+    let hook = {
+        let (shared, job, ctx) = (Arc::clone(shared), Arc::clone(job), Arc::clone(ctx));
+        move |outcome: TaskOutcome| {
+            if let TaskOutcome::Panicked(msg) = outcome {
+                attempt_failed(&shared, &job, &ctx, tile, attempt, format!("tile {tile} task panicked: {msg}"));
+            }
+        }
+    };
+    pool.submit_supervised(token, task, hook);
+}
+
+/// The body of one tile attempt: guard, (virtual) delay/watchdog,
+/// compute inside containment, checkpoint with retry, hand the outcome
+/// to the supervisor.
+fn run_tile_attempt(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    tile: usize,
+    attempt: u64,
+) {
     {
         let m = job.m.lock().expect("job lock");
         if m.cancel.is_cancelled() || m.state != JobState::Running {
             return;
         }
-        if m.partials.contains_key(&tile) {
-            return; // duplicate dispatch (e.g. overlapping resume)
+        if m.partials.contains_key(&tile) || m.pending_commit.contains_key(&tile) {
+            return; // already resolved (e.g. overlapping resume)
+        }
+        if m.attempts.get(&tile).copied() != Some(attempt) {
+            return; // stale attempt; a newer one owns this tile
         }
     }
-    if !delay.is_zero() {
-        std::thread::sleep(delay);
+    if !shared.tile_delay.is_zero() {
+        std::thread::sleep(shared.tile_delay);
     }
-    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.compute_tile(tile)));
+    if let Some(plane) = &shared.plane {
+        if let Some(vms) = plane.delay_vms(SITE_TILE_DELAY, tile as u64, attempt) {
+            shared.policy.real_sleep(vms);
+            if let Some(budget) = shared.policy.watchdog_vms {
+                if vms >= budget {
+                    let reason =
+                        format!("watchdog: tile {tile} stuck {vms} vms (budget {budget} vms)");
+                    attempt_failed(shared, job, ctx, tile, attempt, reason);
+                    return;
+                }
+            }
+        }
+    }
+    let plane = shared.plane.clone();
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plane) = &plane {
+            plane.maybe_panic(SITE_TILE_COMPUTE, tile as u64, attempt);
+        }
+        ctx.compute_tile(tile)
+    }));
     let partial = match computed {
         Ok(p) => p,
         Err(panic) => {
-            let msg = panic_message(&panic);
-            let mut m = job.m.lock().expect("job lock");
-            if !m.state.is_terminal() {
-                m.error = Some(format!("tile {tile} panicked: {msg}"));
-                m.set_state(JobState::Failed);
-                m.cancel.cancel();
-                job.cv.notify_all();
-            }
+            let msg = panic_message(panic.as_ref());
+            attempt_failed(shared, job, ctx, tile, attempt, format!("tile {tile} panicked: {msg}"));
             return;
         }
     };
     // Checkpoint BEFORE recording completion: a crash after the write
     // re-loads the tile; a crash before it recomputes it. Either way
     // the partial's value is identical (purity), so resume converges.
-    if let Some(dir) = &job.dir {
-        if let Err(e) = dir.write_tile(&partial) {
-            let mut m = job.m.lock().expect("job lock");
-            if !m.state.is_terminal() {
-                m.error = Some(format!("checkpoint write failed: {e}"));
-                m.set_state(JobState::Failed);
-                m.cancel.cancel();
-                job.cv.notify_all();
-            }
-            return;
+    // A write that fails every retry degrades to in-memory-only — the
+    // computed result is NEVER discarded over a checkpoint error.
+    let ckpt_degraded = match &job.dir {
+        None => false,
+        Some(dir) => !write_checkpoint_with_retry(shared, dir, &partial, tile),
+    };
+    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded);
+}
+
+/// Writes one tile checkpoint with bounded retries (each attempt is
+/// already atomic: tmp + rename). Returns false when every attempt
+/// failed.
+fn write_checkpoint_with_retry(
+    shared: &RunShared,
+    dir: &JobDir,
+    partial: &TilePartial,
+    tile: usize,
+) -> bool {
+    for write_attempt in 0..shared.policy.ckpt_write_attempts.max(1) {
+        let injected = match &shared.plane {
+            Some(plane) => plane.maybe_error(SITE_CKPT_WRITE, tile as u64, write_attempt),
+            None => Ok(()),
+        };
+        if injected.is_ok() && dir.write_tile(partial).is_ok() {
+            return true;
         }
     }
+    false
+}
+
+/// Supervisor path for a failed attempt: retry with deterministic
+/// virtual-clock backoff while budget remains, else quarantine the
+/// tile and let the job settle without it.
+fn attempt_failed(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    tile: usize,
+    attempt: u64,
+    reason: String,
+) {
+    let retry = {
+        let mut m = job.m.lock().expect("job lock");
+        if m.cancel.is_cancelled() || m.state != JobState::Running {
+            return;
+        }
+        if m.partials.contains_key(&tile) || m.pending_commit.contains_key(&tile) {
+            return;
+        }
+        if m.attempts.get(&tile).copied() != Some(attempt) {
+            return; // stale: this attempt was already adjudicated
+        }
+        let failed = attempt + 1;
+        m.attempts.insert(tile, failed);
+        if failed >= shared.policy.max_attempts.max(1) {
+            m.pending_commit.insert(tile, TileResolution::Quarantined { attempts: failed, reason });
+            advance_commits(&mut m, ctx.tile_count());
+            job.cv.notify_all();
+            None
+        } else {
+            let backoff_vms = shared.policy.backoff_base_vms << attempt;
+            m.retry_log
+                .entry(tile)
+                .or_default()
+                .push(RetryRecord { attempt, backoff_vms, reason });
+            Some((m.cancel.clone(), backoff_vms))
+        }
+    };
+    match retry {
+        Some((token, backoff_vms)) => {
+            shared.policy.real_sleep(backoff_vms);
+            submit_tile(shared, job, ctx, &token, tile, attempt + 1);
+        }
+        None => try_finalize(job, ctx),
+    }
+}
+
+/// Supervisor path for a successful attempt: buffer the result for
+/// commit-ordered emission, then finalize if it was the last one.
+fn attempt_succeeded(
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    tile: usize,
+    partial: TilePartial,
+    ckpt_degraded: bool,
+) {
     {
         let mut m = job.m.lock().expect("job lock");
         if m.state != JobState::Running {
             // Cancelled (or failed) while we computed: keep the
-            // checkpoint on disk but do not mutate a terminal job.
+            // checkpoint on disk but do not mutate a settled job.
             return;
         }
-        m.partials.insert(tile, partial);
-        let completed = m.partials.len();
-        let total = ctx.tile_count();
-        m.emit(JobEventKind::TileDone { tile, completed, total });
+        if m.partials.contains_key(&tile) || m.pending_commit.contains_key(&tile) {
+            return;
+        }
+        m.pending_commit.insert(tile, TileResolution::Done { partial, ckpt_degraded });
+        advance_commits(&mut m, ctx.tile_count());
         job.cv.notify_all();
     }
-    finalize_if_complete(job, ctx);
+    try_finalize(job, ctx);
 }
 
-/// Runs the ordered merge once every tile is in.
-fn finalize_if_complete(job: &Arc<Job>, ctx: &Arc<JobContext>) {
-    let partials: Vec<TilePartial> = {
+/// Runs the ordered merge once every dispatched tile has committed.
+/// Clean run → Done; quarantined tiles → settled Partial with the
+/// manifest in the report; only a merge error produces Failed.
+fn try_finalize(job: &Arc<Job>, ctx: &Arc<JobContext>) {
+    let surviving: Vec<TilePartial> = {
         let m = job.m.lock().expect("job lock");
-        if m.state != JobState::Running || m.partials.len() != ctx.tile_count() {
+        if m.state != JobState::Running || !m.commit_queue.is_empty() {
             return;
         }
         m.partials.values().cloned().collect()
     };
-    let merged = ctx.merge(&partials);
+    let merged = ctx.merge(&surviving);
     let mut m = job.m.lock().expect("job lock");
-    if m.state != JobState::Running {
+    if m.state != JobState::Running || !m.commit_queue.is_empty() {
         return;
     }
     match merged {
-        Ok(report) => {
+        Ok(mut report) => {
+            report.quarantined = m
+                .quarantined
+                .iter()
+                .map(|(&tile, (attempts, reason))| QuarantinedTile {
+                    tile,
+                    attempts: *attempts,
+                    reason: reason.clone(),
+                })
+                .collect();
+            let clean = report.quarantined.is_empty();
             m.report = Some(report);
-            m.set_state(JobState::Done);
+            m.set_state(if clean { JobState::Done } else { JobState::Partial });
         }
         Err(e) => {
             m.error = Some(format!("merge failed: {e}"));
@@ -612,6 +1003,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::report::flat_report;
+    use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
     use dfm_layout::{gds, generate, layers, Technology};
 
     fn small_gds(seed: u64) -> Vec<u8> {
@@ -631,6 +1023,13 @@ mod tests {
             litho_layer: Some(layers::METAL1),
             ..JobSpec::default()
         }
+    }
+
+    fn faulty_service(threads: usize, plan: FaultPlan) -> SignoffService {
+        SignoffService::with_config(ServiceConfig {
+            fault_plane: Some(Arc::new(FaultPlane::new(plan))),
+            ..ServiceConfig::new(threads)
+        })
     }
 
     #[test]
@@ -708,5 +1107,136 @@ mod tests {
         let (_, full) = service.results(id, false).expect("full");
         let (_, partial) = service.results(id, true).expect("partial");
         assert_eq!(full, partial);
+    }
+
+    #[test]
+    fn retries_below_threshold_finish_done_with_clean_bytes() {
+        let gds = small_gds(36);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        // Tile 1 panics on its first two attempts; budget is 3, so the
+        // third succeeds and the job must be byte-identical to clean.
+        let plan = FaultPlan::seeded(5).with_rule(
+            FaultRule::new(SITE_TILE_COMPUTE, FaultAction::Panic).key(1).first_attempts(2),
+        );
+        let service = faulty_service(4, plan);
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.tiles_quarantined, 0);
+        let (_, report) = service.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
+        let events = service.events(id, 0).expect("events");
+        let retries: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                JobEventKind::TileRetry { tile: 1, attempt, .. } => Some(*attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retries, vec![0, 1], "both failed attempts recorded in order");
+        assert!(
+            events.iter().all(|e| !matches!(e.kind, JobEventKind::TileQuarantined { .. })),
+            "nothing quarantined below threshold"
+        );
+    }
+
+    #[test]
+    fn quarantine_above_threshold_settles_partial_with_manifest() {
+        let gds = small_gds(37);
+        let spec = spec();
+        // Tile 0 panics on every attempt: quarantined after the full
+        // budget; job settles Partial, never Failed.
+        let plan = FaultPlan::seeded(9)
+            .with_rule(FaultRule::new(SITE_TILE_COMPUTE, FaultAction::Panic).key(0));
+        let service = faulty_service(2, plan);
+        let id = service.submit(spec.clone(), gds.clone()).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Partial, "{:?}", status.error);
+        assert_eq!(status.tiles_quarantined, 1);
+        assert!(status.error.is_none(), "quarantine is not a failure");
+        let (_, report) = service.results(id, false).expect("settled partial has results");
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].tile, 0);
+        assert_eq!(report.quarantined[0].attempts, SupervisionPolicy::default().max_attempts);
+        // The report equals the offline merge of the surviving tiles.
+        let ctx = JobContext::build(&spec, &gds).expect("ctx");
+        let surviving: Vec<TilePartial> =
+            (1..ctx.tile_count()).map(|t| ctx.compute_tile(t)).collect();
+        let mut expect = ctx.merge(&surviving).expect("merge");
+        expect.quarantined = report.quarantined.clone();
+        assert_eq!(report, expect);
+        let text = report.render_text(&spec);
+        assert!(text.contains("quarantine: 1 tiles excluded"), "{text}");
+        // Resume retries the quarantined tile; faults still fire, so it
+        // settles Partial again with the same manifest.
+        service.resume(id).expect("resume");
+        let status = service.wait(id).expect("wait again");
+        assert_eq!(status.state, JobState::Partial);
+        assert_eq!(status.tiles_quarantined, 1);
+    }
+
+    #[test]
+    fn ckpt_write_faults_degrade_without_discarding_results() {
+        let gds = small_gds(38);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        let root = std::env::temp_dir().join(format!("dfm-signoff-ckpt-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Every checkpoint write for tile 2 fails on every retry — the
+        // tile must still complete from memory and the job finish Done.
+        let plan = FaultPlan::seeded(3)
+            .with_rule(FaultRule::new(SITE_CKPT_WRITE, FaultAction::Error).key(2));
+        let service = SignoffService::with_config(ServiceConfig {
+            ckpt_root: Some(root.clone()),
+            fault_plane: Some(Arc::new(FaultPlane::new(plan))),
+            ..ServiceConfig::new(2)
+        });
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let (_, report) = service.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
+        let degraded: Vec<usize> = service
+            .events(id, 0)
+            .expect("events")
+            .iter()
+            .filter_map(|e| match e.kind {
+                JobEventKind::CkptDegraded { tile } => Some(tile),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(degraded, vec![2]);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watchdog_timeout_retries_and_completes() {
+        let gds = small_gds(39);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        // Tile 1's first attempt is stuck past the watchdog budget; the
+        // retry is clean (attempt filter) and the job finishes Done.
+        let plan = FaultPlan::seeded(4).with_rule(
+            FaultRule::new(SITE_TILE_DELAY, FaultAction::Delay { vms: 60_000 })
+                .key(1)
+                .first_attempts(1),
+        );
+        let service = faulty_service(2, plan);
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let events = service.events(id, 0).expect("events");
+        let retried = events.iter().any(|e| {
+            matches!(&e.kind, JobEventKind::TileRetry { tile: 1, reason, .. }
+                if reason.contains("watchdog"))
+        });
+        assert!(retried, "expected a watchdog retry event: {events:?}");
+        let (_, report) = service.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
     }
 }

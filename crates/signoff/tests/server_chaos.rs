@@ -1,0 +1,157 @@
+//! Socket-chaos suite: the TCP server under injected mid-frame drops
+//! of its own response writes, plus clients that vanish mid-request.
+//! Whatever the connection carnage, the server must never deadlock,
+//! never stop accepting, never leak a pool task, and never emit a
+//! non-monotonic or gapped event sequence.
+
+use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
+use dfm_layout::{gds, generate, layers, Technology};
+use dfm_signoff::server::SITE_SERVER_WRITE;
+use dfm_signoff::service::JobState;
+use dfm_signoff::{flat_report, Client, JobSpec, Server, ServiceConfig, SignoffService};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_gds(seed: u64) -> Vec<u8> {
+    let tech = Technology::n65();
+    let params = generate::RoutedBlockParams {
+        width: 6_000,
+        height: 6_000,
+        ..Default::default()
+    };
+    gds::to_bytes(&generate::routed_block(&tech, params, seed)).expect("gds")
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        name: "chaos".to_string(),
+        tile: 1700,
+        halo: 64,
+        litho_layer: Some(layers::METAL1),
+        ..JobSpec::default()
+    }
+}
+
+/// Runs one request against a fresh connection, reconnecting until it
+/// survives the drop chaos. Only used for idempotent reads.
+fn with_retry<T>(addr: SocketAddr, mut f: impl FnMut(&mut Client) -> Result<T, String>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut client) = Client::connect(&addr.to_string()) {
+            if let Ok(v) = f(&mut client) {
+                return v;
+            }
+        }
+        assert!(Instant::now() < deadline, "server unreachable through the chaos");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn server_survives_injected_drops_and_vanishing_clients() {
+    let gds_bytes = small_gds(41);
+    let spec = spec();
+    let flat = {
+        let lib = gds::from_bytes(&gds_bytes).expect("lib");
+        flat_report(&spec, &lib).expect("flat").render_text(&spec)
+    };
+
+    // 40% of all response writes are torn mid-frame and the socket
+    // slammed shut. The drop decision is keyed by (connection, frame),
+    // so chaos hits pings, status polls, event polls, and results
+    // frames alike.
+    let plan = FaultPlan::seeded(17)
+        .with_rule(FaultRule::new(SITE_SERVER_WRITE, FaultAction::Drop).prob(0.4));
+    let service = Arc::new(SignoffService::with_config(ServiceConfig {
+        fault_plane: Some(Arc::new(FaultPlane::new(plan))),
+        ..ServiceConfig::new(2)
+    }));
+    let server = Server::bind(Arc::clone(&service), 0).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    // Submit exactly once. If the response frame was dropped the job
+    // still exists (drops happen after the request is handled), so
+    // recover its id from the list.
+    let job = match Client::connect(&addr.to_string())
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.submit(spec.clone(), gds_bytes.clone()))
+    {
+        Ok(job) => job,
+        Err(_) => with_retry(addr, |c| {
+            let jobs = c.list()?;
+            jobs.first().map(|s| s.id).ok_or_else(|| "no job yet".to_string())
+        }),
+    };
+
+    // Clients that vanish mid-request frame, interleaved with the run.
+    for _ in 0..8 {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"{\"cmd\":\"stat");
+            drop(s);
+        }
+    }
+
+    // Poll the event stream in deltas through the chaos. The cursor
+    // only advances on a fully-parsed response, so torn frames can
+    // only cause re-reads — never skips.
+    let mut seqs: Vec<u64> = Vec::new();
+    let mut cursor = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (events, next) =
+            with_retry(addr, |c| c.events(job, cursor));
+        seqs.extend(events.iter().map(|e| e.seq));
+        cursor = next;
+        let status = with_retry(addr, |c| c.status(job));
+        if status.state.is_settled() && events.is_empty() {
+            assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+            break;
+        }
+        assert!(Instant::now() < deadline, "job did not settle under chaos");
+    }
+    // Gapless and strictly monotonic, even assembled over torn frames.
+    let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+    assert_eq!(seqs, expect, "event sequence must be gapless and monotonic");
+
+    // The report still comes through — byte-identical to the flat run.
+    let (_, report_text) = with_retry(addr, |c| c.results(job, false));
+    assert_eq!(report_text, flat, "chaos on the wire must not touch the bytes");
+
+    // More vanishing clients, then prove the server still answers.
+    for _ in 0..4 {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"\x00\x9f\x92\x96 torn");
+            drop(s);
+        }
+    }
+    with_retry(addr, |c| c.ping());
+
+    // Shut down. The shutdown *response* may itself be dropped, but
+    // the server latches shutdown before writing, so serve() returns
+    // either way — keep asking until the accept loop is gone.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut c) = Client::connect(&addr.to_string()) {
+            let _ = c.shutdown();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        if Client::connect(&addr.to_string())
+            .map(|mut c| c.ping().is_err())
+            .unwrap_or(true)
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server did not shut down");
+    }
+    handle.join().expect("server thread");
+
+    // No leaked pool slots: every tile task ran or was skipped, and
+    // nothing is stuck queued or in flight.
+    let stats = service.pool_stats();
+    assert_eq!(stats.queue_depth, 0, "no tasks left queued");
+    assert_eq!(stats.in_flight, 0, "no tasks stuck in flight");
+    assert_eq!(stats.panicked, 0, "socket chaos must not panic tile tasks");
+}

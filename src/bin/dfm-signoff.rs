@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
+//!                     [--fault-plan FILE] [--max-attempts N]
 //! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
 //! dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
 //! dfm-signoff status  --addr HOST:PORT --job ID
@@ -23,12 +24,20 @@
 //! `flat-report` runs the same job single-shot with no tiling and no
 //! service; its output is byte-identical to `results` for the same
 //! spec and GDS — that equality is checked in CI.
+//!
+//! `--fault-plan FILE` arms the deterministic fault-injection plane
+//! from a `dfm-fault` plan file (see that crate's text format); it is
+//! a test/CI facility — without the flag every fault probe is a no-op.
 
+use dfm_practice::fault::{FaultPlan, FaultPlane};
 use dfm_practice::layout::{gds, generate, Technology};
-use dfm_practice::signoff::service::JobEventKind;
-use dfm_practice::signoff::{flat_report, Client, JobSpec, Server, SignoffService};
+use dfm_practice::signoff::service::{JobEventKind, TILE_DELAY_ENV};
+use dfm_practice::signoff::{
+    flat_report, Client, JobSpec, Server, ServiceConfig, SignoffService, SupervisionPolicy,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
+                      [--fault-plan FILE] [--max-attempts N]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
   dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
   dfm-signoff status  --addr HOST:PORT --job ID
@@ -207,8 +217,8 @@ fn emit_lines(lines: &[String]) -> Result<(), String> {
 fn print_status(s: dfm_practice::signoff::service::JobStatus) {
     let err = s.error.as_deref().unwrap_or("-");
     println!(
-        "job {} '{}': {} tiles {}/{} next_seq {} error {}",
-        s.id, s.name, s.state, s.tiles_done, s.tiles_total, s.next_seq, err
+        "job {} '{}': {} tiles {}/{} quarantined {} next_seq {} error {}",
+        s.id, s.name, s.state, s.tiles_done, s.tiles_total, s.tiles_quarantined, s.next_seq, err
     );
 }
 
@@ -218,8 +228,32 @@ fn serve(args: &[String]) -> Result<(), String> {
     let port: u16 = flags.parsed("--port")?.unwrap_or(0);
     let ckpt = flags.value("--ckpt")?.map(std::path::PathBuf::from);
     let port_file = flags.value("--port-file")?.map(str::to_string);
+    let fault_plan = flags.value("--fault-plan")?.map(str::to_string);
+    let max_attempts: Option<u64> = flags.parsed("--max-attempts")?;
     flags.finish()?;
-    let service = Arc::new(SignoffService::new(threads, ckpt));
+    let fault_plane = match fault_plan {
+        None => None,
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            Some(Arc::new(FaultPlane::new(FaultPlan::parse(&text)?)))
+        }
+    };
+    let mut policy = SupervisionPolicy::default();
+    if let Some(n) = max_attempts {
+        policy.max_attempts = n.max(1);
+    }
+    let tile_delay = std::env::var(TILE_DELAY_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::ZERO, Duration::from_millis);
+    let service = Arc::new(SignoffService::with_config(ServiceConfig {
+        threads,
+        ckpt_root: ckpt,
+        tile_delay,
+        fault_plane,
+        policy,
+    }));
     let server = Server::bind(service, port)?;
     let addr = server.local_addr();
     if let Some(path) = port_file {
@@ -285,6 +319,18 @@ fn events(args: &[String]) -> Result<(), String> {
             JobEventKind::State(state) => format!("{} state {state}", e.seq),
             JobEventKind::TileDone { tile, completed, total } => {
                 format!("{} tile {tile} done ({completed}/{total})", e.seq)
+            }
+            JobEventKind::TileRetry { tile, attempt, backoff_vms, reason } => {
+                format!(
+                    "{} tile {tile} retry after attempt {attempt} (backoff {backoff_vms} vms): {reason}",
+                    e.seq
+                )
+            }
+            JobEventKind::TileQuarantined { tile, attempts, reason } => {
+                format!("{} tile {tile} quarantined after {attempts} attempts: {reason}", e.seq)
+            }
+            JobEventKind::CkptDegraded { tile } => {
+                format!("{} tile {tile} checkpoint degraded (kept in memory)", e.seq)
             }
         });
     }

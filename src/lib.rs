@@ -19,6 +19,7 @@
 //! | [`timing`] | `dfm-timing` | variability-aware STA |
 //! | [`dfm`] | `dfm-core` | DFM techniques & hit-or-hype evaluator |
 //! | [`rand`] | `dfm-rand` | deterministic PRNG (hermetic, seed-everywhere) |
+//! | [`fault`] | `dfm-fault` | deterministic fault-injection plane |
 //! | [`par`] | `dfm-par` | deterministic thread pool & worker pool |
 //! | [`signoff`] | `dfm-signoff` | async signoff job service (scheduler, checkpoints) |
 
@@ -27,6 +28,7 @@
 pub use dfm_core as dfm;
 pub use dfm_dpt as dpt;
 pub use dfm_drc as drc;
+pub use dfm_fault as fault;
 pub use dfm_geom as geom;
 pub use dfm_layout as layout;
 pub use dfm_litho as litho;
