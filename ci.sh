@@ -142,4 +142,46 @@ grep -q "^quarantine: 1 tiles excluded$" "$WORK/quarantine-1.txt"
 grep -q "^quarantine.tile 1: " "$WORK/quarantine-1.txt"
 echo "ok: supervised retries keep the bytes; quarantine settles partial with a manifest"
 
+echo "== warm-cache smoke (offline, loopback only) =="
+# The content-addressed result cache must be invisible in the bytes and
+# visible in the work: the same job twice on a cache-armed server, at a
+# 1-thread and a 4-thread pool. Run 2 must report >0 cached tiles, both
+# runs (and both thread counts) must agree byte-for-byte with each other
+# and with the flat single-shot run, and the cache store itself must
+# verify clean.
+for T in 1 4; do
+    PORTF="$WORK/port-cache-$T"
+    DFM_THREADS=$T "$BIN" serve --threads "$T" --port 0 --port-file "$PORTF" \
+        --cache "$WORK/cache-$T" >/dev/null &
+    SERVER=$!
+    for _ in $(seq 100); do [[ -s "$PORTF" ]] && break; sleep 0.05; done
+    PORT=$(cat "$PORTF")
+    for RUN in 1 2; do
+        JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+        "$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/cache-$T-run$RUN.txt"
+        "$BIN" status --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/cache-$T-run$RUN.status"
+    done
+    "$BIN" shutdown --addr "127.0.0.1:$PORT"
+    wait "$SERVER" 2>/dev/null || true
+    SERVER=""
+    diff "$WORK/cache-$T-run1.txt" "$WORK/cache-$T-run2.txt"
+    diff "$WORK/flat.txt" "$WORK/cache-$T-run1.txt"
+    grep -q " cached 0 " "$WORK/cache-$T-run1.status"
+    CACHED=$(sed -n 's/.* cached \([0-9][0-9]*\) .*/\1/p' "$WORK/cache-$T-run2.status")
+    [[ "$CACHED" -gt 0 ]]
+done
+diff "$WORK/cache-1-run2.txt" "$WORK/cache-4-run2.txt"
+"$BIN" cache stats --dir "$WORK/cache-1" | grep -q "^entries "
+"$BIN" cache verify --dir "$WORK/cache-1" | grep -q " removed 0$"
+echo "ok: warm resubmission serves $CACHED tiles from the cache, bytes unchanged"
+
+echo "== signoff bench + cache gauges (offline) =="
+# The warm-cache bench publishes the hit ratio and recompute count of a
+# warm resubmission; a working cache pins them at 1 and 0. A small
+# sample count bounds CI wall time.
+DFM_BENCH_SAMPLES=3 DFM_BENCH_JSON="$PWD/target/signoff-bench.json" \
+    cargo bench -p dfm-bench --bench signoff --offline
+grep -q '"cache_hit_ratio"' target/signoff-bench.json
+grep -q '"tiles_recomputed"' target/signoff-bench.json
+
 echo "CI OK"

@@ -8,10 +8,12 @@
 //! `DFM_BENCH_JSON=<path>` as for the `engines` bench.
 
 use dfm_bench::microbench::Bencher;
+use dfm_cache::TileCache;
 use dfm_layout::{gds, generate, layers, Technology};
 use dfm_signoff::service::JobState;
-use dfm_signoff::{JobSpec, SignoffService};
+use dfm_signoff::{JobSpec, ServiceConfig, SignoffService};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn job_gds() -> Vec<u8> {
     let tech = Technology::n65();
@@ -79,9 +81,45 @@ fn bench_signoff_saturation(b: &mut Bencher) {
     b.gauge("tiles_in_flight_peak", stats.in_flight_peak as f64);
 }
 
+/// Warm-cache resubmission: prime a content-addressed result cache
+/// with one cold job, then bench the warm job (every tile served from
+/// disk, zero computes) and publish the hit ratio and recompute count
+/// from the warm run's status. A healthy cache shows
+/// `cache_hit_ratio == 1` and `tiles_recomputed == 0`; the
+/// `signoff_job_warm_cache` timing against `signoff_job_e2e_w4` is the
+/// incremental-re-signoff speedup.
+fn bench_signoff_warm_cache(b: &mut Bencher) {
+    let gds_bytes = job_gds();
+    let spec = job_spec();
+    let root = std::env::temp_dir().join(format!("dfm-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cache = Arc::new(TileCache::open(&root, None).expect("cache"));
+    let service = SignoffService::with_config(ServiceConfig {
+        cache: Some(Arc::clone(&cache)),
+        ..ServiceConfig::new(4)
+    });
+    run_job(&service, &spec, &gds_bytes); // prime
+    b.bench("signoff_job_warm_cache_w4", || {
+        black_box(run_job(&service, &spec, &gds_bytes))
+    });
+    let id = service.submit(spec.clone(), gds_bytes.clone()).expect("submit");
+    let status = service.wait(id).expect("wait");
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    b.gauge(
+        "cache_hit_ratio",
+        status.tiles_cached as f64 / status.tiles_total.max(1) as f64,
+    );
+    b.gauge(
+        "tiles_recomputed",
+        (status.tiles_total - status.tiles_cached) as f64,
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 fn main() {
     let mut b = Bencher::from_env();
     bench_signoff_job_e2e(&mut b);
     bench_signoff_saturation(&mut b);
+    bench_signoff_warm_cache(&mut b);
     b.finish();
 }

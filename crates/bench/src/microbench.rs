@@ -85,15 +85,22 @@ impl Default for Bencher {
 impl Bencher {
     /// Build a runner configured from the process environment: the first
     /// non-flag CLI argument is a substring filter (cargo bench passes
-    /// `--bench` and similar flags; those are ignored), and
-    /// `DFM_BENCH_JSON=<path>` requests a JSON report.
+    /// `--bench` and similar flags; those are ignored),
+    /// `DFM_BENCH_JSON=<path>` requests a JSON report, and
+    /// `DFM_BENCH_SAMPLES=<n>` overrides the timed-sample count (CI
+    /// uses a small count to bound wall time; gauges are unaffected).
     pub fn from_env() -> Self {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .unwrap_or_default();
         let json_path = std::env::var("DFM_BENCH_JSON").unwrap_or_default();
-        Bencher { filter, json_path, ..Bencher::default() }
+        let samples = std::env::var("DFM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(Bencher::default().samples);
+        Bencher { filter, json_path, samples, ..Bencher::default() }
     }
 
     /// Time `f`, print one result line, and record the sample. The

@@ -205,6 +205,21 @@ impl RulePartial {
     }
 }
 
+/// The tile halo [`rule_tile_partial`] materialises its view with —
+/// the rule's interaction range plus its certification margin. A
+/// caller that needs a window provably covering *everything* a rule
+/// reads (e.g. a content-addressed result cache keying on tile bytes)
+/// takes the max of this over the deck.
+pub fn rule_tile_halo(rule: &Rule) -> i64 {
+    match rule {
+        Rule::MinWidth { value, .. } | Rule::MinSpace { value, .. } => value + 2,
+        Rule::MinArea { .. } | Rule::Density { .. } => 0,
+        Rule::MinSpaceTo { value, .. } => 2 * value + 4,
+        Rule::Enclosure { value, .. } => 2 * value + 6,
+        Rule::WideSpace { wide_width, space, .. } => wide_width + space + 8,
+    }
+}
+
 /// Computes one rule's partial result on one tile. Pure: the output
 /// depends only on the arguments, never on thread count or execution
 /// order — the property that lets a job scheduler recompute, reorder,
@@ -223,7 +238,7 @@ pub fn rule_tile_partial(rule: &Rule, layout: &TiledLayout, tile: usize) -> Rule
             RulePartial::Fragments { frags, rects }
         }
         Rule::MinSpace { layer, value } => {
-            let view = layout.view_layers(tile, value + 2, &[*layer]);
+            let view = layout.view_layers(tile, rule_tile_halo(rule), &[*layer]);
             let region = view.region(*layer);
             let core = view.core();
             let frags = own_fragments(raw_pair_fragments(&region, *value, false), core);
@@ -236,15 +251,15 @@ pub fn rule_tile_partial(rule: &Rule, layout: &TiledLayout, tile: usize) -> Rule
         Rule::MinArea { layer, .. } => min_area_tile(layout, *layer, tile),
         Rule::Density { layer, window, .. } => density_tile(layout, *layer, *window, tile),
         Rule::MinSpaceTo { from, to, value } => {
-            let view = layout.view_layers(tile, 2 * value + 4, &[*from, *to]);
+            let view = layout.view_layers(tile, rule_tile_halo(rule), &[*from, *to]);
             min_space_to_tile(&view, *from, *to, *value, &make)
         }
         Rule::Enclosure { inner, outer, value } => {
-            let view = layout.view_layers(tile, 2 * value + 6, &[*inner, *outer]);
+            let view = layout.view_layers(tile, rule_tile_halo(rule), &[*inner, *outer]);
             enclosure_tile(&view, *inner, *outer, *value, &make)
         }
         Rule::WideSpace { layer, wide_width, space } => {
-            let view = layout.view_layers(tile, wide_width + space + 8, &[*layer]);
+            let view = layout.view_layers(tile, rule_tile_halo(rule), &[*layer]);
             wide_space_tile(&view, *layer, *wide_width, *space, &make)
         }
     }

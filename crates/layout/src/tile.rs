@@ -182,6 +182,34 @@ impl LayoutView for TileView {
     }
 }
 
+impl TileView {
+    /// FNV-1a 64 digest of the view's canonical content: core, window,
+    /// and every carried layer's canonical rect decomposition (sorted
+    /// layer order). Two views digest equal iff they clip the same
+    /// core/window to the same per-layer point sets — the property a
+    /// content-addressed result cache keys on. The tile *index* is
+    /// deliberately excluded: position is already pinned by the core
+    /// coordinates, so an identical tile at the same place in an
+    /// edited layout keeps its digest.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for r in [self.core, self.window] {
+            h = fnv_rect(h, r);
+        }
+        for (layer, region) in &self.layers {
+            h = fnv_u64(h, 0x004c_4159_4552_u64); // "LAYER" marker
+            h = fnv_u64(h, layer.layer as u64);
+            h = fnv_u64(h, layer.datatype as u64);
+            let rects = region.rects();
+            h = fnv_u64(h, rects.len() as u64);
+            for &r in rects {
+                h = fnv_rect(h, r);
+            }
+        }
+        h
+    }
+}
+
 enum Source {
     Flat(FlatLayout),
     Hier {
@@ -325,6 +353,17 @@ impl TiledLayout {
         TileView { index: i, core, window, layers: out }
     }
 
+    /// Canonical content digest of tile `i` at the given halo —
+    /// [`TileView::content_digest`] of the view carrying all
+    /// configured layers. A cache keyed on this digest (plus whatever
+    /// digests of its *other* inputs the caller adds) is sound for any
+    /// computation that reads at most this halo: an edit anywhere
+    /// outside the window leaves the digest unchanged, an edit inside
+    /// it changes the rect decomposition and therefore the digest.
+    pub fn tile_content_digest(&self, i: usize, halo: Coord) -> u64 {
+        self.view(i, halo).content_digest()
+    }
+
     /// Total drawn area across all configured layers, accumulated
     /// tile-by-tile over the (disjoint) cores. Because cores partition
     /// the extent exactly, this equals [`FlatLayout::total_area`] of
@@ -348,6 +387,23 @@ impl CellId {
     pub fn index(self) -> usize {
         self.0
     }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fnv_rect(mut h: u64, r: Rect) -> u64 {
+    for c in [r.x0, r.y0, r.x1, r.y1] {
+        h = fnv_u64(h, c as u64);
+    }
+    h
 }
 
 /// Local-frame bounding box of each cell's fully expanded subtree.
@@ -565,6 +621,53 @@ mod tests {
             }
             assert_eq!(owners, 1);
         }
+    }
+
+    #[test]
+    fn content_digest_tracks_window_content_only() {
+        let lib = sample_library();
+        let flat = lib.flatten_top().expect("flatten");
+        let cfg = TilingConfig::builder().tile(150).halo(25).build().expect("cfg");
+        let tiled = TiledLayout::from_flat(flat.clone(), cfg.clone());
+        assert!(tiled.tile_count() > 2, "fixture must be multi-tile");
+        // Reproducible, and identical between flat and hier sources
+        // (same point sets → same canonical decomposition).
+        let hier = TiledLayout::from_library(lib, cfg.clone()).expect("hier");
+        for i in 0..tiled.tile_count() {
+            assert_eq!(
+                tiled.tile_content_digest(i, 30),
+                hier.tile_content_digest(i, 30),
+                "tile {i}: source must not leak into the digest"
+            );
+        }
+        // A mutation inside tile 0's window changes that digest; tiles
+        // whose windows miss the new rect keep theirs.
+        let mut edited = flat.clone();
+        let mut rects = flat.region(layers::METAL1).rects().to_vec();
+        rects.push(Rect::new(5, 70, 15, 80));
+        edited.set_region(layers::METAL1, Region::from_rects(rects));
+        let edited = TiledLayout::from_flat(edited, cfg);
+        assert_ne!(
+            tiled.tile_content_digest(0, 30),
+            edited.tile_content_digest(0, 30),
+            "dirty tile must change digest"
+        );
+        let mut unchanged = 0;
+        for i in 0..tiled.tile_count() {
+            let w = tiled.view(i, 30).window();
+            if w.intersection(&Rect::new(5, 70, 15, 80)).is_none() {
+                assert_eq!(
+                    tiled.tile_content_digest(i, 30),
+                    edited.tile_content_digest(i, 30),
+                    "tile {i} is clean, digest must hold"
+                );
+                unchanged += 1;
+            }
+        }
+        assert!(unchanged > 0, "edit must be tile-local in this fixture");
+        // The requested halo participates: a wider window is a
+        // different content claim.
+        assert_ne!(tiled.tile_content_digest(0, 30), tiled.tile_content_digest(0, 60));
     }
 
     #[test]

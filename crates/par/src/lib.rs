@@ -1049,6 +1049,96 @@ mod tests {
     }
 
     #[test]
+    fn fork_join_propagates_panic_in_the_last_chunk() {
+        // The final chunk is the regression-prone case: when it
+        // panics, every other worker has already drained the cursor
+        // and exited cleanly, so the join loop sees exactly one Err —
+        // which must still unwind with the original payload instead of
+        // being lost among the drained results. Includes n == threads
+        // (one chunk per worker) and n < threads (idle workers).
+        for (n, t) in [(64usize, 4usize), (4, 4), (2, 8)] {
+            let caught = std::panic::catch_unwind(|| {
+                with_threads(t, || {
+                    par_map_range(n, |i| {
+                        if i == n - 1 {
+                            panic!("last chunk exploded");
+                        }
+                        i
+                    })
+                })
+            });
+            let payload = caught.expect_err("must propagate the last chunk's panic");
+            assert_eq!(
+                panic_payload_message(payload.as_ref()),
+                "last chunk exploded",
+                "n={n} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_panic_in_the_last_item_does_not_deadlock() {
+        // When index n-1 panics, every earlier item has been produced
+        // and may already be folded, so no further `done` insert will
+        // ever signal `item`: the poison latch alone must wake the
+        // consumer blocked on the last item AND any worker parked on
+        // the window, or the scope join hangs forever. Window 1 is the
+        // tightest case (the panicking claim waits for the fold of
+        // n-2); a window past n means no worker ever parks.
+        for (t, w) in [(2usize, 1usize), (4, 3), (4, 64), (8, 2)] {
+            let n = 37;
+            let caught = std::panic::catch_unwind(|| {
+                with_threads(t, || {
+                    par_reduce_streaming(
+                        n,
+                        w,
+                        |i| {
+                            if i == n - 1 {
+                                panic!("last producer exploded");
+                            }
+                            i
+                        },
+                        0usize,
+                        |a, x| a + x,
+                    )
+                })
+            });
+            let payload = caught.expect_err("must propagate the last producer's panic");
+            assert_eq!(
+                panic_payload_message(payload.as_ref()),
+                "last producer exploded",
+                "t={t} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_panic_with_more_workers_than_items() {
+        // n=2 with a 4-thread pool spawns min(4, 2) workers; index 1 —
+        // the last item — panics after index 0 was folded (window 1
+        // forces that ordering). The consumer is already waiting on
+        // item 1 when the poison lands.
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_reduce_streaming(
+                    2,
+                    1,
+                    |i| {
+                        if i == 1 {
+                            panic!("tail boom");
+                        }
+                        i
+                    },
+                    0usize,
+                    |a, x| a + x,
+                )
+            })
+        });
+        let payload = caught.expect_err("must propagate the tail panic");
+        assert_eq!(panic_payload_message(payload.as_ref()), "tail boom");
+    }
+
+    #[test]
     fn supervised_tasks_report_outcomes() {
         let pool = WorkerPool::new(2);
         let outcomes = Arc::new(Mutex::new(Vec::new()));

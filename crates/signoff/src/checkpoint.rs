@@ -80,14 +80,10 @@ impl JobDir {
     ///
     /// Filesystem diagnostics.
     pub fn write_tile(&self, partial: &TilePartial) -> Result<(), String> {
-        let mut enc = Enc::default();
-        enc.bytes_raw(MAGIC);
-        enc.u32(VERSION);
-        enc.u64(partial.tile as u64);
-        encode_partial(&mut enc, partial);
-        let checksum = fnv1a_64(&enc.buf);
-        enc.u64(checksum);
-        write_atomic(&self.root.join(format!("tile-{}.bin", partial.tile)), &enc.buf)
+        write_atomic(
+            &self.root.join(format!("tile-{}.bin", partial.tile)),
+            &encode_tile_partial(partial),
+        )
     }
 
     /// Loads every tile partial that survives validation, sorted by
@@ -109,6 +105,29 @@ impl JobDir {
     pub fn remove(&self) {
         let _ = fs::remove_dir_all(&self.root);
     }
+}
+
+/// Serialises a [`TilePartial`] to the same framed bytes a checkpoint
+/// tile file holds (magic, version, tile index, body, trailing
+/// checksum) — the payload the tile-result cache stores. Decode with
+/// [`decode_tile_partial`].
+pub fn encode_tile_partial(partial: &TilePartial) -> Vec<u8> {
+    let mut enc = Enc::default();
+    enc.bytes_raw(MAGIC);
+    enc.u32(VERSION);
+    enc.u64(partial.tile as u64);
+    encode_partial(&mut enc, partial);
+    let checksum = fnv1a_64(&enc.buf);
+    enc.u64(checksum);
+    enc.buf
+}
+
+/// Validates and decodes bytes produced by [`encode_tile_partial`].
+/// `None` on any defect — truncation, bad checksum, version or tile
+/// mismatch, trailing garbage — never an error or a panic: the caller
+/// treats it as a cache miss and recomputes.
+pub fn decode_tile_partial(bytes: &[u8], expect_tile: usize) -> Option<TilePartial> {
+    decode_tile_file(bytes, expect_tile)
 }
 
 /// Lists job ids that have a checkpoint directory under `root`.

@@ -16,6 +16,11 @@ use dfm_litho::{merge_printed_pieces, Condition, LithoSimulator};
 use dfm_yield::critical_area::{ca_tile_partial, merge_ca_partials, CaTilePartial};
 use dfm_yield::DefectModel;
 
+/// Version salt folded into every cache key. Bump on any change to the
+/// digest inputs, the tile-partial codec, or engine semantics that is
+/// not already visible in the digested bytes.
+pub const CACHE_KEY_VERSION: u64 = 1;
+
 /// Everything one tile contributes to the job: one mergeable partial
 /// per enabled engine. Stored (and checkpointed) per tile index.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,6 +94,87 @@ impl JobContext {
     /// Number of tiles the job decomposes into.
     pub fn tile_count(&self) -> usize {
         self.layout.tile_count()
+    }
+
+    /// Digest of the spec's **analysis** fields — everything that can
+    /// change a tile's result, nothing that can't. The client label
+    /// `name` is deliberately excluded (it only appears in the report
+    /// header, never in tile computation), so renaming a job still
+    /// hits. Salted with [`CACHE_KEY_VERSION`] so a codec or keying
+    /// change turns old stores into misses instead of misdecodes.
+    pub fn cache_spec_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let s = &self.spec;
+        let layer = |l: &Option<dfm_layout::Layer>| match l {
+            Some(l) => format!("{}/{}", l.layer, l.datatype),
+            None => "none".to_string(),
+        };
+        let mut text = format!("cache-key-v{CACHE_KEY_VERSION};");
+        let _ = write!(
+            text,
+            "tech={};tile={};halo={};drc={};ca_layer={};ca_x0={};litho_layer={};litho_feature={}",
+            s.tech,
+            s.tile,
+            s.halo,
+            s.drc,
+            layer(&s.ca_layer),
+            s.ca_x0,
+            layer(&s.litho_layer),
+            s.litho_feature,
+        );
+        crate::codec::fnv1a_64(text.as_bytes())
+    }
+
+    /// Digest of the rule deck, over the canonical text rendering of
+    /// every rule in deck order (the same rendering the deck DSL
+    /// round-trips through, so every parameter participates). An empty
+    /// deck digests the empty string.
+    pub fn cache_deck_digest(&self) -> u64 {
+        let mut text = String::new();
+        for rule in self.deck.rules() {
+            text.push_str(&rule.to_string());
+            text.push('\n');
+        }
+        crate::codec::fnv1a_64(text.as_bytes())
+    }
+
+    /// The conservative tile halo the cache key must cover: the
+    /// maximum window any enabled engine reads for any tile. A tile
+    /// whose content digest at this halo is unchanged is **provably**
+    /// unchanged as an input to [`JobContext::compute_tile`] —
+    /// overestimating the halo only costs spurious misses, never wrong
+    /// hits, so every per-engine bound here errs wide.
+    pub fn content_halo(&self) -> i64 {
+        let mut halo = self.spec.halo;
+        for rule in self.deck.rules() {
+            halo = halo.max(dfm_drc::rule_tile_halo(rule));
+        }
+        if self.spec.ca_layer.is_some() {
+            // CA extracts facing pairs at ca_range; the pair sweep
+            // views tiles at range + 2 like MinWidth/MinSpace.
+            halo = halo.max(self.spec.ca_range() + 2);
+        }
+        if self.spec.litho_layer.is_some() {
+            halo = halo.max(self.sim.halo_nm(self.cond));
+        }
+        halo
+    }
+
+    /// Canonical content digest of one tile at [`content_halo`] — the
+    /// third component of the tile's cache key.
+    ///
+    /// [`content_halo`]: JobContext::content_halo
+    pub fn tile_content_digest(&self, tile: usize) -> u64 {
+        self.layout.tile_content_digest(tile, self.content_halo())
+    }
+
+    /// The full content address of one tile's result.
+    pub fn cache_key(&self, tile: usize) -> dfm_cache::CacheKey {
+        dfm_cache::CacheKey {
+            spec: self.cache_spec_digest(),
+            deck: self.cache_deck_digest(),
+            tile: self.tile_content_digest(tile),
+        }
     }
 
     /// Computes one tile's partial. Pure: equal `(context, tile)` in,
@@ -223,6 +309,33 @@ mod tests {
             (0..2.min(ctx.tile_count())).map(|i| ctx.compute_tile(i)).collect();
         let partial_report = ctx.merge(&partials).expect("merge prefix");
         assert!(partial_report.ca.is_some());
+    }
+
+    #[test]
+    fn cache_keys_ignore_the_label_and_track_analysis_inputs() {
+        let gds = small_gds();
+        let spec = spec();
+        let ctx = JobContext::build(&spec, &gds).expect("context");
+        let renamed = JobContext::build(
+            &JobSpec { name: "renamed".to_string(), ..spec.clone() },
+            &gds,
+        )
+        .expect("context");
+        assert_eq!(
+            ctx.cache_key(0),
+            renamed.cache_key(0),
+            "the client label must not poison the cache key"
+        );
+        let retiled =
+            JobContext::build(&JobSpec { tile: 2000, ..spec.clone() }, &gds).expect("context");
+        assert_ne!(ctx.cache_spec_digest(), retiled.cache_spec_digest());
+        let no_drc =
+            JobContext::build(&JobSpec { drc: false, ..spec.clone() }, &gds).expect("context");
+        assert_ne!(ctx.cache_deck_digest(), no_drc.cache_deck_digest());
+        // The content halo must cover every engine's read range; for
+        // this spec the CA extraction range dominates.
+        assert!(ctx.content_halo() >= ctx.spec.ca_range() + 2);
+        assert!(ctx.content_halo() >= ctx.spec.halo);
     }
 
     #[test]

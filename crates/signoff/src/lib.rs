@@ -25,6 +25,12 @@
 //!   backoff; tiles that exhaust their budget are quarantined and the
 //!   job settles `Partial` with an explicit manifest — testable
 //!   end-to-end through the `dfm_fault` injection plane),
+//! * a **content-addressed result cache** (arm via
+//!   [`ServiceConfig::cache`] with a [`dfm_cache::TileCache`]): tiles
+//!   whose `(spec, rule deck, tile content + halo)` digests
+//!   ([`JobContext::cache_key`]) match a stored result are served from
+//!   disk and never reach the pool, so resubmitting an edited layout
+//!   recomputes only the tiles whose geometry actually changed,
 //! * [`proto`] / [`server`] / [`client`] — a line-delimited-JSON
 //!   protocol over `std::net` TCP, rendered through the hand-rolled
 //!   [`dfm_bench::json`] writer.
@@ -37,6 +43,9 @@
 //! the report depends on the set of partials — never on when, where,
 //! or how often they were computed. A resumed job recomputes exactly
 //! the missing tiles and merges the same set, hence the same bytes.
+//! The same purity makes caching safe: a stored partial is
+//! indistinguishable from a recomputed one, so cache hits can never
+//! change a report — only skip work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,8 +60,9 @@ pub mod server;
 pub mod service;
 pub mod spec;
 
+pub use checkpoint::{decode_tile_partial, encode_tile_partial};
 pub use client::Client;
-pub use job::{JobContext, TilePartial};
+pub use job::{JobContext, TilePartial, CACHE_KEY_VERSION};
 pub use report::{flat_report, CaSummary, LithoSummary, QuarantinedTile, SignoffReport};
 pub use server::Server;
 pub use service::{

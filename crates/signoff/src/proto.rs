@@ -292,6 +292,7 @@ fn status_to_json(s: &JobStatus) -> JsonValue {
         ("tiles_total", JsonValue::Num(s.tiles_total as f64)),
         ("tiles_done", JsonValue::Num(s.tiles_done as f64)),
         ("tiles_quarantined", JsonValue::Num(s.tiles_quarantined as f64)),
+        ("tiles_cached", JsonValue::Num(s.tiles_cached as f64)),
         ("next_seq", JsonValue::Num(s.next_seq as f64)),
         (
             "error",
@@ -329,6 +330,9 @@ fn status_from_json(v: &JsonValue) -> Result<JobStatus, String> {
         tiles_quarantined: v
             .get("tiles_quarantined")
             .map_or(Ok(0), |s| field_u64(s, "tiles_quarantined"))? as usize,
+        tiles_cached: v
+            .get("tiles_cached")
+            .map_or(Ok(0), |s| field_u64(s, "tiles_cached"))? as usize,
         next_seq: v.get("next_seq").map_or(Ok(0), |s| field_u64(s, "next_seq"))?,
         error,
     })
@@ -366,6 +370,16 @@ fn event_to_json(e: &JobEvent) -> JsonValue {
         JobEventKind::CkptDegraded { tile } => JsonValue::obj([
             ("seq", JsonValue::Num(e.seq as f64)),
             ("kind", JsonValue::str("ckpt")),
+            ("tile", JsonValue::Num(*tile as f64)),
+        ]),
+        JobEventKind::TileCacheHit { tile } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("cache_hit")),
+            ("tile", JsonValue::Num(*tile as f64)),
+        ]),
+        JobEventKind::TileCacheStore { tile } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("cache_store")),
             ("tile", JsonValue::Num(*tile as f64)),
         ]),
     }
@@ -425,6 +439,14 @@ fn event_from_json(v: &JsonValue) -> Result<JobEvent, String> {
         "ckpt" => JobEventKind::CkptDegraded {
             tile: field_u64(v.get("tile").ok_or("ckpt event needs \"tile\"")?, "tile")? as usize,
         },
+        "cache_hit" => JobEventKind::TileCacheHit {
+            tile: field_u64(v.get("tile").ok_or("cache_hit event needs \"tile\"")?, "tile")?
+                as usize,
+        },
+        "cache_store" => JobEventKind::TileCacheStore {
+            tile: field_u64(v.get("tile").ok_or("cache_store event needs \"tile\"")?, "tile")?
+                as usize,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(JobEvent { seq, kind })
@@ -442,6 +464,7 @@ mod tests {
             tiles_total: 9,
             tiles_done: 4,
             tiles_quarantined: 0,
+            tiles_cached: 2,
             next_seq: 6,
             error: None,
         }
@@ -504,8 +527,10 @@ mod tests {
                         },
                     },
                     JobEvent { seq: 4, kind: JobEventKind::CkptDegraded { tile: 5 } },
+                    JobEvent { seq: 5, kind: JobEventKind::TileCacheHit { tile: 6 } },
+                    JobEvent { seq: 6, kind: JobEventKind::TileCacheStore { tile: 7 } },
                 ],
-                next_seq: 5,
+                next_seq: 7,
             },
             Response::Results {
                 status: sample_status(),
@@ -541,6 +566,8 @@ mod tests {
             r#"{"ok":true,"events":[{"seq":0,"kind":"meteor"}],"next_seq":1}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"retry","tile":1}],"next_seq":1}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"quarantine","tile":1,"attempts":3}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"cache_hit"}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"cache_store"}],"next_seq":1}"#,
         ] {
             assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
         }

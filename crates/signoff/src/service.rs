@@ -24,14 +24,29 @@
 //! bytes — is identical at any worker count. Backoff is virtual
 //! milliseconds (bookkeeping the events record), not wall time, so
 //! retries cost nothing and reproduce exactly.
+//!
+//! ## Result cache
+//!
+//! When [`ServiceConfig::cache`] holds a [`TileCache`], dispatch
+//! consults it **before** submitting anything to the pool: a tile whose
+//! content-addressed key (see [`JobContext::cache_key`]) already maps
+//! to a stored partial is committed straight from the cache — emitting
+//! [`JobEventKind::TileCacheHit`] ahead of its `TileDone` — and never
+//! reaches a worker. Misses compute as usual and, on a clean first
+//! attempt, store their encoded partial back
+//! ([`JobEventKind::TileCacheStore`]). Retried or quarantined tiles are
+//! never cached, and cache reads/writes are fault-injectable
+//! ([`SITE_CACHE_READ`]/[`SITE_CACHE_WRITE`]); every cache failure mode
+//! degrades to a recompute, never to wrong bytes.
 
-use crate::checkpoint::{list_job_dirs, JobDir};
+use crate::checkpoint::{decode_tile_partial, encode_tile_partial, list_job_dirs, JobDir};
 use crate::job::{JobContext, TilePartial};
 use crate::report::{QuarantinedTile, SignoffReport};
 use crate::spec::JobSpec;
+use dfm_cache::TileCache;
 use dfm_fault::FaultPlane;
 use dfm_par::{CancelToken, PoolStats, TaskOutcome, WorkerPool};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -58,6 +73,16 @@ pub const SITE_CKPT_WRITE: &str = "signoff.ckpt.write";
 /// Fault site: checkpoint tile read at load time, keyed by tile index.
 /// An injected error skips the tile, which is then recomputed.
 pub const SITE_CKPT_READ: &str = "signoff.ckpt.read";
+
+/// Fault site: result-cache lookup at dispatch, keyed by tile index.
+/// An injected error turns the probe into a miss — the tile is
+/// recomputed, bytes unchanged.
+pub const SITE_CACHE_READ: &str = "signoff.cache.read";
+
+/// Fault site: result-cache store after a clean first attempt, keyed
+/// by tile index. An injected error skips the store silently (the next
+/// identical submission recomputes the tile).
+pub const SITE_CACHE_WRITE: &str = "signoff.cache.write";
 
 /// Lifecycle of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,6 +195,20 @@ pub enum JobEventKind {
         /// The tile whose checkpoint write failed.
         tile: usize,
     },
+    /// The tile's result was served from the content-addressed cache —
+    /// it was never submitted to the pool. Always immediately followed
+    /// by the tile's `TileDone`.
+    TileCacheHit {
+        /// The tile served from cache.
+        tile: usize,
+    },
+    /// The tile's freshly computed result was stored into the cache
+    /// (clean first attempt only). Always immediately followed by the
+    /// tile's `TileDone`.
+    TileCacheStore {
+        /// The tile whose result was stored.
+        tile: usize,
+    },
 }
 
 /// One entry in a job's event log. Sequence numbers are per-job,
@@ -198,6 +237,8 @@ pub struct JobStatus {
     pub tiles_done: usize,
     /// Quarantined tiles (excluded from the report).
     pub tiles_quarantined: usize,
+    /// Tiles served from the result cache (subset of `tiles_done`).
+    pub tiles_cached: usize,
     /// Next event sequence number (== number of events so far).
     pub next_seq: u64,
     /// Failure diagnostic, when `state == Failed`.
@@ -265,6 +306,9 @@ pub struct ServiceConfig {
     pub fault_plane: Option<Arc<FaultPlane>>,
     /// Retry/quarantine/watchdog policy.
     pub policy: SupervisionPolicy,
+    /// Content-addressed per-tile result cache; `None` (the default)
+    /// disables caching entirely.
+    pub cache: Option<Arc<TileCache>>,
 }
 
 impl ServiceConfig {
@@ -277,6 +321,7 @@ impl ServiceConfig {
             tile_delay: Duration::ZERO,
             fault_plane: None,
             policy: SupervisionPolicy::default(),
+            cache: None,
         }
     }
 }
@@ -289,9 +334,21 @@ struct RetryRecord {
     reason: String,
 }
 
+/// How a tile's result interacted with the cache (recorded so the
+/// commit path can emit the matching event in order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CacheOutcome {
+    /// Served from the cache, never computed.
+    Hit,
+    /// Computed and stored back into the cache.
+    Stored,
+    /// Computed; not cached (cache off, store faulted, or retried).
+    None,
+}
+
 /// A tile's final outcome, buffered until its commit-order turn.
 enum TileResolution {
-    Done { partial: TilePartial, ckpt_degraded: bool },
+    Done { partial: TilePartial, ckpt_degraded: bool, cache: CacheOutcome },
     Quarantined { attempts: u64, reason: String },
 }
 
@@ -316,6 +373,8 @@ struct JobMut {
     commit_queue: VecDeque<usize>,
     /// Quarantined tiles: tile → (attempts, last reason).
     quarantined: BTreeMap<usize, (u64, String)>,
+    /// Tiles whose committed result came from the cache.
+    cached: BTreeSet<usize>,
 }
 
 impl JobMut {
@@ -335,6 +394,7 @@ impl JobMut {
             pending_commit: BTreeMap::new(),
             commit_queue: VecDeque::new(),
             quarantined: BTreeMap::new(),
+            cached: BTreeSet::new(),
         }
     }
 
@@ -370,9 +430,17 @@ fn advance_commits(m: &mut JobMut, total: usize) {
             });
         }
         match res {
-            TileResolution::Done { partial, ckpt_degraded } => {
+            TileResolution::Done { partial, ckpt_degraded, cache } => {
                 if ckpt_degraded {
                     m.emit(JobEventKind::CkptDegraded { tile });
+                }
+                match cache {
+                    CacheOutcome::Hit => {
+                        m.cached.insert(tile);
+                        m.emit(JobEventKind::TileCacheHit { tile });
+                    }
+                    CacheOutcome::Stored => m.emit(JobEventKind::TileCacheStore { tile }),
+                    CacheOutcome::None => {}
                 }
                 m.partials.insert(tile, partial);
                 let completed = m.partials.len();
@@ -408,6 +476,7 @@ struct RunShared {
     plane: Option<Arc<FaultPlane>>,
     policy: SupervisionPolicy,
     tile_delay: Duration,
+    cache: Option<Arc<TileCache>>,
 }
 
 /// The signoff job service. See the module docs.
@@ -451,6 +520,7 @@ impl SignoffService {
             plane: cfg.fault_plane,
             policy: cfg.policy,
             tile_delay: cfg.tile_delay,
+            cache: cfg.cache,
         });
         let service = SignoffService {
             pool,
@@ -465,6 +535,11 @@ impl SignoffService {
     /// The fault plane this service consults, if any.
     pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
         self.shared.plane.as_ref()
+    }
+
+    /// The result cache this service consults, if any.
+    pub fn cache(&self) -> Option<&Arc<TileCache>> {
+        self.shared.cache.as_ref()
     }
 
     fn load_persisted_jobs(&self) {
@@ -534,16 +609,29 @@ impl SignoffService {
                 m.attempts.insert(t, 0);
             }
             m.quarantined.retain(|t, _| tiles.binary_search(t).is_err());
+            m.cached.retain(|t| tiles.binary_search(t).is_err());
             m.commit_queue = tiles.iter().copied().collect();
             m.set_state(JobState::Running);
             job.cv.notify_all();
             m.cancel.clone()
         };
-        if tiles.is_empty() {
+        // Consult the result cache before the pool sees anything: a hit
+        // commits straight from the store (in ascending order, so the
+        // commit queue drains as we go) and only the misses are
+        // submitted. A fully warm job computes zero tiles.
+        let misses: Vec<usize> = tiles
+            .iter()
+            .copied()
+            .filter(|&tile| !cache_serve(&self.shared, job, ctx, tile))
+            .collect();
+        if misses.is_empty() {
+            // Nothing dispatched (all hits already finalized via their
+            // commits, or `tiles` was empty) — run the merge directly;
+            // try_finalize is a no-op when a hit already settled it.
             try_finalize(job, ctx);
             return;
         }
-        for &tile in &tiles {
+        for &tile in &misses {
             submit_tile(&self.shared, job, ctx, &token, tile, 0);
         }
     }
@@ -758,6 +846,7 @@ fn status_of(job: &Job, m: &JobMut) -> JobStatus {
         tiles_total: m.tiles_total(),
         tiles_done: m.partials.len(),
         tiles_quarantined: m.quarantined.len(),
+        tiles_cached: m.cached.len(),
         next_seq: m.events.len() as u64,
         error: m.error.clone(),
     }
@@ -853,7 +942,64 @@ fn run_tile_attempt(
         None => false,
         Some(dir) => !write_checkpoint_with_retry(shared, dir, &partial, tile),
     };
-    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded);
+    let cache = cache_store(shared, ctx, tile, attempt, &partial);
+    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded, cache);
+}
+
+/// Probes the result cache for one freshly dispatched tile. On a valid
+/// hit the partial is checkpointed (when persistence is on) and
+/// committed exactly like a computed result; returns `true` and the
+/// tile never reaches the pool. Anything else — cache off, injected
+/// read fault, missing entry, or an entry that fails to decode — is a
+/// miss: returns `false` and the caller submits the tile normally.
+fn cache_serve(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    tile: usize,
+) -> bool {
+    let Some(cache) = &shared.cache else { return false };
+    if let Some(plane) = &shared.plane {
+        if plane.maybe_error(SITE_CACHE_READ, tile as u64, 0).is_err() {
+            return false;
+        }
+    }
+    let Some(bytes) = cache.lookup(ctx.cache_key(tile)) else { return false };
+    let Some(partial) = decode_tile_partial(&bytes, tile) else { return false };
+    let ckpt_degraded = match &job.dir {
+        None => false,
+        Some(dir) => !write_checkpoint_with_retry(shared, dir, &partial, tile),
+    };
+    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded, CacheOutcome::Hit);
+    true
+}
+
+/// Stores a freshly computed partial into the result cache. Only a
+/// clean **first** attempt qualifies — a result that needed retries is
+/// never cached, so a faulting or quarantine-bound plan can never
+/// poison the store. A store that fails (injected fault or I/O) is
+/// silently skipped: the next identical submission just recomputes.
+fn cache_store(
+    shared: &Arc<RunShared>,
+    ctx: &Arc<JobContext>,
+    tile: usize,
+    attempt: u64,
+    partial: &TilePartial,
+) -> CacheOutcome {
+    let Some(cache) = &shared.cache else { return CacheOutcome::None };
+    if attempt != 0 {
+        return CacheOutcome::None;
+    }
+    if let Some(plane) = &shared.plane {
+        if plane.maybe_error(SITE_CACHE_WRITE, tile as u64, 0).is_err() {
+            return CacheOutcome::None;
+        }
+    }
+    if cache.store(ctx.cache_key(tile), &encode_tile_partial(partial)) {
+        CacheOutcome::Stored
+    } else {
+        CacheOutcome::None
+    }
 }
 
 /// Writes one tile checkpoint with bounded retries (each attempt is
@@ -932,6 +1078,7 @@ fn attempt_succeeded(
     tile: usize,
     partial: TilePartial,
     ckpt_degraded: bool,
+    cache: CacheOutcome,
 ) {
     {
         let mut m = job.m.lock().expect("job lock");
@@ -943,7 +1090,7 @@ fn attempt_succeeded(
         if m.partials.contains_key(&tile) || m.pending_commit.contains_key(&tile) {
             return;
         }
-        m.pending_commit.insert(tile, TileResolution::Done { partial, ckpt_degraded });
+        m.pending_commit.insert(tile, TileResolution::Done { partial, ckpt_degraded, cache });
         advance_commits(&mut m, ctx.tile_count());
         job.cv.notify_all();
     }
@@ -1209,6 +1356,138 @@ mod tests {
             })
             .collect();
         assert_eq!(degraded, vec![2]);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn warm_cache_serves_every_tile_without_computing() {
+        let gds = small_gds(40);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        let root = std::env::temp_dir().join(format!("dfm-signoff-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = Arc::new(TileCache::open(&root, None).expect("cache"));
+        let with_cache = |threads| {
+            SignoffService::with_config(ServiceConfig {
+                cache: Some(Arc::clone(&cache)),
+                ..ServiceConfig::new(threads)
+            })
+        };
+        // Cold: every tile computes and stores; nothing hits.
+        let cold = with_cache(2);
+        let id = cold.submit(spec.clone(), gds.clone()).expect("submit");
+        let status = cold.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.tiles_cached, 0, "cold run hits nothing");
+        let stores = cold
+            .events(id, 0)
+            .expect("events")
+            .iter()
+            .filter(|e| matches!(e.kind, JobEventKind::TileCacheStore { .. }))
+            .count();
+        assert_eq!(stores, status.tiles_total, "every clean tile stored");
+        assert_eq!(cache.len(), status.tiles_total);
+        drop(cold);
+        // Warm: every tile hits; the pool never runs a task; the report
+        // is byte-identical to the flat run.
+        let warm = with_cache(2);
+        let id = warm.submit(spec.clone(), gds).expect("submit");
+        let status = warm.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.tiles_cached, status.tiles_total, "fully warm");
+        assert_eq!(warm.pool_stats().completed, 0, "no tile ever reached the pool");
+        let events = warm.events(id, 0).expect("events");
+        let hits = events
+            .iter()
+            .filter(|e| matches!(e.kind, JobEventKind::TileCacheHit { .. }))
+            .count();
+        assert_eq!(hits, status.tiles_total);
+        assert!(
+            events.iter().all(|e| !matches!(e.kind, JobEventKind::TileCacheStore { .. })),
+            "a hit is never re-stored"
+        );
+        let (_, report) = warm.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
+        drop(warm);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cache_read_faults_degrade_to_recompute_with_identical_bytes() {
+        let gds = small_gds(41);
+        let spec = spec();
+        let flat =
+            flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
+        let root = std::env::temp_dir()
+            .join(format!("dfm-signoff-cache-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = Arc::new(TileCache::open(&root, None).expect("cache"));
+        // Prime the cache cleanly.
+        let cold = SignoffService::with_config(ServiceConfig {
+            cache: Some(Arc::clone(&cache)),
+            ..ServiceConfig::new(2)
+        });
+        let id = cold.submit(spec.clone(), gds.clone()).expect("submit");
+        cold.wait(id).expect("wait");
+        drop(cold);
+        // Warm, but tile 1's cache read faults: it recomputes (and
+        // re-stores), everything else hits, bytes unchanged.
+        let plan = FaultPlan::seeded(6)
+            .with_rule(FaultRule::new(SITE_CACHE_READ, FaultAction::Error).key(1));
+        let warm = SignoffService::with_config(ServiceConfig {
+            cache: Some(Arc::clone(&cache)),
+            fault_plane: Some(Arc::new(FaultPlane::new(plan))),
+            ..ServiceConfig::new(2)
+        });
+        let id = warm.submit(spec.clone(), gds).expect("submit");
+        let status = warm.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.tiles_cached, status.tiles_total - 1);
+        let events = warm.events(id, 0).expect("events");
+        let stored: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                JobEventKind::TileCacheStore { tile } => Some(tile),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stored, vec![1], "only the faulted read recomputes and re-stores");
+        let (_, report) = warm.results(id, false).expect("results");
+        assert_eq!(report.render_text(&spec), flat);
+        drop(warm);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retried_tiles_are_never_cached() {
+        let gds = small_gds(42);
+        let spec = spec();
+        let root = std::env::temp_dir()
+            .join(format!("dfm-signoff-cache-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = Arc::new(TileCache::open(&root, None).expect("cache"));
+        // Tile 2 panics once, then succeeds on attempt 1 — which must
+        // NOT be stored; every other tile stores normally.
+        let plan = FaultPlan::seeded(7).with_rule(
+            FaultRule::new(SITE_TILE_COMPUTE, FaultAction::Panic).key(2).first_attempts(1),
+        );
+        let service = SignoffService::with_config(ServiceConfig {
+            cache: Some(Arc::clone(&cache)),
+            fault_plane: Some(Arc::new(FaultPlane::new(plan))),
+            ..ServiceConfig::new(2)
+        });
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(cache.len(), status.tiles_total - 1, "the retried tile is absent");
+        let ctx = {
+            let m = JobContext::build(&spec, &service.job(id).expect("job").m.lock().expect("lock").gds)
+                .expect("ctx");
+            m
+        };
+        assert!(!cache.contains(ctx.cache_key(2)), "retried tile never cached");
         drop(service);
         let _ = std::fs::remove_dir_all(&root);
     }

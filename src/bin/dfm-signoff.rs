@@ -4,6 +4,7 @@
 //! ```text
 //! dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
 //!                     [--fault-plan FILE] [--max-attempts N]
+//!                     [--cache DIR] [--cache-max-bytes N]
 //! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
 //! dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
 //! dfm-signoff status  --addr HOST:PORT --job ID
@@ -14,7 +15,17 @@
 //! dfm-signoff list    --addr HOST:PORT
 //! dfm-signoff shutdown --addr HOST:PORT
 //! dfm-signoff flat-report --gds FILE [spec flags]
+//! dfm-signoff cache   stats|verify|clear --dir DIR
 //! ```
+//!
+//! `--cache DIR` arms the content-addressed per-tile result cache:
+//! resubmitting a layout recomputes only the tiles whose content
+//! (at the job's analysis halo) actually changed — everything else is
+//! served from disk. The `cache` subcommand inspects or maintains such
+//! a directory offline: `stats` prints entry/byte/counter totals,
+//! `verify` checksums every entry (removing any that fail), and
+//! `clear` empties the store. A cleared or corrupted cache is never an
+//! error — affected tiles just recompute.
 //!
 //! Spec flags (shared by `submit` and `flat-report`, so both paths use
 //! identical defaults): `--name S --tech n65|n45|n28 --tile NM --halo
@@ -29,6 +40,7 @@
 //! from a `dfm-fault` plan file (see that crate's text format); it is
 //! a test/CI facility — without the flag every fault probe is a no-op.
 
+use dfm_practice::cache::TileCache;
 use dfm_practice::fault::{FaultPlan, FaultPlane};
 use dfm_practice::layout::{gds, generate, Technology};
 use dfm_practice::signoff::service::{JobEventKind, TILE_DELAY_ENV};
@@ -67,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "list" => list(rest),
         "shutdown" => shutdown(rest),
         "flat-report" => flat(rest),
+        "cache" => cache_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -78,6 +91,7 @@ fn run(args: &[String]) -> Result<(), String> {
 const USAGE: &str = "usage:
   dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
                       [--fault-plan FILE] [--max-attempts N]
+                      [--cache DIR] [--cache-max-bytes N]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
   dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
   dfm-signoff status  --addr HOST:PORT --job ID
@@ -88,6 +102,7 @@ const USAGE: &str = "usage:
   dfm-signoff list    --addr HOST:PORT
   dfm-signoff shutdown --addr HOST:PORT
   dfm-signoff flat-report --gds FILE [spec flags]
+  dfm-signoff cache   stats|verify|clear --dir DIR
 spec flags: --name S --tech n65|n45|n28 --tile NM --halo NM --no-drc
             --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none --litho-feature NM";
 
@@ -217,8 +232,16 @@ fn emit_lines(lines: &[String]) -> Result<(), String> {
 fn print_status(s: dfm_practice::signoff::service::JobStatus) {
     let err = s.error.as_deref().unwrap_or("-");
     println!(
-        "job {} '{}': {} tiles {}/{} quarantined {} next_seq {} error {}",
-        s.id, s.name, s.state, s.tiles_done, s.tiles_total, s.tiles_quarantined, s.next_seq, err
+        "job {} '{}': {} tiles {}/{} quarantined {} cached {} next_seq {} error {}",
+        s.id,
+        s.name,
+        s.state,
+        s.tiles_done,
+        s.tiles_total,
+        s.tiles_quarantined,
+        s.tiles_cached,
+        s.next_seq,
+        err
     );
 }
 
@@ -230,7 +253,12 @@ fn serve(args: &[String]) -> Result<(), String> {
     let port_file = flags.value("--port-file")?.map(str::to_string);
     let fault_plan = flags.value("--fault-plan")?.map(str::to_string);
     let max_attempts: Option<u64> = flags.parsed("--max-attempts")?;
+    let cache_dir = flags.value("--cache")?.map(std::path::PathBuf::from);
+    let cache_max_bytes: Option<u64> = flags.parsed("--cache-max-bytes")?;
     flags.finish()?;
+    if cache_dir.is_none() && cache_max_bytes.is_some() {
+        return Err("--cache-max-bytes needs --cache DIR".to_string());
+    }
     let fault_plane = match fault_plan {
         None => None,
         Some(path) => {
@@ -247,12 +275,20 @@ fn serve(args: &[String]) -> Result<(), String> {
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
         .map_or(Duration::ZERO, Duration::from_millis);
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => Some(Arc::new(
+            TileCache::open(&dir, cache_max_bytes)
+                .map_err(|e| format!("open cache {}: {e}", dir.display()))?,
+        )),
+    };
     let service = Arc::new(SignoffService::with_config(ServiceConfig {
         threads,
         ckpt_root: ckpt,
         tile_delay,
         fault_plane,
         policy,
+        cache,
     }));
     let server = Server::bind(service, port)?;
     let addr = server.local_addr();
@@ -332,6 +368,12 @@ fn events(args: &[String]) -> Result<(), String> {
             JobEventKind::CkptDegraded { tile } => {
                 format!("{} tile {tile} checkpoint degraded (kept in memory)", e.seq)
             }
+            JobEventKind::TileCacheHit { tile } => {
+                format!("{} tile {tile} cache hit (served without computing)", e.seq)
+            }
+            JobEventKind::TileCacheStore { tile } => {
+                format!("{} tile {tile} cache store", e.seq)
+            }
         });
     }
     lines.push(format!("next_seq {next}"));
@@ -371,6 +413,38 @@ fn shutdown(args: &[String]) -> Result<(), String> {
     let mut client = connect(&mut flags)?;
     flags.finish()?;
     client.shutdown()
+}
+
+fn cache_cmd(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err(format!("cache needs an action: stats, verify, or clear\n{USAGE}"));
+    };
+    let mut flags = Flags::new(&args[1..]);
+    let dir = flags.value("--dir")?.ok_or("--dir DIR is required")?.to_string();
+    flags.finish()?;
+    let cache = TileCache::open(std::path::Path::new(&dir), None)
+        .map_err(|e| format!("open cache {dir}: {e}"))?;
+    match action.as_str() {
+        "stats" => {
+            let s = cache.stats();
+            println!(
+                "entries {} bytes {} corrupt_dropped {}",
+                s.entries, s.bytes, s.corrupt_dropped
+            );
+        }
+        "verify" => {
+            let r = cache.verify();
+            println!("ok {} removed {}", r.ok, r.removed);
+        }
+        "clear" => {
+            let removed = cache.clear().map_err(|e| format!("clear cache {dir}: {e}"))?;
+            println!("cleared {removed}");
+        }
+        other => {
+            return Err(format!("unknown cache action '{other}' (stats|verify|clear)\n{USAGE}"))
+        }
+    }
+    Ok(())
 }
 
 fn flat(args: &[String]) -> Result<(), String> {

@@ -21,10 +21,12 @@
 //! | [`rand`] | `dfm-rand` | deterministic PRNG (hermetic, seed-everywhere) |
 //! | [`fault`] | `dfm-fault` | deterministic fault-injection plane |
 //! | [`par`] | `dfm-par` | deterministic thread pool & worker pool |
+//! | [`cache`] | `dfm-cache` | content-addressed tile-result cache |
 //! | [`signoff`] | `dfm-signoff` | async signoff job service (scheduler, checkpoints) |
 
 #![forbid(unsafe_code)]
 
+pub use dfm_cache as cache;
 pub use dfm_core as dfm;
 pub use dfm_dpt as dpt;
 pub use dfm_drc as drc;
