@@ -123,7 +123,11 @@ for PLAN in retry quarantine; do
         for _ in $(seq 100); do [[ -s "$PORTF" ]] && break; sleep 0.05; done
         PORT=$(cat "$PORTF")
         JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
-        "$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/$PLAN-$T.txt"
+        # Exit-code contract: a quarantined job settles partial and
+        # `results --wait` says so with exit 2; a clean job exits 0.
+        rc=0
+        "$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/$PLAN-$T.txt" || rc=$?
+        if [[ "$PLAN" == quarantine ]]; then [[ $rc -eq 2 ]]; else [[ $rc -eq 0 ]]; fi
         "$BIN" status --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/$PLAN-$T.status"
         "$BIN" events --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/$PLAN-$T.events"
         "$BIN" shutdown --addr "127.0.0.1:$PORT"
@@ -175,6 +179,40 @@ diff "$WORK/cache-1-run2.txt" "$WORK/cache-4-run2.txt"
 "$BIN" cache verify --dir "$WORK/cache-1" | grep -q " removed 0$"
 echo "ok: warm resubmission serves $CACHED tiles from the cache, bytes unchanged"
 
+echo "== score + auto-fix smoke (offline, exit-code contract) =="
+# `score` emits one deterministic JSON line and exits by the contract
+# (0 pass / 1 below threshold / 2 partial / 3 error). `fix` runs the
+# greedy auto-fix search, resubmits through the same cache-armed
+# service, and reports score before/after plus how many tiles each pass
+# recomputed — a warm rerun of the whole loop must recompute nothing.
+SCORE_CACHE="$WORK/score-cache"
+"$BIN" score --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" --cache "$SCORE_CACHE" >"$WORK/score-cold.json"
+"$BIN" score --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" --cache "$SCORE_CACHE" >"$WORK/score-warm.json"
+diff "$WORK/score-cold.json" "$WORK/score-warm.json"
+grep -q '"score":' "$WORK/score-cold.json"
+"$BIN" fix --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" --cache "$SCORE_CACHE" \
+    --out "$WORK/fixed.gds" >"$WORK/fix1.json"
+grep -q '"changed":true' "$WORK/fix1.json"
+[[ -s "$WORK/fixed.gds" ]]
+# The kept techniques must strictly improve the aggregate score.
+awk -F'"score_before":|,"score_after":|,"delta":' '{ exit !($3 > $2) }' "$WORK/fix1.json"
+# Pass 1 of the fix rode the warm cache from the score runs above.
+grep -q '"before":{"tiles_total":[0-9]*,"tiles_cached":[0-9]*,"tiles_recomputed":0}' "$WORK/fix1.json"
+# Rerunning the whole loop against the same cache is pure cache
+# traffic: both passes report zero recomputed tiles.
+"$BIN" fix --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" --cache "$SCORE_CACHE" >"$WORK/fix2.json"
+[[ $(grep -o '"tiles_recomputed":0' "$WORK/fix2.json" | wc -l) -eq 2 ]]
+# Exit-code contract: a pass threshold the layout cannot meet exits 1;
+# an operational error exits 3.
+printf 'pass 1.0\nmetric via.redundancy weight 1 scorer identity\n' >"$WORK/strict.spec"
+rc=0
+"$BIN" score --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" --score "$WORK/strict.spec" >/dev/null || rc=$?
+[[ $rc -eq 1 ]]
+rc=0
+"$BIN" score --gds "$WORK/does-not-exist.gds" >/dev/null 2>&1 || rc=$?
+[[ $rc -eq 3 ]]
+echo "ok: fix improves the score; warm reruns recompute nothing; exit codes hold"
+
 echo "== signoff bench + cache gauges (offline) =="
 # The warm-cache bench publishes the hit ratio and recompute count of a
 # warm resubmission; a working cache pins them at 1 and 0. A small
@@ -183,5 +221,7 @@ DFM_BENCH_SAMPLES=3 DFM_BENCH_JSON="$PWD/target/signoff-bench.json" \
     cargo bench -p dfm-bench --bench signoff --offline
 grep -q '"cache_hit_ratio"' target/signoff-bench.json
 grep -q '"tiles_recomputed"' target/signoff-bench.json
+grep -q '"score_after"' target/signoff-bench.json
+grep -q '"fix_tiles_recomputed"' target/signoff-bench.json
 
 echo "CI OK"

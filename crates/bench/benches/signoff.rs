@@ -116,10 +116,48 @@ fn bench_signoff_warm_cache(b: &mut Bencher) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Manufacturability scoring and the auto-fix loop: time a scored job
+/// (the score rides the normal pipeline — its cost is metric
+/// extraction at submit and finalise, never per-tile work), then run
+/// the greedy fix search once and publish its evidence as gauges:
+/// aggregate score before/after, the delta, the edit count, and how
+/// many tiles the cache-armed resubmission actually recomputed.
+fn bench_signoff_score_fix(b: &mut Bencher) {
+    let gds_bytes = job_gds();
+    let spec = JobSpec { score: Some("default".to_string()), ..job_spec() };
+    let service = SignoffService::new(4, None);
+    b.bench("signoff_job_scored_w4", || {
+        black_box(run_job(&service, &spec, &gds_bytes))
+    });
+
+    let root = std::env::temp_dir().join(format!("dfm-bench-score-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cache = Arc::new(TileCache::open(&root, None).expect("cache"));
+    let service = SignoffService::with_config(ServiceConfig {
+        cache: Some(Arc::clone(&cache)),
+        ..ServiceConfig::new(4)
+    });
+    run_job(&service, &spec, &gds_bytes); // prime
+    let outcome = dfm_signoff::auto_fix(&spec, &gds_bytes).expect("fix");
+    let id = service.submit(spec.clone(), outcome.gds.clone()).expect("submit");
+    let status = service.wait(id).expect("wait");
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    b.gauge("score_before", outcome.score_before.score);
+    b.gauge("score_after", outcome.score_after.score);
+    b.gauge("fix_score_delta", outcome.delta());
+    b.gauge("fix_edits", outcome.edits as f64);
+    b.gauge(
+        "fix_tiles_recomputed",
+        (status.tiles_total - status.tiles_cached) as f64,
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 fn main() {
     let mut b = Bencher::from_env();
     bench_signoff_job_e2e(&mut b);
     bench_signoff_saturation(&mut b);
     bench_signoff_warm_cache(&mut b);
+    bench_signoff_score_fix(&mut b);
     b.finish();
 }

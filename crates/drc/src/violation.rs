@@ -83,6 +83,20 @@ impl DrcReport {
     pub fn merge(&mut self, other: DrcReport) {
         self.violations.extend(other.violations);
     }
+
+    /// Score metrics for the manufacturability score (`dfm-score`):
+    /// the total violation count as `drc.violations` plus one
+    /// `drc.rule.<id>` entry per offending rule, in rule-id order.
+    /// Clean rules emit no entry (the score spec's `drc.rule.*`
+    /// wildcard governs whatever appears).
+    pub fn score_metrics(&self) -> Vec<(String, f64)> {
+        let mut out =
+            vec![("drc.violations".to_string(), self.violation_count() as f64)];
+        for (rule, count) in self.counts() {
+            out.push((format!("drc.rule.{rule}"), count as f64));
+        }
+        out
+    }
 }
 
 impl fmt::Display for DrcReport {

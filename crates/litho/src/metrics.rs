@@ -2,6 +2,18 @@
 
 use dfm_geom::{Coord, Interval, Point, Region};
 
+/// Printed-to-drawn area ratio, the print-fidelity metric for the
+/// manufacturability score (`litho.area_ratio`): 1.0 is a faithful
+/// print, under-printing (necking, dropped features) falls below 1,
+/// blooming rises above. An empty drawn layer ratios to 1.0 — there
+/// was nothing to print and nothing was printed wrongly.
+pub fn print_area_ratio(printed_nm2: f64, drawn_nm2: f64) -> f64 {
+    if drawn_nm2 <= 0.0 {
+        return 1.0;
+    }
+    printed_nm2 / drawn_nm2
+}
+
 /// The covered x-intervals of `region` along the horizontal line `y`
 /// (merged and sorted).
 pub fn x_intervals_at(region: &Region, y: Coord) -> Vec<Interval> {

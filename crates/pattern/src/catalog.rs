@@ -98,6 +98,19 @@ impl Catalog {
         covered as f64 / self.total as f64
     }
 
+    /// Score metrics for the manufacturability score (`dfm-score`):
+    /// the class count as `pattern.classes` (a sprawling pattern
+    /// vocabulary is a manufacturability liability) and the top-8
+    /// coverage as `pattern.top8_coverage` (an empty catalog counts as
+    /// perfectly covered — there is nothing to certify).
+    pub fn score_metrics(&self) -> Vec<(String, f64)> {
+        let coverage = if self.total == 0 { 1.0 } else { self.coverage_top_k(8) };
+        vec![
+            ("pattern.classes".to_string(), self.class_count() as f64),
+            ("pattern.top8_coverage".to_string(), coverage),
+        ]
+    }
+
     /// The occurrence count of a specific canonical pattern.
     pub fn count_of(&self, pattern: &TopoPattern) -> u64 {
         self.classes.get(pattern).map_or(0, |c| c.count)

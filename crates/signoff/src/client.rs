@@ -108,6 +108,21 @@ impl Client {
         }
     }
 
+    /// Fetches a job's manufacturability score: the status plus the
+    /// score report's deterministic JSON line, byte-identical to the
+    /// server-side rendering.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics, unknown ids, unsettled jobs,
+    /// and jobs submitted without scoring.
+    pub fn score(&mut self, job: u64) -> Result<(JobStatus, String), String> {
+        match self.request(&Request::Score { job })? {
+            Response::Score { status, score_json } => Ok((status, score_json)),
+            other => Err(format!("unexpected reply to score: {other:?}")),
+        }
+    }
+
     /// Cancels a job.
     ///
     /// # Errors

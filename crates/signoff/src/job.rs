@@ -53,6 +53,14 @@ pub struct JobContext {
     /// Tile-sharded layout; hierarchy is kept, tiles materialise on
     /// demand.
     pub layout: TiledLayout,
+    /// Parsed score spec (when the job requests scoring).
+    pub score_spec: Option<dfm_score::ScoreSpec>,
+    /// Flat-layout score metrics (via redundancy, pattern statistics,
+    /// drawn area), computed once at submit time. Empty when scoring
+    /// is off. These feed [`crate::scoring::job_metrics`] at
+    /// finalisation; they never influence tile computation, so the
+    /// cache key ignores the score field entirely.
+    pub layout_metrics: Vec<(String, f64)>,
     defects: DefectModel,
     sim: LithoSimulator,
     cond: Condition,
@@ -73,7 +81,19 @@ impl JobContext {
             .halo(spec.halo)
             .build()
             .map_err(|e| format!("bad tiling config: {e}"))?;
-        let layout = TiledLayout::from_gds_bytes(gds, config)
+        let score_spec = spec.score_spec()?;
+        // Scoring needs flat-layout statistics (via census, pattern
+        // catalog, drawn area). Parse the GDS once and take both the
+        // flat view (scoring only) and the tiled layout from it.
+        let lib = dfm_layout::gds::from_bytes(gds)
+            .map_err(|e| format!("layout rejected: {e}"))?;
+        let layout_metrics = if score_spec.is_some() {
+            let flat = lib.flatten_top().map_err(|e| format!("layout rejected: {e}"))?;
+            crate::scoring::layout_metrics(&flat, &tech, spec)
+        } else {
+            Vec::new()
+        };
+        let layout = TiledLayout::from_library(lib, config)
             .map_err(|e| format!("layout rejected: {e}"))?;
         let deck = if spec.drc {
             RuleDeck::for_technology(&tech)
@@ -88,7 +108,17 @@ impl JobContext {
             tech,
             deck,
             layout,
+            score_spec,
+            layout_metrics,
         })
+    }
+
+    /// Scores a merged report against the job's score spec, folding in
+    /// the submit-time layout metrics. `None` when scoring is off.
+    pub fn score(&self, report: &SignoffReport) -> Option<dfm_score::ScoreReport> {
+        let spec = self.score_spec.as_ref()?;
+        let metrics = crate::scoring::job_metrics(report, &self.layout_metrics);
+        Some(dfm_score::score(&metrics, spec))
     }
 
     /// Number of tiles the job decomposes into.
@@ -336,6 +366,37 @@ mod tests {
         // this spec the CA extraction range dominates.
         assert!(ctx.content_halo() >= ctx.spec.ca_range() + 2);
         assert!(ctx.content_halo() >= ctx.spec.halo);
+    }
+
+    #[test]
+    fn score_spec_never_dirties_the_cache_key() {
+        // Scoring is a report post-process: toggling or editing the
+        // score spec must hit every cached tile, or the fix loop's
+        // "recompute only dirty tiles" promise breaks.
+        let gds = small_gds();
+        let spec = spec();
+        let ctx = JobContext::build(&spec, &gds).expect("context");
+        let scored = JobContext::build(
+            &JobSpec { score: Some("default".to_string()), ..spec.clone() },
+            &gds,
+        )
+        .expect("context");
+        let rescored = JobContext::build(
+            &JobSpec {
+                score: Some("pass 0.9\nmetric drc.violations weight 1 scorer step 0\n".into()),
+                ..spec.clone()
+            },
+            &gds,
+        )
+        .expect("context");
+        for tile in 0..ctx.tile_count() {
+            assert_eq!(ctx.cache_key(tile), scored.cache_key(tile));
+            assert_eq!(ctx.cache_key(tile), rescored.cache_key(tile));
+        }
+        // And the scored context actually carries layout metrics.
+        assert!(ctx.layout_metrics.is_empty());
+        assert!(!scored.layout_metrics.is_empty());
+        assert!(scored.score_spec.is_some());
     }
 
     #[test]

@@ -50,18 +50,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autofix;
 pub mod checkpoint;
 pub mod client;
 pub mod codec;
 pub mod job;
 pub mod proto;
 pub mod report;
+pub mod scoring;
 pub mod server;
 pub mod service;
 pub mod spec;
 
+pub use autofix::{auto_fix, FixOutcome};
 pub use checkpoint::{decode_tile_partial, encode_tile_partial};
 pub use client::Client;
+pub use scoring::flat_score;
 pub use job::{JobContext, TilePartial, CACHE_KEY_VERSION};
 pub use report::{flat_report, CaSummary, LithoSummary, QuarantinedTile, SignoffReport};
 pub use server::Server;

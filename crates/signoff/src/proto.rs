@@ -46,6 +46,11 @@ pub enum Request {
         /// Allow a prefix merge of an unfinished job.
         partial: bool,
     },
+    /// Fetch a job's manufacturability score (JSON line).
+    Score {
+        /// Job id.
+        job: u64,
+    },
     /// Cancel a job (completed tiles are kept).
     Cancel {
         /// Job id.
@@ -85,6 +90,10 @@ impl Request {
                 ("cmd", JsonValue::str("results")),
                 ("job", JsonValue::Num(*job as f64)),
                 ("partial", JsonValue::Bool(*partial)),
+            ]),
+            Request::Score { job } => JsonValue::obj([
+                ("cmd", JsonValue::str("score")),
+                ("job", JsonValue::Num(*job as f64)),
             ]),
             Request::Cancel { job } => JsonValue::obj([
                 ("cmd", JsonValue::str("cancel")),
@@ -131,6 +140,7 @@ impl Request {
                 job: job_id(&v)?,
                 partial: v.get("partial").and_then(JsonValue::as_bool).unwrap_or(false),
             }),
+            "score" => Ok(Request::Score { job: job_id(&v)? }),
             "cancel" => Ok(Request::Cancel { job: job_id(&v)? }),
             "resume" => Ok(Request::Resume { job: job_id(&v)? }),
             "list" => Ok(Request::List),
@@ -165,6 +175,15 @@ pub enum Response {
         status: JobStatus,
         /// The canonical report text ([`crate::SignoffReport::render_text`]).
         report_text: String,
+    },
+    /// A job's manufacturability score.
+    Score {
+        /// Status at score time.
+        status: JobStatus,
+        /// The score report's deterministic JSON line
+        /// ([`dfm_score::ScoreReport::render`]), shipped as an opaque
+        /// string so byte-identity survives the wire untouched.
+        score_json: String,
     },
     /// All jobs.
     List {
@@ -204,6 +223,10 @@ impl Response {
             Response::Results { status, report_text } => ok(vec![
                 ("status".to_string(), status_to_json(status)),
                 ("report_text".to_string(), JsonValue::str(report_text)),
+            ]),
+            Response::Score { status, score_json } => ok(vec![
+                ("status".to_string(), status_to_json(status)),
+                ("score_json".to_string(), JsonValue::str(score_json)),
             ]),
             Response::List { jobs } => ok(vec![(
                 "jobs".to_string(),
@@ -260,6 +283,13 @@ impl Response {
                 status_from_json(v.get("status").ok_or("results response needs \"status\"")?)?;
             return Ok(Response::Results { status, report_text });
         }
+        if let Some(score_json) = v.get("score_json") {
+            let score_json =
+                score_json.as_str().ok_or("\"score_json\" must be a string")?.to_string();
+            let status =
+                status_from_json(v.get("status").ok_or("score response needs \"status\"")?)?;
+            return Ok(Response::Score { status, score_json });
+        }
         if let Some(status) = v.get("status") {
             return Ok(Response::Status(status_from_json(status)?));
         }
@@ -294,6 +324,23 @@ fn status_to_json(s: &JobStatus) -> JsonValue {
         ("tiles_quarantined", JsonValue::Num(s.tiles_quarantined as f64)),
         ("tiles_cached", JsonValue::Num(s.tiles_cached as f64)),
         ("next_seq", JsonValue::Num(s.next_seq as f64)),
+        (
+            // The score travels as its IEEE-754 bit pattern in a
+            // string: a JSON Num would round-trip through f64 text
+            // formatting, and byte-exactness is the whole point.
+            "score_bits",
+            match s.score_bits {
+                Some(bits) => JsonValue::u64_str(bits),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "score_pass",
+            match s.score_pass {
+                Some(p) => JsonValue::Bool(p),
+                None => JsonValue::Null,
+            },
+        ),
         (
             "error",
             match &s.error {
@@ -334,8 +381,25 @@ fn status_from_json(v: &JsonValue) -> Result<JobStatus, String> {
             .get("tiles_cached")
             .map_or(Ok(0), |s| field_u64(s, "tiles_cached"))? as usize,
         next_seq: v.get("next_seq").map_or(Ok(0), |s| field_u64(s, "next_seq"))?,
+        score_bits: match v.get("score_bits") {
+            None | Some(JsonValue::Null) => None,
+            Some(b) => Some(u64_from_str(b, "score_bits")?),
+        },
+        score_pass: match v.get("score_pass") {
+            None | Some(JsonValue::Null) => None,
+            Some(p) => Some(p.as_bool().ok_or("status \"score_pass\" must be a boolean")?),
+        },
         error,
     })
+}
+
+/// Parses an exact u64 shipped as a decimal string
+/// ([`JsonValue::u64_str`] — score bits exceed f64's exact-integer
+/// range).
+fn u64_from_str(v: &JsonValue, what: &str) -> Result<u64, String> {
+    v.as_str()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("{what} must be a u64 decimal string"))
 }
 
 fn event_to_json(e: &JobEvent) -> JsonValue {
@@ -381,6 +445,12 @@ fn event_to_json(e: &JobEvent) -> JsonValue {
             ("seq", JsonValue::Num(e.seq as f64)),
             ("kind", JsonValue::str("cache_store")),
             ("tile", JsonValue::Num(*tile as f64)),
+        ]),
+        JobEventKind::Score { bits, pass } => JsonValue::obj([
+            ("seq", JsonValue::Num(e.seq as f64)),
+            ("kind", JsonValue::str("score")),
+            ("bits", JsonValue::u64_str(*bits)),
+            ("pass", JsonValue::Bool(*pass)),
         ]),
     }
 }
@@ -447,6 +517,13 @@ fn event_from_json(v: &JsonValue) -> Result<JobEvent, String> {
             tile: field_u64(v.get("tile").ok_or("cache_store event needs \"tile\"")?, "tile")?
                 as usize,
         },
+        "score" => JobEventKind::Score {
+            bits: u64_from_str(v.get("bits").ok_or("score event needs \"bits\"")?, "bits")?,
+            pass: v
+                .get("pass")
+                .and_then(JsonValue::as_bool)
+                .ok_or("score event needs a boolean \"pass\"")?,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(JobEvent { seq, kind })
@@ -466,6 +543,8 @@ mod tests {
             tiles_quarantined: 0,
             tiles_cached: 2,
             next_seq: 6,
+            score_bits: None,
+            score_pass: None,
             error: None,
         }
     }
@@ -478,6 +557,7 @@ mod tests {
             Request::Status { job: 3 },
             Request::Events { job: 3, since: 17 },
             Request::Results { job: 3, partial: true },
+            Request::Score { job: 3 },
             Request::Cancel { job: 3 },
             Request::Resume { job: 3 },
             Request::List,
@@ -529,12 +609,25 @@ mod tests {
                     JobEvent { seq: 4, kind: JobEventKind::CkptDegraded { tile: 5 } },
                     JobEvent { seq: 5, kind: JobEventKind::TileCacheHit { tile: 6 } },
                     JobEvent { seq: 6, kind: JobEventKind::TileCacheStore { tile: 7 } },
+                    JobEvent {
+                        seq: 7,
+                        kind: JobEventKind::Score { bits: 0.85f64.to_bits(), pass: true },
+                    },
                 ],
-                next_seq: 7,
+                next_seq: 8,
             },
             Response::Results {
                 status: sample_status(),
                 report_text: "signoff report\nline \"two\"\n".to_string(),
+            },
+            Response::Score {
+                status: JobStatus {
+                    state: JobState::Done,
+                    score_bits: Some(0.75f64.to_bits()),
+                    score_pass: Some(true),
+                    ..sample_status()
+                },
+                score_json: r#"{"score":0.75,"pass":true}"#.to_string(),
             },
             Response::List { jobs: vec![sample_status()] },
             Response::ShuttingDown,
@@ -568,6 +661,9 @@ mod tests {
             r#"{"ok":true,"events":[{"seq":0,"kind":"quarantine","tile":1,"attempts":3}],"next_seq":1}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"cache_hit"}],"next_seq":1}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"cache_store"}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"score","pass":true}],"next_seq":1}"#,
+            r#"{"ok":true,"events":[{"seq":0,"kind":"score","bits":7,"pass":true}],"next_seq":1}"#,
+            r#"{"ok":true,"status":{"id":1,"name":"x","state":"done","tiles_total":1,"tiles_done":1,"score_bits":3.5}}"#,
         ] {
             assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
         }

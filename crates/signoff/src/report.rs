@@ -203,14 +203,28 @@ pub fn digest_violations(report: &DrcReport) -> u64 {
 ///
 /// Spec validation failures and layout flattening failures.
 pub fn flat_report(spec: &JobSpec, lib: &Library) -> Result<SignoffReport, String> {
-    spec.validate()?;
-    let tech = spec.technology()?;
     let top = lib.top().ok_or("library has no top cell")?;
     let flat = lib.flatten(top).map_err(|e| format!("flatten failed: {e}"))?;
+    flat_layout_report(spec, &flat)
+}
+
+/// [`flat_report`] for an already-flattened layout — the entry point
+/// the auto-fix search uses to score candidate edits without a round
+/// trip through a library.
+///
+/// # Errors
+///
+/// Spec validation and engine diagnostics.
+pub fn flat_layout_report(
+    spec: &JobSpec,
+    flat: &dfm_layout::FlatLayout,
+) -> Result<SignoffReport, String> {
+    spec.validate()?;
+    let tech = spec.technology()?;
     let mut report = SignoffReport::default();
     if spec.drc {
         let deck = RuleDeck::for_technology(&tech);
-        report.drc = Some(DrcEngine::new(&deck).run(&flat));
+        report.drc = Some(DrcEngine::new(&deck).run(flat));
     }
     if let Some(layer) = spec.ca_layer {
         let defects = DefectModel::new(spec.ca_x0, CA_D0_PER_CM2);

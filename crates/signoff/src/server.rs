@@ -139,6 +139,9 @@ fn handle_request(service: &SignoffService, request: Request) -> Response {
         Request::Results { job, partial } => service
             .report_text(job, partial)
             .map(|(status, report_text)| Response::Results { status, report_text }),
+        Request::Score { job } => service
+            .score_json(job)
+            .map(|(status, score_json)| Response::Score { status, score_json }),
         Request::Cancel { job } => service.cancel(job).map(Response::Status),
         Request::Resume { job } => service.resume(job).map(Response::Status),
         Request::List => Ok(Response::List { jobs: service.list() }),

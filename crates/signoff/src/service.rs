@@ -209,6 +209,16 @@ pub enum JobEventKind {
         /// The tile whose result was stored.
         tile: usize,
     },
+    /// The job's manufacturability score was computed (emitted between
+    /// the last tile commit and the final state event, only for jobs
+    /// whose spec enables scoring).
+    Score {
+        /// IEEE-754 bit pattern of the aggregate score (bits, so the
+        /// event stream stays `Eq`-comparable and byte-exact).
+        bits: u64,
+        /// The pass verdict (threshold and floors).
+        pass: bool,
+    },
 }
 
 /// One entry in a job's event log. Sequence numbers are per-job,
@@ -241,8 +251,21 @@ pub struct JobStatus {
     pub tiles_cached: usize,
     /// Next event sequence number (== number of events so far).
     pub next_seq: u64,
+    /// IEEE-754 bits of the manufacturability score, once computed
+    /// (`None` until the job settles, or when scoring is off).
+    pub score_bits: Option<u64>,
+    /// The score's pass verdict, with the same lifetime as
+    /// `score_bits`.
+    pub score_pass: Option<bool>,
     /// Failure diagnostic, when `state == Failed`.
     pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// The manufacturability score as an `f64`, when computed.
+    pub fn score(&self) -> Option<f64> {
+        self.score_bits.map(f64::from_bits)
+    }
 }
 
 /// Retry/quarantine/watchdog knobs of the supervisor.
@@ -362,6 +385,7 @@ struct JobMut {
     events: Vec<JobEvent>,
     error: Option<String>,
     report: Option<SignoffReport>,
+    score: Option<dfm_score::ScoreReport>,
     /// Attempt currently in flight per dispatched tile.
     attempts: BTreeMap<usize, u64>,
     /// Failed attempts awaiting commit, per tile, in attempt order.
@@ -389,6 +413,7 @@ impl JobMut {
             events: Vec::new(),
             error: None,
             report: None,
+            score: None,
             attempts: BTreeMap::new(),
             retry_log: BTreeMap::new(),
             pending_commit: BTreeMap::new(),
@@ -601,6 +626,7 @@ impl SignoffService {
         let token = {
             let mut m = job.m.lock().expect("job lock");
             m.report = None;
+            m.score = None;
             m.error = None;
             m.attempts.clear();
             m.retry_log.clear();
@@ -729,6 +755,29 @@ impl SignoffService {
         Ok((status, report.render_text(&spec)))
     }
 
+    /// The job's manufacturability score as its deterministic JSON
+    /// line, with the status alongside (for tile/cache counters and
+    /// the partial verdict).
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, a job that has not settled with a report yet, or a
+    /// job whose spec does not enable scoring.
+    pub fn score_json(&self, id: u64) -> Result<(JobStatus, String), String> {
+        let job = self.job(id)?;
+        let m = job.m.lock().expect("job lock");
+        if let Some(score) = &m.score {
+            return Ok((status_of(&job, &m), score.render()));
+        }
+        if let Some(err) = &m.error {
+            return Err(format!("job {id} failed: {err}"));
+        }
+        if m.report.is_some() || m.state.is_terminal() {
+            return Err(format!("job {id} was submitted without scoring (no `score` in spec)"));
+        }
+        Err(format!("job {id} is {}; the score is computed when the job settles", m.state))
+    }
+
     /// Cancels a running/queued job. Completed tiles are kept (and
     /// remain checkpointed) so the job can be resumed.
     ///
@@ -848,6 +897,8 @@ fn status_of(job: &Job, m: &JobMut) -> JobStatus {
         tiles_quarantined: m.quarantined.len(),
         tiles_cached: m.cached.len(),
         next_seq: m.events.len() as u64,
+        score_bits: m.score.as_ref().map(|s| s.score.to_bits()),
+        score_pass: m.score.as_ref().map(|s| s.pass),
         error: m.error.clone(),
     }
 }
@@ -1125,6 +1176,15 @@ fn try_finalize(job: &Arc<Job>, ctx: &Arc<JobContext>) {
                 })
                 .collect();
             let clean = report.quarantined.is_empty();
+            // Score before the final state event: a client that saw
+            // `State(Done)` can rely on the score being present.
+            if let Some(score) = ctx.score(&report) {
+                m.emit(JobEventKind::Score {
+                    bits: score.score.to_bits(),
+                    pass: score.pass,
+                });
+                m.score = Some(score);
+            }
             m.report = Some(report);
             m.set_state(if clean { JobState::Done } else { JobState::Partial });
         }
@@ -1490,6 +1550,56 @@ mod tests {
         assert!(!cache.contains(ctx.cache_key(2)), "retried tile never cached");
         drop(service);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scored_job_reports_the_flat_score_with_event_before_done() {
+        let gds = small_gds(43);
+        let spec = JobSpec { score: Some("default".to_string()), ..spec() };
+        let (_, flat) =
+            crate::scoring::flat_score(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat");
+        let service = SignoffService::new(2, None);
+        let id = service.submit(spec.clone(), gds).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.score(), Some(flat.score));
+        assert_eq!(status.score_pass, Some(flat.pass));
+        let (_, json) = service.score_json(id).expect("score json");
+        assert_eq!(json, flat.render(), "service score == flat score, byte for byte");
+        // The score event lands between the last commit and Done.
+        let events = service.events(id, 0).expect("events");
+        let score_pos = events
+            .iter()
+            .position(|e| matches!(e.kind, JobEventKind::Score { .. }))
+            .expect("score event");
+        assert!(matches!(
+            events.last().map(|e| &e.kind),
+            Some(JobEventKind::State(JobState::Done))
+        ));
+        assert_eq!(score_pos, events.len() - 2, "score immediately precedes Done");
+        match events[score_pos].kind {
+            JobEventKind::Score { bits, pass } => {
+                assert_eq!(f64::from_bits(bits), flat.score);
+                assert_eq!(pass, flat.pass);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unscored_job_has_no_score() {
+        let service = SignoffService::new(2, None);
+        let id = service.submit(spec(), small_gds(35)).expect("submit");
+        let status = service.wait(id).expect("wait");
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        assert_eq!(status.score_bits, None);
+        let err = service.score_json(id).expect_err("no score");
+        assert!(err.contains("without scoring"), "{err}");
+        let events = service.events(id, 0).expect("events");
+        assert!(
+            events.iter().all(|e| !matches!(e.kind, JobEventKind::Score { .. })),
+            "no score event without a score spec"
+        );
     }
 
     #[test]

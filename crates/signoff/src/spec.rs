@@ -33,6 +33,14 @@ pub struct JobSpec {
     pub litho_layer: Option<Layer>,
     /// Minimum feature size the litho simulator is tuned for, nm.
     pub litho_feature: i64,
+    /// Manufacturability-score spec text (`dfm_score::ScoreSpec`
+    /// format; `"default"` selects the built-in spec). `None` disables
+    /// scoring. Scoring is a pure function of the merged report plus
+    /// submit-time layout statistics, so this field is deliberately
+    /// **excluded** from the tile cache key
+    /// ([`crate::JobContext::cache_key`]) — toggling it never dirties
+    /// a tile.
+    pub score: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -47,6 +55,7 @@ impl Default for JobSpec {
             ca_x0: 40,
             litho_layer: None,
             litho_feature: 90,
+            score: None,
         }
     }
 }
@@ -94,7 +103,25 @@ impl JobSpec {
         if !self.drc && self.ca_layer.is_none() && self.litho_layer.is_none() {
             return Err("spec enables no analysis (drc, ca, litho all off)".to_string());
         }
+        if let Some(text) = &self.score {
+            dfm_score::ScoreSpec::resolve(Some(text))
+                .map_err(|e| format!("spec.score: {e}"))?;
+        }
         Ok(())
+    }
+
+    /// The parsed score spec, if scoring is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Score-spec parse diagnostics.
+    pub fn score_spec(&self) -> Result<Option<dfm_score::ScoreSpec>, String> {
+        match &self.score {
+            None => Ok(None),
+            Some(text) => dfm_score::ScoreSpec::resolve(Some(text))
+                .map(Some)
+                .map_err(|e| format!("spec.score: {e}")),
+        }
     }
 
     /// Renders the spec as a JSON object.
@@ -103,7 +130,7 @@ impl JobSpec {
             Some(l) => JsonValue::str(format!("{}/{}", l.layer, l.datatype)),
             None => JsonValue::Null,
         };
-        JsonValue::obj([
+        let mut fields = vec![
             ("name", JsonValue::str(&self.name)),
             ("tech", JsonValue::str(&self.tech)),
             ("tile", JsonValue::Num(self.tile as f64)),
@@ -113,7 +140,14 @@ impl JobSpec {
             ("ca_x0", JsonValue::Num(self.ca_x0 as f64)),
             ("litho_layer", layer_json(&self.litho_layer)),
             ("litho_feature", JsonValue::Num(self.litho_feature as f64)),
-        ])
+        ];
+        // Omitted when absent so the rendered spec — embedded verbatim
+        // in report text — stays byte-identical for non-scoring jobs
+        // (the golden report digests predate this field).
+        if let Some(score) = &self.score {
+            fields.push(("score", JsonValue::str(score)));
+        }
+        JsonValue::obj(fields)
     }
 
     /// Parses a spec from a JSON object node. Missing fields take the
@@ -153,6 +187,13 @@ impl JobSpec {
         }
         if let Some(f) = v.get("litho_feature") {
             spec.litho_feature = json_i64(f, "spec.litho_feature")?;
+        }
+        if let Some(s) = v.get("score") {
+            spec.score = match s {
+                JsonValue::Null => None,
+                JsonValue::Str(text) => Some(text.clone()),
+                _ => return Err("spec.score must be a string or null".to_string()),
+            };
         }
         Ok(spec)
     }
@@ -233,5 +274,34 @@ mod tests {
         assert!(JobSpec::from_json_text(r#"{"ca_layer":"x"}"#).is_err());
         assert!(JobSpec::from_json_text(r#"{"tile":1.5}"#).is_err());
         assert!(JobSpec::from_json_text("[1]").is_err());
+        assert!(JobSpec { score: Some("not a spec".into()), ..JobSpec::default() }
+            .validate()
+            .is_err());
+        assert!(JobSpec::from_json_text(r#"{"score":7}"#).is_err());
+    }
+
+    #[test]
+    fn score_field_round_trips_and_is_omitted_when_off() {
+        // Off: the rendered JSON must not mention score at all — the
+        // spec line is embedded in report text and golden-pinned.
+        let off = JobSpec::default();
+        assert!(!off.to_json().render().contains("score"));
+        assert_eq!(JobSpec::from_json_text(&off.to_json().render()).expect("parse"), off);
+        // On: round-trips, including multi-line spec text.
+        let on = JobSpec {
+            score: Some("pass 0.7\nmetric drc.violations weight 1 scorer step 0\n".into()),
+            ..JobSpec::default()
+        };
+        on.validate().expect("valid");
+        let back = JobSpec::from_json_text(&on.to_json().render()).expect("parse");
+        assert_eq!(back, on);
+        // "default" selects the built-in spec.
+        let dflt = JobSpec { score: Some("default".into()), ..JobSpec::default() };
+        dflt.validate().expect("valid");
+        assert_eq!(
+            dflt.score_spec().expect("ok"),
+            Some(dfm_score::ScoreSpec::default_spec())
+        );
+        assert_eq!(off.score_spec().expect("ok"), None);
     }
 }

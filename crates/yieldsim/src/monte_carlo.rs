@@ -241,9 +241,25 @@ pub fn estimate_open_ca(
     }
 }
 
-/// Shared closed-form integration of a CA(d) curve against the 2x0²/x³
-/// size distribution with a linear tail. Returns `(mean, variance)`.
-fn integrate_size_distribution(
+/// Closed-form integration of a sampled CA(d) curve against the
+/// 2x0²/x³ defect-size distribution. Returns `(mean, variance)`.
+///
+/// The model: each measured size owns the bin between the geometric
+/// means to its neighbours (first bin starts at `x0`, last bin ends at
+/// `sizes[n-1]·√2`), CA is constant per bin, and beyond the last bound
+/// CA extrapolates linearly through the last two samples (clamped so
+/// the tail contribution is never negative).
+///
+/// Degenerate spectra are defined, not panics:
+///
+/// * `n == 0` — no samples, no mass: `(0.0, 0.0)`.
+/// * `n == 1` — a single-size spectrum gets a degenerate single-bin
+///   split: the lone sample owns the entire distribution mass (its bin
+///   plus a constant tail at `ca[0]`), so the mean is exactly `ca[0]`
+///   and the variance `se[0]²`.
+/// * equal last two sizes — no slope is measurable; the tail falls
+///   back to the same constant extrapolation as `n == 1`.
+pub fn integrate_size_distribution(
     sizes: &[i64],
     ca: &[f64],
     se: &[f64],
@@ -257,6 +273,14 @@ fn integrate_size_distribution(
         }
     };
     let n = sizes.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    if n == 1 {
+        // Degenerate single-bin split: bin weight + constant tail sum
+        // to the whole distribution mass, which is 1.
+        return (ca[0], se[0] * se[0]);
+    }
     let mut bounds = Vec::with_capacity(n + 1);
     bounds.push(x0);
     for j in 1..n {
@@ -271,14 +295,13 @@ fn integrate_size_distribution(
         mean += w * ca[j];
         var += (w * se[j]) * (w * se[j]);
     }
-    if n >= 2 {
-        let (d1, d2) = (sizes[n - 2] as f64, sizes[n - 1] as f64);
-        let c1 = (ca[n - 1] - ca[n - 2]) / (d2 - d1);
-        let c0 = ca[n - 1] - c1 * d2;
-        let tail = c0 * survival(b_last) + c1 * 2.0 * x0 * x0 / b_last;
-        mean += tail.max(0.0);
-        var += (survival(b_last) * se[n - 1]) * (survival(b_last) * se[n - 1]);
-    }
+    let (d1, d2) = (sizes[n - 2] as f64, sizes[n - 1] as f64);
+    // A repeated top size has no measurable slope: extrapolate flat.
+    let c1 = if d2 > d1 { (ca[n - 1] - ca[n - 2]) / (d2 - d1) } else { 0.0 };
+    let c0 = ca[n - 1] - c1 * d2;
+    let tail = c0 * survival(b_last) + c1 * 2.0 * x0 * x0 / b_last;
+    mean += tail.max(0.0);
+    var += (survival(b_last) * se[n - 1]) * (survival(b_last) * se[n - 1]);
     (mean, var)
 }
 
@@ -400,5 +423,34 @@ mod tests {
         let a = estimate_short_ca(&metal, &defects, 10_000, 42);
         let b = estimate_short_ca(&metal, &defects, 10_000, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_spectrum_integrates_to_zero() {
+        // Regression: n == 0 used to index sizes[n - 1] and panic.
+        assert_eq!(integrate_size_distribution(&[], &[], &[], 50.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn single_size_spectrum_is_a_degenerate_single_bin() {
+        // Regression: n == 1 used to silently drop the tail mass (the
+        // linear extrapolation needs two samples). The defined
+        // semantics: the lone size owns the whole distribution.
+        let (mean, var) = integrate_size_distribution(&[120], &[7.5e5], &[300.0], 50.0);
+        assert_eq!(mean, 7.5e5);
+        assert_eq!(var, 300.0 * 300.0);
+        assert!(mean.is_finite() && var.is_finite());
+    }
+
+    #[test]
+    fn repeated_top_size_extrapolates_flat_not_nan() {
+        // Equal last two sizes have no measurable slope; the tail must
+        // fall back to a constant, not divide by zero.
+        let (mean, var) =
+            integrate_size_distribution(&[100, 100], &[1.0e5, 1.0e5], &[0.0, 0.0], 50.0);
+        assert!(mean.is_finite(), "mean {mean}");
+        assert!(var.is_finite());
+        // Constant CA across the whole spectrum integrates to itself.
+        assert!((mean - 1.0e5).abs() < 1e-6, "mean {mean}");
     }
 }

@@ -162,4 +162,20 @@ mod tests {
         assert_eq!(stats.connections(), 0);
         assert_eq!(via_yield(stats, 0.5), 1.0);
     }
+
+    #[test]
+    fn zero_connections_redundancy_rate_is_zero_not_nan() {
+        // Regression: redundant / connections() on a via-free layout is
+        // 0/0 = NaN without the guard, and NaN poisons any aggregate it
+        // is folded into (e.g. the manufacturability score, where the
+        // weighted mean of anything with NaN is NaN).
+        let stats = classify(&Region::new(), 100);
+        let rate = stats.redundancy_rate();
+        assert!(rate.is_finite(), "redundancy rate must be finite, got {rate}");
+        assert_eq!(rate, 0.0);
+        let manual = ViaStats { single: 0, redundant: 0 };
+        assert_eq!(manual.redundancy_rate(), 0.0);
+        // The neutral value must stay out of the way of an average.
+        assert_eq!((rate + 1.0) / 2.0, 0.5);
+    }
 }

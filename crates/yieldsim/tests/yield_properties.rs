@@ -125,3 +125,81 @@ fn sampler_matches_survival() {
         },
     );
 }
+
+/// Brute-force numeric integration of the same piecewise model the
+/// closed form in `monte_carlo::integrate_size_distribution` encodes:
+/// constant CA per geometric bin, linear (or degenerate-constant) tail,
+/// against the 2x0²/x³ defect-size pdf. The trapezoid rule runs in
+/// u = 1/x, where both the bin integrand (ca·u) and the tail integrand
+/// (c0·u + c1) are linear, so the only error is tail truncation.
+fn brute_force_size_mean(sizes: &[i64], ca: &[f64], x0: f64) -> f64 {
+    let n = sizes.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut bounds = vec![x0];
+    for j in 1..n {
+        bounds.push((sizes[j - 1] as f64 * sizes[j] as f64).sqrt());
+    }
+    let b_last = sizes[n - 1] as f64 * 2f64.sqrt();
+    bounds.push(b_last);
+    let integrate = |a: f64, b: f64, f: &dyn Fn(f64) -> f64| -> f64 {
+        let (ua, ub) = (1.0 / b, 1.0 / a);
+        let steps = 4000usize;
+        let h = (ub - ua) / steps as f64;
+        let g = |u: f64| f(1.0 / u) * u;
+        let mut s = (g(ua) + g(ub)) / 2.0;
+        for k in 1..steps {
+            s += g(ua + h * k as f64);
+        }
+        2.0 * x0 * x0 * s * h
+    };
+    let mut mean = 0.0;
+    for j in 0..n {
+        mean += integrate(bounds[j], bounds[j + 1], &|_| ca[j]);
+    }
+    let (c0, c1) = if n >= 2 && sizes[n - 1] > sizes[n - 2] {
+        let (d1, d2) = (sizes[n - 2] as f64, sizes[n - 1] as f64);
+        let slope = (ca[n - 1] - ca[n - 2]) / (d2 - d1);
+        (ca[n - 1] - slope * d2, slope)
+    } else {
+        (ca[n - 1], 0.0) // single sample or repeated top size: flat tail
+    };
+    mean + integrate(b_last, b_last * 1e7, &|x| c0 + c1 * x).max(0.0)
+}
+
+/// The closed-form size-distribution integration matches brute force on
+/// random spectra — including the degenerate single-size (n == 1) case
+/// that used to lose its tail mass, and repeated top sizes.
+#[test]
+fn size_integration_matches_brute_force() {
+    check(
+        "size_integration_matches_brute_force",
+        &cfg(),
+        &(dfm_check::vec((0i64..400, 0i64..1_000_000), 1..9), 10i64..200),
+        |v| {
+            let (steps, x0_int) = v;
+            let x0 = *x0_int as f64;
+            let mut sizes: Vec<i64> = Vec::new();
+            let mut ca: Vec<f64> = Vec::new();
+            let mut d = *x0_int;
+            for (gap, c) in steps {
+                d += 1 + gap; // strictly increasing, ≥ x0 + 1
+                sizes.push(d);
+                ca.push(*c as f64 * 10.0);
+            }
+            let se = vec![0.0; sizes.len()];
+            let (mean, var) =
+                dfm_yield::monte_carlo::integrate_size_distribution(&sizes, &ca, &se, x0);
+            prop_assert!(mean.is_finite() && var == 0.0, "mean {mean} var {var}");
+            let brute = brute_force_size_mean(&sizes, &ca, x0);
+            let tol = 1e-5 * mean.abs().max(brute.abs()).max(1.0);
+            prop_assert!(
+                (mean - brute).abs() <= tol,
+                "closed form {mean} vs brute force {brute} (n = {})",
+                sizes.len()
+            );
+            Ok(())
+        },
+    );
+}

@@ -10,6 +10,9 @@
 //! dfm-signoff status  --addr HOST:PORT --job ID
 //! dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
 //! dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+//! dfm-signoff score   --addr HOST:PORT --job ID
+//! dfm-signoff score   --gds FILE [--cache DIR] [--threads N] [spec flags]
+//! dfm-signoff fix     --gds FILE [--out FILE] [--cache DIR] [--threads N] [spec flags]
 //! dfm-signoff cancel  --addr HOST:PORT --job ID
 //! dfm-signoff resume  --addr HOST:PORT --job ID
 //! dfm-signoff list    --addr HOST:PORT
@@ -17,6 +20,29 @@
 //! dfm-signoff flat-report --gds FILE [spec flags]
 //! dfm-signoff cache   stats|verify|clear --dir DIR
 //! ```
+//!
+//! ## Exit codes
+//!
+//! Every subcommand follows one contract: `0` — success (for scoring
+//! commands: the score passed), `1` — the score is below its pass
+//! threshold (or a metric under its floor), `2` — the job settled
+//! `Partial` (quarantined tiles; any score covers only the surviving
+//! tiles), `3` — operational error (bad arguments, I/O, protocol,
+//! failed jobs).
+//!
+//! ## Scoring and auto-fix
+//!
+//! `--score FILE|default|none` (a spec flag) attaches a
+//! manufacturability score spec to the job; the service computes the
+//! score when the job settles and `score` fetches its deterministic
+//! JSON line. `score --gds` runs the same thing locally through an
+//! in-process service (arm `--cache DIR` to reuse/populate a tile
+//! cache). `fix` scores the layout, runs the greedy score-guided
+//! auto-fix search (redundant vias, wire spreading, wire widening —
+//! each kept only when the score strictly improves), resubmits the
+//! fixed layout through the same service, and reports
+//! before/after/delta plus how many tiles the resubmission actually
+//! recomputed — with a warm `--cache`, only the content-dirty ones.
 //!
 //! `--cache DIR` arms the content-addressed per-tile result cache:
 //! resubmitting a layout recomputes only the tiles whose content
@@ -27,10 +53,10 @@
 //! `clear` empties the store. A cleared or corrupted cache is never an
 //! error — affected tiles just recompute.
 //!
-//! Spec flags (shared by `submit` and `flat-report`, so both paths use
-//! identical defaults): `--name S --tech n65|n45|n28 --tile NM --halo
-//! NM --no-drc --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none
-//! --litho-feature NM`.
+//! Spec flags (shared by `submit`, `flat-report`, `score`, and `fix`,
+//! so the paths use identical defaults): `--name S --tech n65|n45|n28
+//! --tile NM --halo NM --no-drc --ca-layer L/D|none --ca-x0 NM
+//! --litho-layer L/D|none --litho-feature NM --score FILE|default|none`.
 //!
 //! `flat-report` runs the same job single-shot with no tiling and no
 //! service; its output is byte-identical to `results` for the same
@@ -40,12 +66,15 @@
 //! from a `dfm-fault` plan file (see that crate's text format); it is
 //! a test/CI facility — without the flag every fault probe is a no-op.
 
+use dfm_practice::bench::json::JsonValue;
 use dfm_practice::cache::TileCache;
 use dfm_practice::fault::{FaultPlan, FaultPlane};
 use dfm_practice::layout::{gds, generate, Technology};
-use dfm_practice::signoff::service::{JobEventKind, TILE_DELAY_ENV};
+use dfm_practice::score::{exit_code, EXIT_ERROR, EXIT_PASS};
+use dfm_practice::signoff::service::{JobEventKind, JobState, JobStatus, TILE_DELAY_ENV};
 use dfm_practice::signoff::{
-    flat_report, Client, JobSpec, Server, ServiceConfig, SignoffService, SupervisionPolicy,
+    auto_fix, flat_report, flat_score, Client, FixOutcome, JobSpec, Server, ServiceConfig,
+    SignoffService, SupervisionPolicy,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -54,15 +83,15 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("dfm-signoff: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(cmd) = args.first() else {
         return Err(format!("no subcommand\n{USAGE}"));
     };
@@ -74,6 +103,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "status" => status(rest),
         "events" => events(rest),
         "results" => results(rest),
+        "score" => score_cmd(rest),
+        "fix" => fix(rest),
         "cancel" => with_job(rest, |client, job| client.cancel(job).map(print_status)),
         "resume" => with_job(rest, |client, job| client.resume(job).map(print_status)),
         "list" => list(rest),
@@ -82,7 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cache" => cache_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(EXIT_PASS)
         }
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     }
@@ -93,10 +124,13 @@ const USAGE: &str = "usage:
                       [--fault-plan FILE] [--max-attempts N]
                       [--cache DIR] [--cache-max-bytes N]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
-  dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
+  dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [spec flags]
   dfm-signoff status  --addr HOST:PORT --job ID
   dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
   dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+  dfm-signoff score   --addr HOST:PORT --job ID
+  dfm-signoff score   --gds FILE [--cache DIR] [--threads N] [spec flags]
+  dfm-signoff fix     --gds FILE [--out FILE] [--cache DIR] [--threads N] [spec flags]
   dfm-signoff cancel  --addr HOST:PORT --job ID
   dfm-signoff resume  --addr HOST:PORT --job ID
   dfm-signoff list    --addr HOST:PORT
@@ -104,7 +138,9 @@ const USAGE: &str = "usage:
   dfm-signoff flat-report --gds FILE [spec flags]
   dfm-signoff cache   stats|verify|clear --dir DIR
 spec flags: --name S --tech n65|n45|n28 --tile NM --halo NM --no-drc
-            --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none --litho-feature NM";
+            --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none --litho-feature NM
+            --score FILE|default|none
+exit codes: 0 pass, 1 score below threshold, 2 partial (quarantined), 3 error";
 
 /// Minimal `--flag value` / `--flag` scanner.
 struct Flags<'a> {
@@ -187,6 +223,15 @@ fn spec_from_flags(flags: &mut Flags<'_>) -> Result<JobSpec, String> {
     if let Some(f) = flags.parsed("--litho-feature")? {
         spec.litho_feature = f;
     }
+    if let Some(score) = flags.value("--score")? {
+        spec.score = match score {
+            "none" => None,
+            "default" => Some("default".to_string()),
+            path => Some(
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+            ),
+        };
+    }
     spec.validate()?;
     Ok(spec)
 }
@@ -245,7 +290,7 @@ fn print_status(s: dfm_practice::signoff::service::JobStatus) {
     );
 }
 
-fn serve(args: &[String]) -> Result<(), String> {
+fn serve(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let threads = flags.parsed("--threads")?.unwrap_or(4);
     let port: u16 = flags.parsed("--port")?.unwrap_or(0);
@@ -297,10 +342,10 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
     }
     println!("listening on {addr}");
-    server.serve()
+    server.serve().map(|()| EXIT_PASS)
 }
 
-fn gen(args: &[String]) -> Result<(), String> {
+fn gen(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let out = flags.value("--out")?.ok_or("--out FILE is required")?.to_string();
     let width = flags.parsed("--width")?.unwrap_or(6_000);
@@ -312,37 +357,46 @@ fn gen(args: &[String]) -> Result<(), String> {
     let lib = generate::routed_block(&tech, params, seed);
     gds::write_file(&lib, &out).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
-    Ok(())
+    Ok(EXIT_PASS)
 }
 
-fn submit(args: &[String]) -> Result<(), String> {
+fn submit(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
+    let wait = flags.present("--wait");
     let spec = spec_from_flags(&mut flags)?;
     flags.finish()?;
     let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
     let job = client.submit(spec, bytes)?;
     println!("{job}");
-    Ok(())
+    if !wait {
+        return Ok(EXIT_PASS);
+    }
+    let status = client.wait(job)?;
+    if let Some(err) = &status.error {
+        return Err(format!("job {job} failed: {err}"));
+    }
+    print_status(status.clone());
+    Ok(status_exit_code(&status))
 }
 
-fn status(args: &[String]) -> Result<(), String> {
+fn status(args: &[String]) -> Result<u8, String> {
     with_job(args, |client, job| client.status(job).map(print_status))
 }
 
 fn with_job(
     args: &[String],
     f: impl FnOnce(&mut Client, u64) -> Result<(), String>,
-) -> Result<(), String> {
+) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     let job = job_id(&mut flags)?;
     flags.finish()?;
-    f(&mut client, job)
+    f(&mut client, job).map(|()| EXIT_PASS)
 }
 
-fn events(args: &[String]) -> Result<(), String> {
+fn events(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     let job = job_id(&mut flags)?;
@@ -374,13 +428,16 @@ fn events(args: &[String]) -> Result<(), String> {
             JobEventKind::TileCacheStore { tile } => {
                 format!("{} tile {tile} cache store", e.seq)
             }
+            JobEventKind::Score { bits, pass } => {
+                format!("{} score {} pass {pass}", e.seq, f64::from_bits(*bits))
+            }
         });
     }
     lines.push(format!("next_seq {next}"));
-    emit_lines(&lines)
+    emit_lines(&lines).map(|()| EXIT_PASS)
 }
 
-fn results(args: &[String]) -> Result<(), String> {
+fn results(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     let job = job_id(&mut flags)?;
@@ -393,29 +450,29 @@ fn results(args: &[String]) -> Result<(), String> {
             return Err(format!("job {job} failed: {err}"));
         }
     }
-    let (_, report_text) = client.results(job, partial)?;
+    let (status, report_text) = client.results(job, partial)?;
     print!("{report_text}");
-    Ok(())
+    Ok(status_exit_code(&status))
 }
 
-fn list(args: &[String]) -> Result<(), String> {
+fn list(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     flags.finish()?;
     for status in client.list()? {
         print_status(status);
     }
-    Ok(())
+    Ok(EXIT_PASS)
 }
 
-fn shutdown(args: &[String]) -> Result<(), String> {
+fn shutdown(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     flags.finish()?;
-    client.shutdown()
+    client.shutdown().map(|()| EXIT_PASS)
 }
 
-fn cache_cmd(args: &[String]) -> Result<(), String> {
+fn cache_cmd(args: &[String]) -> Result<u8, String> {
     let Some(action) = args.first() else {
         return Err(format!("cache needs an action: stats, verify, or clear\n{USAGE}"));
     };
@@ -444,16 +501,168 @@ fn cache_cmd(args: &[String]) -> Result<(), String> {
             return Err(format!("unknown cache action '{other}' (stats|verify|clear)\n{USAGE}"))
         }
     }
-    Ok(())
+    Ok(EXIT_PASS)
 }
 
-fn flat(args: &[String]) -> Result<(), String> {
+fn flat(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
     let spec = spec_from_flags(&mut flags)?;
     flags.finish()?;
     let lib = gds::read_file(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
-    let report = flat_report(&spec, &lib)?;
+    if spec.score.is_none() {
+        let report = flat_report(&spec, &lib)?;
+        print!("{}", report.render_text(&spec));
+        return Ok(EXIT_PASS);
+    }
+    let (report, score) = flat_score(&spec, &lib)?;
     print!("{}", report.render_text(&spec));
-    Ok(())
+    println!("{}", score.render());
+    Ok(score.exit_code(false))
+}
+
+/// The exit code for a settled, non-failed job status: `Partial`
+/// dominates, then a failing score, then pass. Unscored jobs read as
+/// passing (code 0 / 2 on quarantine).
+fn status_exit_code(status: &JobStatus) -> u8 {
+    exit_code(status.score_pass.unwrap_or(true), status.state == JobState::Partial)
+}
+
+/// An in-process service for the local `score`/`fix` forms — same
+/// deterministic scheduler as `serve`, optionally cache-armed.
+fn local_service(threads: usize, cache_dir: Option<&str>) -> Result<SignoffService, String> {
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => Some(Arc::new(
+            TileCache::open(std::path::Path::new(dir), None)
+                .map_err(|e| format!("open cache {dir}: {e}"))?,
+        )),
+    };
+    Ok(SignoffService::with_config(ServiceConfig { cache, ..ServiceConfig::new(threads) }))
+}
+
+/// Submits one job, waits for it to settle, and fetches its score
+/// JSON. Failed jobs surface as `Err` (exit 3).
+fn run_scored_job(
+    service: &SignoffService,
+    spec: &JobSpec,
+    gds: Vec<u8>,
+) -> Result<(JobStatus, String), String> {
+    let job = service.submit(spec.clone(), gds)?;
+    let status = service.wait(job)?;
+    if let Some(err) = &status.error {
+        return Err(format!("job {job} failed: {err}"));
+    }
+    service.score_json(job)
+}
+
+fn score_cmd(args: &[String]) -> Result<u8, String> {
+    let mut flags = Flags::new(args);
+    let gds_path = flags.value("--gds")?.map(str::to_string);
+    // Remote form: fetch the score of a job on a server.
+    let Some(gds_path) = gds_path else {
+        let mut client = connect(&mut flags)?;
+        let job = job_id(&mut flags)?;
+        flags.finish()?;
+        let (status, score_json) = client.score(job)?;
+        println!("{score_json}");
+        return Ok(status_exit_code(&status));
+    };
+    // Local form: run the job through an in-process service.
+    let cache_dir = flags.value("--cache")?.map(str::to_string);
+    let threads = flags.parsed("--threads")?.unwrap_or(4);
+    let mut spec = spec_from_flags(&mut flags)?;
+    flags.finish()?;
+    if spec.score.is_none() {
+        spec.score = Some("default".to_string());
+    }
+    let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
+    let service = local_service(threads, cache_dir.as_deref())?;
+    let (status, score_json) = run_scored_job(&service, &spec, bytes)?;
+    println!("{score_json}");
+    Ok(status_exit_code(&status))
+}
+
+fn fix(args: &[String]) -> Result<u8, String> {
+    let mut flags = Flags::new(args);
+    let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
+    let out_path = flags.value("--out")?.map(str::to_string);
+    let cache_dir = flags.value("--cache")?.map(str::to_string);
+    let threads = flags.parsed("--threads")?.unwrap_or(4);
+    let mut spec = spec_from_flags(&mut flags)?;
+    flags.finish()?;
+    if spec.score.is_none() {
+        spec.score = Some("default".to_string());
+    }
+    let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
+    let service = local_service(threads, cache_dir.as_deref())?;
+
+    // Pass 1: score the layout as-is, populating the cache when armed.
+    let (before_status, _) = run_scored_job(&service, &spec, bytes.clone())?;
+    // The greedy fix search runs on the flat engines (no tiling).
+    let outcome = auto_fix(&spec, &bytes)?;
+    // Pass 2: resubmit through the same service — with a warm cache
+    // only the content-dirty tiles recompute.
+    let (after_status, _) = run_scored_job(&service, &spec, outcome.gds.clone())?;
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, &outcome.gds).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!("{}", fix_report_json(&outcome, &before_status, &after_status).render());
+    Ok(status_exit_code(&after_status))
+}
+
+/// The `fix` verdict line: aggregate before/after/delta, what was
+/// applied, per-metric score deltas, and how much of each service pass
+/// the tile cache absorbed.
+fn fix_report_json(
+    outcome: &FixOutcome,
+    before: &JobStatus,
+    after: &JobStatus,
+) -> JsonValue {
+    let metric_deltas: Vec<JsonValue> = outcome
+        .score_after
+        .metrics
+        .iter()
+        .map(|m| {
+            let prior = outcome
+                .score_before
+                .metric(&m.key)
+                .map_or(m.score, |b| b.score);
+            JsonValue::obj([
+                ("key", JsonValue::str(m.key.clone())),
+                ("before", JsonValue::Num(prior)),
+                ("after", JsonValue::Num(m.score)),
+                ("delta", JsonValue::Num(m.score - prior)),
+            ])
+        })
+        .collect();
+    let job_obj = |s: &JobStatus| {
+        JsonValue::obj([
+            ("tiles_total", JsonValue::Num(s.tiles_total as f64)),
+            ("tiles_cached", JsonValue::Num(s.tiles_cached as f64)),
+            (
+                "tiles_recomputed",
+                JsonValue::Num(s.tiles_total.saturating_sub(s.tiles_cached) as f64),
+            ),
+        ])
+    };
+    JsonValue::obj([
+        ("changed", JsonValue::Bool(outcome.changed)),
+        (
+            "applied",
+            JsonValue::Arr(outcome.applied.iter().map(JsonValue::str).collect()),
+        ),
+        ("edits", JsonValue::Num(outcome.edits as f64)),
+        ("score_before", JsonValue::Num(outcome.score_before.score)),
+        ("score_after", JsonValue::Num(outcome.score_after.score)),
+        ("delta", JsonValue::Num(outcome.delta())),
+        ("pass_before", JsonValue::Bool(outcome.score_before.pass)),
+        ("pass_after", JsonValue::Bool(outcome.score_after.pass)),
+        ("metrics", JsonValue::Arr(metric_deltas)),
+        (
+            "jobs",
+            JsonValue::obj([("before", job_obj(before)), ("after", job_obj(after))]),
+        ),
+    ])
 }

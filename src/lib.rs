@@ -22,10 +22,12 @@
 //! | [`fault`] | `dfm-fault` | deterministic fault-injection plane |
 //! | [`par`] | `dfm-par` | deterministic thread pool & worker pool |
 //! | [`cache`] | `dfm-cache` | content-addressed tile-result cache |
+//! | [`score`] | `dfm-score` | weighted manufacturability scoring |
 //! | [`signoff`] | `dfm-signoff` | async signoff job service (scheduler, checkpoints) |
 
 #![forbid(unsafe_code)]
 
+pub use dfm_bench as bench;
 pub use dfm_cache as cache;
 pub use dfm_core as dfm;
 pub use dfm_dpt as dpt;
@@ -38,6 +40,7 @@ pub use dfm_opc as opc;
 pub use dfm_par as par;
 pub use dfm_pattern as pattern;
 pub use dfm_rand as rand;
+pub use dfm_score as score;
 pub use dfm_signoff as signoff;
 pub use dfm_timing as timing;
 pub use dfm_yield as yieldsim;
