@@ -28,8 +28,8 @@
 //! round-trip float formatting), so equal inputs produce byte-identical
 //! reports — the property the signoff determinism suites pin with a
 //! golden digest. [`exit_code`] maps a report onto the CLI contract
-//! `0 = pass, 1 = below threshold, 2 = partial, >2 = operational
-//! error`.
+//! `0 = pass, 1 = below threshold, 2 = partial, 3 = operational
+//! error, 4 = submission rejected at admission`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +46,10 @@ pub const EXIT_BELOW: u8 = 1;
 pub const EXIT_PARTIAL: u8 = 2;
 /// Process exit code: operational error (bad arguments, I/O, protocol).
 pub const EXIT_ERROR: u8 = 3;
+/// Process exit code: the service refused the submission at admission
+/// (tenant quota, global backpressure, or unknown tenant) — retry
+/// later; nothing was enqueued.
+pub const EXIT_REJECTED: u8 = 4;
 
 /// Maps a verdict onto the CLI exit-code contract. `partial` dominates:
 /// a score computed from a partial result set is not trustworthy enough

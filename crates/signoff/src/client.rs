@@ -2,28 +2,124 @@
 //! `dfm-signoff` CLI and the end-to-end tests.
 
 use crate::codec::{read_frame, MAX_LINE_BYTES};
-use crate::proto::{Request, Response};
+use crate::proto::{ErrorObj, Request, Response};
 use crate::service::{JobEvent, JobStatus};
-use crate::spec::JobSpec;
+use crate::spec::{JobSpec, DEFAULT_TENANT};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-/// One connection to a signoff server.
-pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+/// Configures and connects a [`Client`]: socket timeouts plus the
+/// default tenant/priority stamped onto submitted specs that did not
+/// set their own.
+///
+/// ```no_run
+/// # use dfm_signoff::Client;
+/// # use std::time::Duration;
+/// let client = Client::builder()
+///     .timeout(Duration::from_secs(30))
+///     .tenant("acme")
+///     .priority(2)
+///     .connect("127.0.0.1:4517");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    timeout: Option<Duration>,
+    tenant: Option<String>,
+    priority: Option<u8>,
 }
 
-impl Client {
+impl ClientBuilder {
+    /// Read **and** write timeout for the socket. Default: none
+    /// (blocking forever), the pre-builder behaviour.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Default tenant for submissions whose spec left `tenant` at
+    /// [`DEFAULT_TENANT`]. A spec that names its own tenant wins.
+    #[must_use]
+    pub fn tenant(mut self, tenant: impl Into<String>) -> ClientBuilder {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Default priority for submissions whose spec left `priority`
+    /// at 0. A spec with its own non-zero priority wins.
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> ClientBuilder {
+        self.priority = Some(priority);
+        self
+    }
+
     /// Connects to `addr` (e.g. `127.0.0.1:4517`).
     ///
     /// # Errors
     ///
     /// Socket diagnostics.
-    pub fn connect(addr: &str) -> Result<Client, String> {
+    pub fn connect(self, addr: &str) -> Result<Client, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        if let Some(timeout) = self.timeout {
+            stream
+                .set_read_timeout(Some(timeout))
+                .and_then(|()| stream.set_write_timeout(Some(timeout)))
+                .map_err(|e| format!("set timeout: {e}"))?;
+        }
         let writer = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
-        Ok(Client { writer, reader: BufReader::new(stream) })
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+            tenant: self.tenant,
+            priority: self.priority,
+        })
+    }
+}
+
+/// Why a request failed: the transport broke, or the server answered
+/// with a structured error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// Socket, framing, or protocol-shape diagnostics — the request
+    /// may or may not have reached the server.
+    Transport(String),
+    /// The server processed the request and refused it.
+    Server(ErrorObj),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Transport(msg) => write!(f, "{msg}"),
+            RequestError::Server(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+/// One connection to a signoff server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    tenant: Option<String>,
+    priority: Option<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4517`) with no timeout and
+    /// no submission defaults — shorthand for
+    /// `Client::builder().connect(addr)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket diagnostics.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        Client::builder().connect(addr)
+    }
+
+    /// Starts configuring a connection.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
     }
 
     /// Sends one request and reads its response.
@@ -31,18 +127,53 @@ impl Client {
     /// # Errors
     ///
     /// Socket, framing, and protocol diagnostics; a server-side
-    /// [`Response::Error`] is surfaced as `Err` too.
+    /// [`Response::Error`] is surfaced as its message. Use
+    /// [`Client::request_typed`] to keep the structured error.
     pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.request_typed(request).map_err(|e| match e {
+            RequestError::Transport(msg) => msg,
+            RequestError::Server(err) => err.message,
+        })
+    }
+
+    /// Sends one request and reads its response, keeping server-side
+    /// failures machine-readable.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::Transport`] for socket/framing/protocol
+    /// diagnostics, [`RequestError::Server`] for a
+    /// [`Response::Error`] answer.
+    pub fn request_typed(&mut self, request: &Request) -> Result<Response, RequestError> {
         let mut line = request.to_json().render();
         line.push('\n');
-        self.writer.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
-        let reply = read_frame(&mut self.reader, MAX_LINE_BYTES)?
-            .ok_or("server closed the connection")?;
-        match Response::parse(&reply)? {
-            Response::Error { error } => Err(error),
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| RequestError::Transport(format!("send: {e}")))?;
+        self.writer.flush().map_err(|e| RequestError::Transport(format!("flush: {e}")))?;
+        let reply = read_frame(&mut self.reader, MAX_LINE_BYTES)
+            .map_err(RequestError::Transport)?
+            .ok_or_else(|| RequestError::Transport("server closed the connection".to_string()))?;
+        match Response::parse(&reply).map_err(RequestError::Transport)? {
+            Response::Error { error } => Err(RequestError::Server(error)),
             response => Ok(response),
         }
+    }
+
+    /// Stamps the builder's default tenant/priority onto a spec that
+    /// left them at their defaults.
+    fn apply_defaults(&self, mut spec: JobSpec) -> JobSpec {
+        if spec.tenant == DEFAULT_TENANT {
+            if let Some(tenant) = &self.tenant {
+                spec.tenant.clone_from(tenant);
+            }
+        }
+        if spec.priority == 0 {
+            if let Some(priority) = self.priority {
+                spec.priority = priority;
+            }
+        }
+        spec
     }
 
     /// Liveness probe.
@@ -61,11 +192,27 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport/protocol diagnostics and submission rejections.
+    /// Transport/protocol diagnostics and submission rejections,
+    /// flattened to their message. Use [`Client::try_submit`] when the
+    /// rejection code / retry hint matters (e.g. to back off).
     pub fn submit(&mut self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, String> {
-        match self.request(&Request::Submit { spec, gds })? {
+        self.try_submit(spec, gds).map_err(|e| match e {
+            RequestError::Transport(msg) => msg,
+            RequestError::Server(err) => err.message,
+        })
+    }
+
+    /// Submits a job, returning its id — admission refusals keep their
+    /// structured [`ErrorObj`] (code + optional `retry_after_vms`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_typed`].
+    pub fn try_submit(&mut self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, RequestError> {
+        let spec = self.apply_defaults(spec);
+        match self.request_typed(&Request::Submit { spec, gds })? {
             Response::Submitted { job } => Ok(job),
-            other => Err(format!("unexpected reply to submit: {other:?}")),
+            other => Err(RequestError::Transport(format!("unexpected reply to submit: {other:?}"))),
         }
     }
 

@@ -57,6 +57,7 @@ pub mod codec;
 pub mod job;
 pub mod proto;
 pub mod report;
+pub mod sched;
 pub mod scoring;
 pub mod server;
 pub mod service;
@@ -64,12 +65,15 @@ pub mod spec;
 
 pub use autofix::{auto_fix, FixOutcome};
 pub use checkpoint::{decode_tile_partial, encode_tile_partial};
-pub use client::Client;
+pub use client::{Client, ClientBuilder, RequestError};
 pub use scoring::flat_score;
 pub use job::{JobContext, TilePartial, CACHE_KEY_VERSION};
 pub use report::{flat_report, CaSummary, LithoSummary, QuarantinedTile, SignoffReport};
+pub use sched::{Grant, RejectCode, Rejection, SchedConfig, TenantPolicy};
+pub use proto::{ErrorObj, PROTO_VERSION};
 pub use server::Server;
 pub use service::{
-    JobEvent, JobEventKind, JobState, JobStatus, ServiceConfig, SignoffService, SupervisionPolicy,
+    JobEvent, JobEventKind, JobState, JobStatus, ServiceConfig, ServiceConfigBuilder,
+    SignoffService, SubmitError, SupervisionPolicy,
 };
 pub use spec::JobSpec;

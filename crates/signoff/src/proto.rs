@@ -7,13 +7,118 @@
 //! `error` diagnostic). GDS bytes travel hex-encoded so frames stay
 //! valid UTF-8 text.
 //!
+//! # Versioning
+//!
+//! Since v2 every frame carries a `"v"` field and failures travel as a
+//! machine-readable [`ErrorObj`] (`{code, message, retry_after_vms?}`)
+//! instead of a bare string. Compatibility is bidirectional:
+//!
+//! * a frame **without** `"v"` is a v1 frame — the server still
+//!   accepts it and answers in v1 shape (no `"v"`, string `error`), so
+//!   old clients keep working against a v2 server;
+//! * [`Response::parse`] accepts both error shapes (a string becomes
+//!   an [`ErrorObj`] with code `"error"`), so a v2 client keeps
+//!   working against a v1 server.
+//!
 //! Both directions are implemented symmetrically (`to_json` and
 //! `parse`) so the test suite can round-trip every frame kind.
 
 use crate::codec::{from_hex, parse_json, to_hex};
+use crate::sched::Rejection;
 use crate::service::{JobEvent, JobEventKind, JobState, JobStatus};
 use crate::spec::{json_i64, JobSpec};
 use dfm_bench::json::JsonValue;
+
+/// The protocol version this build speaks natively.
+pub const PROTO_VERSION: u64 = 2;
+
+/// A machine-readable failure: the v2 shape of the `error` field.
+///
+/// `code` is a stable, snake_case discriminator clients can switch on
+/// (`"unknown_tenant"`, `"quota_exceeded"`, `"busy"`, `"not_found"`,
+/// `"bad_request"`, or the catch-all `"error"`); `message` is the
+/// human diagnostic. Backpressure rejections also carry
+/// `retry_after_vms`, a deterministic virtual-milliseconds hint for
+/// when to retry the submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorObj {
+    /// Stable machine-readable discriminator (snake_case).
+    pub code: String,
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// Retry hint in virtual milliseconds, on backpressure rejections.
+    pub retry_after_vms: Option<u64>,
+}
+
+impl ErrorObj {
+    /// An error with the catch-all `"error"` code and no retry hint —
+    /// the shape every v1 string diagnostic maps onto.
+    pub fn msg(message: impl Into<String>) -> ErrorObj {
+        ErrorObj { code: "error".to_string(), message: message.into(), retry_after_vms: None }
+    }
+
+    /// Renders the v2 `error` payload (`retry_after_vms` is omitted
+    /// when absent).
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("code".to_string(), JsonValue::str(&self.code)),
+            ("message".to_string(), JsonValue::str(&self.message)),
+        ];
+        if let Some(vms) = self.retry_after_vms {
+            fields.push(("retry_after_vms".to_string(), JsonValue::Num(vms as f64)));
+        }
+        JsonValue::Obj(fields)
+    }
+
+    /// Parses an `error` payload of either protocol generation: a v1
+    /// string becomes the catch-all shape, a v2 object is read
+    /// field-by-field.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when the value is neither a string nor a
+    /// well-formed error object.
+    pub fn from_json(v: &JsonValue) -> Result<ErrorObj, String> {
+        if let Some(s) = v.as_str() {
+            return Ok(ErrorObj::msg(s));
+        }
+        let code = v
+            .get("code")
+            .and_then(JsonValue::as_str)
+            .ok_or("error object needs a string \"code\"")?
+            .to_string();
+        let message = v
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .ok_or("error object needs a string \"message\"")?
+            .to_string();
+        let retry_after_vms = match v.get("retry_after_vms") {
+            None | Some(JsonValue::Null) => None,
+            Some(n) => Some(field_u64(n, "retry_after_vms")?),
+        };
+        Ok(ErrorObj { code, message, retry_after_vms })
+    }
+}
+
+impl From<Rejection> for ErrorObj {
+    fn from(r: Rejection) -> ErrorObj {
+        ErrorObj {
+            code: r.code.name().to_string(),
+            message: r.message,
+            retry_after_vms: r.retry_after_vms,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorObj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)?;
+        if let Some(vms) = self.retry_after_vms {
+            write!(f, " (retry after {vms} vms)")?;
+        }
+        Ok(())
+    }
+}
 
 /// A client→server frame.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,8 +173,21 @@ pub enum Request {
 }
 
 impl Request {
-    /// Renders the request frame.
+    /// Renders the request frame in the native ([`PROTO_VERSION`])
+    /// shape — the body plus a leading `"v"` field.
     pub fn to_json(&self) -> JsonValue {
+        match self.body_json() {
+            JsonValue::Obj(mut fields) => {
+                fields.insert(0, ("v".to_string(), JsonValue::Num(PROTO_VERSION as f64)));
+                JsonValue::Obj(fields)
+            }
+            other => other,
+        }
+    }
+
+    /// Renders the request body without the version marker — the exact
+    /// v1 frame shape, kept for compat tests and v1-speaking callers.
+    pub fn body_json(&self) -> JsonValue {
         match self {
             Request::Ping => JsonValue::obj([("cmd", JsonValue::str("ping"))]),
             Request::Submit { spec, gds } => JsonValue::obj([
@@ -108,14 +226,40 @@ impl Request {
         }
     }
 
-    /// Parses one request line.
+    /// Parses one request line, discarding the protocol version.
     ///
     /// # Errors
     ///
-    /// A diagnostic for malformed JSON, an unknown `cmd`, or a missing
-    /// or mistyped field. Never panics, whatever the bytes.
+    /// As [`Request::parse_versioned`].
     pub fn parse(line: &str) -> Result<Request, String> {
+        Ok(Request::parse_versioned(line)?.0)
+    }
+
+    /// Parses one request line along with the protocol version it was
+    /// framed in: `"v":2` for v2, **no** `"v"` field for v1. The
+    /// server echoes this version back so each client hears the
+    /// dialect it spoke.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic for malformed JSON, an unsupported version, an
+    /// unknown `cmd`, or a missing or mistyped field. Never panics,
+    /// whatever the bytes.
+    pub fn parse_versioned(line: &str) -> Result<(Request, u64), String> {
         let v = parse_json(line)?;
+        let version = match v.get("v") {
+            None => 1,
+            Some(n) => field_u64(n, "v")?,
+        };
+        if !(1..=PROTO_VERSION).contains(&version) {
+            return Err(format!(
+                "unsupported protocol version {version} (this server speaks 1..={PROTO_VERSION})"
+            ));
+        }
+        Ok((Request::from_json(&v)?, version))
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Request, String> {
         let cmd = v
             .get("cmd")
             .and_then(JsonValue::as_str)
@@ -131,18 +275,18 @@ impl Request {
                     .ok_or("submit needs a \"gds_hex\" string")?;
                 Ok(Request::Submit { spec, gds: from_hex(hex)? })
             }
-            "status" => Ok(Request::Status { job: job_id(&v)? }),
+            "status" => Ok(Request::Status { job: job_id(v)? }),
             "events" => Ok(Request::Events {
-                job: job_id(&v)?,
+                job: job_id(v)?,
                 since: v.get("since").map_or(Ok(0), |s| field_u64(s, "since"))?,
             }),
             "results" => Ok(Request::Results {
-                job: job_id(&v)?,
+                job: job_id(v)?,
                 partial: v.get("partial").and_then(JsonValue::as_bool).unwrap_or(false),
             }),
-            "score" => Ok(Request::Score { job: job_id(&v)? }),
-            "cancel" => Ok(Request::Cancel { job: job_id(&v)? }),
-            "resume" => Ok(Request::Resume { job: job_id(&v)? }),
+            "score" => Ok(Request::Score { job: job_id(v)? }),
+            "cancel" => Ok(Request::Cancel { job: job_id(v)? }),
+            "resume" => Ok(Request::Resume { job: job_id(v)? }),
             "list" => Ok(Request::List),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd '{other}'")),
@@ -194,18 +338,35 @@ pub enum Response {
     ShuttingDown,
     /// The request failed.
     Error {
-        /// The diagnostic.
-        error: String,
+        /// The structured diagnostic. (A v1 peer sees only its
+        /// `message`; a parsed v1 string error carries code `"error"`.)
+        error: ErrorObj,
     },
 }
 
 impl Response {
-    /// Renders the response frame.
+    /// Renders the response frame in the native ([`PROTO_VERSION`])
+    /// shape.
     pub fn to_json(&self) -> JsonValue {
+        self.to_json_for(PROTO_VERSION)
+    }
+
+    /// Renders the response frame in the dialect of the given protocol
+    /// version — the one [`Request::parse_versioned`] said the peer
+    /// spoke. v1 frames have no `"v"` field and carry the error as a
+    /// bare message string; v2 frames lead with `"v":2` and carry the
+    /// full [`ErrorObj`].
+    pub fn to_json_for(&self, version: u64) -> JsonValue {
+        let versioned = |mut fields: Vec<(String, JsonValue)>| {
+            if version >= 2 {
+                fields.insert(0, ("v".to_string(), JsonValue::Num(version as f64)));
+            }
+            JsonValue::Obj(fields)
+        };
         let ok = |fields: Vec<(String, JsonValue)>| {
             let mut all = vec![("ok".to_string(), JsonValue::Bool(true))];
             all.extend(fields);
-            JsonValue::Obj(all)
+            versioned(all)
         };
         match self {
             Response::Pong => ok(vec![("pong".to_string(), JsonValue::Bool(true))]),
@@ -235,9 +396,12 @@ impl Response {
             Response::ShuttingDown => {
                 ok(vec![("shutting_down".to_string(), JsonValue::Bool(true))])
             }
-            Response::Error { error } => JsonValue::obj([
-                ("ok", JsonValue::Bool(false)),
-                ("error", JsonValue::str(error)),
+            Response::Error { error } => versioned(vec![
+                ("ok".to_string(), JsonValue::Bool(false)),
+                (
+                    "error".to_string(),
+                    if version >= 2 { error.to_json() } else { JsonValue::str(&error.message) },
+                ),
             ]),
         }
     }
@@ -255,12 +419,8 @@ impl Response {
             .and_then(JsonValue::as_bool)
             .ok_or("response needs a boolean \"ok\" field")?;
         if !ok {
-            let error = v
-                .get("error")
-                .and_then(JsonValue::as_str)
-                .ok_or("error response needs an \"error\" string")?
-                .to_string();
-            return Ok(Response::Error { error });
+            let error = v.get("error").ok_or("error response needs an \"error\" field")?;
+            return Ok(Response::Error { error: ErrorObj::from_json(error)? });
         }
         if v.get("pong").is_some() {
             return Ok(Response::Pong);
@@ -318,6 +478,10 @@ fn status_to_json(s: &JobStatus) -> JsonValue {
     JsonValue::obj([
         ("id", JsonValue::Num(s.id as f64)),
         ("name", JsonValue::str(&s.name)),
+        // Always present on the wire (v1 parsers ignore unknown keys;
+        // ours defaults them when absent, so old servers still parse).
+        ("tenant", JsonValue::str(&s.tenant)),
+        ("priority", JsonValue::Num(s.priority as f64)),
         ("state", JsonValue::str(s.state.name())),
         ("tiles_total", JsonValue::Num(s.tiles_total as f64)),
         ("tiles_done", JsonValue::Num(s.tiles_done as f64)),
@@ -369,6 +533,15 @@ fn status_from_json(v: &JsonValue) -> Result<JobStatus, String> {
             .and_then(JsonValue::as_str)
             .ok_or("status needs a \"name\" string")?
             .to_string(),
+        tenant: match v.get("tenant") {
+            None => crate::spec::DEFAULT_TENANT.to_string(),
+            Some(t) => t.as_str().ok_or("status \"tenant\" must be a string")?.to_string(),
+        },
+        priority: match v.get("priority") {
+            None => 0,
+            Some(p) => u8::try_from(field_u64(p, "priority")?)
+                .map_err(|_| "status \"priority\" out of range".to_string())?,
+        },
         state,
         tiles_total: field_u64(v.get("tiles_total").ok_or("status needs \"tiles_total\"")?, "tiles_total")?
             as usize,
@@ -537,6 +710,8 @@ mod tests {
         JobStatus {
             id: 7,
             name: "block-a".to_string(),
+            tenant: "acme".to_string(),
+            priority: 3,
             state: JobState::Running,
             tiles_total: 9,
             tiles_done: 4,
@@ -631,14 +806,82 @@ mod tests {
             },
             Response::List { jobs: vec![sample_status()] },
             Response::ShuttingDown,
-            Response::Error { error: "no such job: 4".to_string() },
+            Response::Error { error: ErrorObj::msg("no such job: 4") },
+            Response::Error {
+                error: ErrorObj {
+                    code: "quota_exceeded".to_string(),
+                    message: "tenant 'acme' is at max_jobs=2".to_string(),
+                    retry_after_vms: Some(96),
+                },
+            },
         ];
         for resp in responses {
             let line = resp.to_json().render();
             assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert!(line.contains("\"v\":2"), "v2 frames carry the version: {line}");
             let back = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, resp, "{line}");
         }
+    }
+
+    #[test]
+    fn v1_frames_still_parse_and_are_answered_in_kind() {
+        // An unversioned (v1) request line parses as version 1.
+        let (req, version) =
+            Request::parse_versioned(r#"{"cmd":"status","job":3}"#).expect("v1 request");
+        assert_eq!((req, version), (Request::Status { job: 3 }, 1));
+        // A v2 line reports version 2; future versions are refused.
+        let (_, version) =
+            Request::parse_versioned(&Request::Ping.to_json().render()).expect("v2 request");
+        assert_eq!(version, 2);
+        assert!(Request::parse_versioned(r#"{"v":99,"cmd":"ping"}"#).is_err());
+        // body_json is the exact v1 shape: no "v" field.
+        let v1_line = Request::Status { job: 3 }.body_json().render();
+        assert!(!v1_line.contains("\"v\""), "{v1_line}");
+        // Responses rendered for a v1 peer: no "v", error as a string.
+        let err = Response::Error {
+            error: ErrorObj {
+                code: "busy".to_string(),
+                message: "global queue full".to_string(),
+                retry_after_vms: Some(8),
+            },
+        };
+        let v1 = err.to_json_for(1).render();
+        assert_eq!(v1, r#"{"ok":false,"error":"global queue full"}"#);
+        // ...and that v1 error parses back as the catch-all shape.
+        assert_eq!(
+            Response::parse(&v1),
+            Ok(Response::Error { error: ErrorObj::msg("global queue full") })
+        );
+        // A v1 status (no tenant/priority keys) defaults them.
+        let v1_status = r#"{"ok":true,"status":{"id":1,"name":"x","state":"done","tiles_total":1,"tiles_done":1}}"#;
+        match Response::parse(v1_status).expect("v1 status") {
+            Response::Status(s) => {
+                assert_eq!(s.tenant, crate::spec::DEFAULT_TENANT);
+                assert_eq!(s.priority, 0);
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_objects_round_trip_and_render_hints() {
+        let e = ErrorObj {
+            code: "quota_exceeded".to_string(),
+            message: "tenant 'acme' is at max_tiles=64".to_string(),
+            retry_after_vms: Some(512),
+        };
+        assert_eq!(ErrorObj::from_json(&e.to_json()), Ok(e.clone()));
+        assert_eq!(
+            e.to_string(),
+            "quota_exceeded: tenant 'acme' is at max_tiles=64 (retry after 512 vms)"
+        );
+        let plain = ErrorObj::msg("boom");
+        assert_eq!(ErrorObj::from_json(&plain.to_json()), Ok(plain.clone()));
+        assert_eq!(plain.to_string(), "error: boom");
+        // Mistyped objects are diagnostics, not panics.
+        assert!(ErrorObj::from_json(&parse_json(r#"{"code":7}"#).unwrap()).is_err());
+        assert!(ErrorObj::from_json(&parse_json(r#"{"code":"x"}"#).unwrap()).is_err());
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! per connection, which is plenty for a signoff queue's fan-in).
 
 use crate::codec::{read_frame, MAX_LINE_BYTES};
-use crate::proto::{Request, Response};
-use crate::service::SignoffService;
+use crate::proto::{ErrorObj, Request, Response, PROTO_VERSION};
+use crate::service::{SignoffService, SubmitError};
 use dfm_fault::FaultPlane;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,12 +84,17 @@ fn handle_connection(
     let plane = service.fault_plane().cloned();
     let mut writer = stream.try_clone()?;
     let mut frame: u64 = 0;
-    let mut write = |writer: &mut TcpStream, response: &Response| {
+    let mut write = |writer: &mut TcpStream, response: &Response, version: u64| {
         let this_frame = frame;
         frame += 1;
-        write_response(writer, plane.as_ref(), conn_id, this_frame, response)
+        write_response(writer, plane.as_ref(), conn_id, this_frame, response, version)
     };
     let mut reader = BufReader::new(stream);
+    // Each response is framed in the dialect of the request it answers
+    // (v1 peers hear v1 shapes). Until a request parses, fall back to
+    // the last version spoken on this connection -- v1 at first, since
+    // its error shape is the one both generations can read.
+    let mut version = 1;
     loop {
         let line = match read_frame(&mut reader, MAX_LINE_BYTES) {
             Ok(Some(line)) => line,
@@ -97,14 +102,19 @@ fn handle_connection(
             Err(e) => {
                 // Framing violation (oversized line, torn frame,
                 // bad UTF-8): answer once, then drop the connection.
-                write(&mut writer, &Response::Error { error: e })?;
+                let error = ErrorObj { code: "bad_request".to_string(), message: e, retry_after_vms: None };
+                write(&mut writer, &Response::Error { error }, version)?;
                 return Ok(());
             }
         };
-        let request = match Request::parse(&line) {
-            Ok(r) => r,
+        let request = match Request::parse_versioned(&line) {
+            Ok((r, v)) => {
+                version = v;
+                r
+            }
             Err(e) => {
-                write(&mut writer, &Response::Error { error: e })?;
+                let error = ErrorObj { code: "bad_request".to_string(), message: e, retry_after_vms: None };
+                write(&mut writer, &Response::Error { error }, version)?;
                 continue;
             }
         };
@@ -115,7 +125,7 @@ fn handle_connection(
             // or real) response write cannot strand a stopping server.
             shutdown.store(true, Ordering::SeqCst);
         }
-        let wrote = write(&mut writer, &response);
+        let wrote = write(&mut writer, &response, version);
         if stop {
             // Unblock the accept loop so serve() can return.
             let _ = TcpStream::connect(addr);
@@ -128,26 +138,50 @@ fn handle_connection(
 fn handle_request(service: &SignoffService, request: Request) -> Response {
     let result = match request {
         Request::Ping => Ok(Response::Pong),
-        Request::Submit { spec, gds } => {
-            service.submit(spec, gds).map(|job| Response::Submitted { job })
-        }
-        Request::Status { job } => service.status(job).map(Response::Status),
-        Request::Events { job, since } => service.events(job, since).map(|events| {
-            let next_seq = events.last().map_or(since, |e| e.seq + 1);
-            Response::Events { events, next_seq }
-        }),
+        Request::Submit { spec, gds } => service
+            .submit_job(spec, gds)
+            .map(|job| Response::Submitted { job })
+            .map_err(|e| match e {
+                // A spec/GDS diagnostic is the client's fault; an
+                // admission refusal carries its typed code and, for
+                // backpressure, the deterministic retry hint.
+                SubmitError::Invalid(message) => ErrorObj {
+                    code: "bad_request".to_string(),
+                    message,
+                    retry_after_vms: None,
+                },
+                SubmitError::Rejected(r) => ErrorObj::from(r),
+            }),
+        Request::Status { job } => service.status(job).map(Response::Status).map_err(classify),
+        Request::Events { job, since } => service
+            .events(job, since)
+            .map(|events| {
+                let next_seq = events.last().map_or(since, |e| e.seq + 1);
+                Response::Events { events, next_seq }
+            })
+            .map_err(classify),
         Request::Results { job, partial } => service
             .report_text(job, partial)
-            .map(|(status, report_text)| Response::Results { status, report_text }),
+            .map(|(status, report_text)| Response::Results { status, report_text })
+            .map_err(classify),
         Request::Score { job } => service
             .score_json(job)
-            .map(|(status, score_json)| Response::Score { status, score_json }),
-        Request::Cancel { job } => service.cancel(job).map(Response::Status),
-        Request::Resume { job } => service.resume(job).map(Response::Status),
+            .map(|(status, score_json)| Response::Score { status, score_json })
+            .map_err(classify),
+        Request::Cancel { job } => service.cancel(job).map(Response::Status).map_err(classify),
+        Request::Resume { job } => service.resume(job).map(Response::Status).map_err(classify),
         Request::List => Ok(Response::List { jobs: service.list() }),
         Request::Shutdown => Ok(Response::ShuttingDown),
     };
     result.unwrap_or_else(|error| Response::Error { error })
+}
+
+/// Wraps a service diagnostic in the error code it implies. The only
+/// string shape the service guarantees is the unknown-id prefix; all
+/// other diagnostics keep the catch-all code.
+fn classify(message: String) -> ErrorObj {
+    let code = if message.starts_with("no such job") { "not_found" } else { "error" };
+    ErrorObj { code: code.to_string(), message, retry_after_vms: None }
 }
 
 fn write_response(
@@ -156,8 +190,10 @@ fn write_response(
     conn: u64,
     frame: u64,
     response: &Response,
+    version: u64,
 ) -> std::io::Result<()> {
-    let mut line = response.to_json().render();
+    debug_assert!((1..=PROTO_VERSION).contains(&version));
+    let mut line = response.to_json_for(version).render();
     line.push('\n');
     if let Some(plane) = plane {
         if plane.should_drop(SITE_SERVER_WRITE, conn, frame) {

@@ -42,6 +42,7 @@
 use crate::checkpoint::{decode_tile_partial, encode_tile_partial, list_job_dirs, JobDir};
 use crate::job::{JobContext, TilePartial};
 use crate::report::{QuarantinedTile, SignoffReport};
+use crate::sched::{Grant, GrantOut, Rejection, SchedConfig, Scheduler};
 use crate::spec::JobSpec;
 use dfm_cache::TileCache;
 use dfm_fault::FaultPlane;
@@ -49,6 +50,7 @@ use dfm_par::{CancelToken, PoolStats, TaskOutcome, WorkerPool};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
@@ -251,6 +253,11 @@ pub struct JobStatus {
     pub tiles_cached: usize,
     /// Next event sequence number (== number of events so far).
     pub next_seq: u64,
+    /// Tenant the job is billed to (from the spec; `"default"` when
+    /// the client named none).
+    pub tenant: String,
+    /// Scheduling priority (0 = lowest).
+    pub priority: u8,
     /// IEEE-754 bits of the manufacturability score, once computed
     /// (`None` until the job settles, or when scoring is off).
     pub score_bits: Option<u64>,
@@ -332,11 +339,16 @@ pub struct ServiceConfig {
     /// Content-addressed per-tile result cache; `None` (the default)
     /// disables caching entirely.
     pub cache: Option<Arc<TileCache>>,
+    /// Multi-tenant scheduler + admission config. `None` (the
+    /// default) is [`SchedConfig::open`]: every tenant admitted at
+    /// weight 1, no quotas, unbounded grant window — exactly the
+    /// pre-scheduler dispatch behaviour.
+    pub sched: Option<SchedConfig>,
 }
 
 impl ServiceConfig {
     /// A default config with `threads` workers: no checkpointing, no
-    /// delay, no faults, default policy.
+    /// delay, no faults, default policy, open scheduler.
     pub fn new(threads: usize) -> ServiceConfig {
         ServiceConfig {
             threads,
@@ -345,7 +357,80 @@ impl ServiceConfig {
             fault_plane: None,
             policy: SupervisionPolicy::default(),
             cache: None,
+            sched: None,
         }
+    }
+
+    /// Fluent construction — the front door for anything beyond
+    /// `ServiceConfig::new(threads)` field updates.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder { cfg: ServiceConfig::new(1) }
+    }
+}
+
+/// Builder for [`ServiceConfig`] (see [`ServiceConfig::builder`]).
+///
+/// Replaces positional/struct-literal construction at call sites that
+/// set more than a field or two; every knob defaults to
+/// `ServiceConfig::new(1)`.
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker-pool threads.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Checkpoint root directory (enables persistence).
+    #[must_use]
+    pub fn ckpt_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.cfg.ckpt_root = Some(root.into());
+        self
+    }
+
+    /// Artificial per-tile delay (test/CI hook).
+    #[must_use]
+    pub fn tile_delay(mut self, delay: Duration) -> Self {
+        self.cfg.tile_delay = delay;
+        self
+    }
+
+    /// Arm a fault-injection plane.
+    #[must_use]
+    pub fn fault_plane(mut self, plane: Arc<FaultPlane>) -> Self {
+        self.cfg.fault_plane = Some(plane);
+        self
+    }
+
+    /// Retry/quarantine/watchdog policy.
+    #[must_use]
+    pub fn policy(mut self, policy: SupervisionPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Arm a content-addressed tile-result cache.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<TileCache>) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Tenant plan: fair-share weights, quotas, grant window.
+    #[must_use]
+    pub fn sched(mut self, sched: SchedConfig) -> Self {
+        self.cfg.sched = Some(sched);
+        self
+    }
+
+    /// Finish the configuration.
+    #[must_use]
+    pub fn build(self) -> ServiceConfig {
+        self.cfg
     }
 }
 
@@ -493,15 +578,46 @@ impl Job {
     }
 }
 
+/// Everything a grant needs to become a pool task: cloned into the
+/// scheduler per job at enqueue time.
+#[derive(Clone)]
+struct TileHandle {
+    job: Arc<Job>,
+    ctx: Arc<JobContext>,
+    token: CancelToken,
+}
+
 /// The state tile tasks share: a weak pool handle for resubmission
 /// (weak, so queued retry closures never keep the pool — and thus
-/// themselves — alive), the fault plane, and the policy.
+/// themselves — alive), the fault plane, the policy, and the
+/// fair-share scheduler (its lock is always taken *after* any job
+/// lock is released, never while one is held).
 struct RunShared {
     pool: Weak<WorkerPool>,
     plane: Option<Arc<FaultPlane>>,
     policy: SupervisionPolicy,
     tile_delay: Duration,
     cache: Option<Arc<TileCache>>,
+    sched: Mutex<Scheduler<TileHandle>>,
+}
+
+/// Why [`SignoffService::submit_job`] refused a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The spec or GDS bytes failed validation.
+    Invalid(String),
+    /// Admission control refused the job (quota, backpressure, or
+    /// unknown tenant); nothing was enqueued. Retry after the hint.
+    Rejected(Rejection),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Invalid(msg) => write!(f, "{msg}"),
+            SubmitError::Rejected(r) => write!(f, "{r}"),
+        }
+    }
 }
 
 /// The signoff job service. See the module docs.
@@ -510,6 +626,9 @@ pub struct SignoffService {
     shared: Arc<RunShared>,
     jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
     ckpt_root: Option<PathBuf>,
+    /// Next job id — atomic so two racing submissions can never mint
+    /// the same id.
+    next_id: AtomicU64,
 }
 
 impl SignoffService {
@@ -526,8 +645,11 @@ impl SignoffService {
         SignoffService::with_config(ServiceConfig { ckpt_root, tile_delay, ..ServiceConfig::new(threads) })
     }
 
-    /// Like [`SignoffService::new`] with an explicit per-tile delay
-    /// (tests use this instead of the environment hook).
+    /// Like [`SignoffService::new`] with an explicit per-tile delay.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SignoffService::with_config(ServiceConfig::builder().tile_delay(..).build())"
+    )]
     pub fn with_tile_delay(
         threads: usize,
         ckpt_root: Option<PathBuf>,
@@ -537,23 +659,29 @@ impl SignoffService {
     }
 
     /// Creates a service from a full [`ServiceConfig`] — the only
-    /// constructor that can arm a fault plane or change the policy.
+    /// constructor that can arm a fault plane, a tenant plan, or a
+    /// non-default policy. Build one with [`ServiceConfig::builder`].
     pub fn with_config(cfg: ServiceConfig) -> SignoffService {
         let pool = Arc::new(WorkerPool::with_fault_plane(cfg.threads, cfg.fault_plane.clone()));
+        let sched_cfg = cfg.sched.unwrap_or_else(SchedConfig::open);
         let shared = Arc::new(RunShared {
             pool: Arc::downgrade(&pool),
             plane: cfg.fault_plane,
             policy: cfg.policy,
             tile_delay: cfg.tile_delay,
             cache: cfg.cache,
+            sched: Mutex::new(Scheduler::new(sched_cfg)),
         });
         let service = SignoffService {
             pool,
             shared,
             jobs: Mutex::new(BTreeMap::new()),
             ckpt_root: cfg.ckpt_root,
+            next_id: AtomicU64::new(1),
         };
         service.load_persisted_jobs();
+        let last = service.jobs.lock().expect("jobs lock").keys().next_back().copied();
+        service.next_id.store(last.map_or(1, |id| id + 1), Ordering::SeqCst);
         service
     }
 
@@ -594,18 +722,51 @@ impl SignoffService {
     ///
     /// # Errors
     ///
-    /// Spec/GDS diagnostics; nothing is enqueued on error.
+    /// [`SubmitError`] rendered to its message — use
+    /// [`SignoffService::submit_job`] when the structured rejection
+    /// (code + retry-after hint) matters. Nothing is enqueued on error.
     pub fn submit(&self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, String> {
-        let ctx = Arc::new(JobContext::build(&spec, &gds)?);
-        let id = {
-            let jobs = self.jobs.lock().expect("jobs lock");
-            jobs.keys().next_back().map_or(1, |last| last + 1)
-        };
+        self.submit_job(spec, gds).map_err(|e| e.to_string())
+    }
+
+    /// Like [`SignoffService::submit`], but admission-control refusals
+    /// come back as a structured [`Rejection`] instead of a string.
+    ///
+    /// The job is admitted against the tenant plan **before** anything
+    /// is persisted or enqueued: the tenant must be known (or covered
+    /// by a wildcard policy), its `max_jobs`/`max_tiles` quotas must
+    /// have room for this job's tile count, and the global
+    /// `max_pending_tiles` ceiling must hold. Admitted cache-miss
+    /// tiles then flow through the fair-share grant loop rather than
+    /// straight into the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for spec/GDS diagnostics,
+    /// [`SubmitError::Rejected`] from admission control. Nothing is
+    /// enqueued on error.
+    pub fn submit_job(&self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, SubmitError> {
+        let ctx =
+            Arc::new(JobContext::build(&spec, &gds).map_err(SubmitError::Invalid)?);
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .sched
+            .lock()
+            .expect("sched lock")
+            .admit(id, &spec.tenant, spec.priority, ctx.tile_count() as u64)
+            .map_err(SubmitError::Rejected)?;
         let dir = match &self.ckpt_root {
             None => None,
             Some(root) => {
                 let dir = JobDir::new(root, id);
-                dir.persist_submission(&spec.to_json().render(), &gds)?;
+                if let Err(e) = dir.persist_submission(&spec.to_json().render(), &gds) {
+                    // Release the admission reservation: the job never
+                    // existed as far as quotas are concerned.
+                    let grants =
+                        self.shared.sched.lock().expect("sched lock").remove_job(id);
+                    dispatch_grants(&self.shared, grants);
+                    return Err(SubmitError::Invalid(e));
+                }
                 Some(dir)
             }
         };
@@ -643,8 +804,9 @@ impl SignoffService {
         };
         // Consult the result cache before the pool sees anything: a hit
         // commits straight from the store (in ascending order, so the
-        // commit queue drains as we go) and only the misses are
-        // submitted. A fully warm job computes zero tiles.
+        // commit queue drains as we go) and only the misses reach the
+        // scheduler. A fully warm job computes zero tiles and leaves no
+        // trace in the grant log.
         let misses: Vec<usize> = tiles
             .iter()
             .copied()
@@ -654,12 +816,24 @@ impl SignoffService {
             // Nothing dispatched (all hits already finalized via their
             // commits, or `tiles` was empty) — run the merge directly;
             // try_finalize is a no-op when a hit already settled it.
-            try_finalize(job, ctx);
+            try_finalize(&self.shared, job, ctx);
             return;
         }
-        for &tile in &misses {
-            submit_tile(&self.shared, job, ctx, &token, tile, 0);
-        }
+        // Queue the misses under the job's fair-share lanes. Whatever
+        // fits the in-flight window is granted now; the rest is granted
+        // as earlier tiles resolve. The job lock is NOT held here.
+        let handle = TileHandle {
+            job: Arc::clone(job),
+            ctx: Arc::clone(ctx),
+            token,
+        };
+        let grants = self
+            .shared
+            .sched
+            .lock()
+            .expect("sched lock")
+            .enqueue(job.id, handle, misses);
+        dispatch_grants(&self.shared, grants);
     }
 
     fn job(&self, id: u64) -> Result<Arc<Job>, String> {
@@ -678,6 +852,15 @@ impl SignoffService {
     /// Unknown job id.
     pub fn status(&self, id: u64) -> Result<JobStatus, String> {
         Ok(self.job(id)?.status())
+    }
+
+    /// The scheduler's grant log so far: one entry per tile granted to
+    /// the pool, in issue order. With a fixed submission order the log
+    /// is byte-identical (via [`crate::sched::render_grant_log`])
+    /// across worker counts — the observable artifact of the
+    /// determinism guarantee. Cache hits never appear here.
+    pub fn grant_log(&self) -> Vec<Grant> {
+        self.shared.sched.lock().expect("sched lock").grant_log().to_vec()
     }
 
     /// Statuses of every job, by id.
@@ -786,19 +969,27 @@ impl SignoffService {
     /// Unknown id or a Done/Failed job.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
         let job = self.job(id)?;
-        let mut m = job.m.lock().expect("job lock");
-        match m.state {
-            JobState::Done | JobState::Failed => {
-                return Err(format!("job {id} is already {}", m.state))
-            }
-            JobState::Cancelled => {}
-            _ => {
-                m.cancel.cancel();
-                m.set_state(JobState::Cancelled);
-                job.cv.notify_all();
+        {
+            let mut m = job.m.lock().expect("job lock");
+            match m.state {
+                JobState::Done | JobState::Failed => {
+                    return Err(format!("job {id} is already {}", m.state))
+                }
+                JobState::Cancelled => {}
+                _ => {
+                    m.cancel.cancel();
+                    m.set_state(JobState::Cancelled);
+                }
             }
         }
-        Ok(status_of(&job, &m))
+        // Release every scheduler reservation the job still held —
+        // queued tiles, in-flight slots, and its active-job count —
+        // after the job lock is dropped (lock order: job before sched),
+        // and only then wake waiters, so an observed Cancelled state
+        // implies the quota is already free.
+        sched_remove_job(&self.shared, id);
+        job.cv.notify_all();
+        Ok(job.status())
     }
 
     /// Resumes a Partial or Cancelled job: re-reads any checkpointed
@@ -814,7 +1005,7 @@ impl SignoffService {
     pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
         let job = self.job(id)?;
         self.ensure_loaded(&job)?;
-        let (ctx, missing) = {
+        let (ctx, missing, tenant, priority) = {
             let mut m = job.m.lock().expect("job lock");
             match m.state {
                 JobState::Partial | JobState::Cancelled => {}
@@ -824,8 +1015,17 @@ impl SignoffService {
             let ctx = m.ctx.clone().ok_or("job context missing")?;
             let missing: Vec<usize> =
                 (0..ctx.tile_count()).filter(|t| !m.partials.contains_key(t)).collect();
-            (ctx, missing)
+            (ctx, missing, m.spec.tenant.clone(), m.spec.priority)
         };
+        // A resumed job re-enters admission control: the settle (or
+        // cancel) released its reservations, so it competes for quota
+        // again — with only the missing tiles counted against it.
+        self.shared
+            .sched
+            .lock()
+            .expect("sched lock")
+            .admit(id, &tenant, priority, missing.len() as u64)
+            .map_err(|e| e.to_string())?;
         self.dispatch(&job, &ctx, missing);
         Ok(job.status())
     }
@@ -891,6 +1091,8 @@ fn status_of(job: &Job, m: &JobMut) -> JobStatus {
     JobStatus {
         id: job.id,
         name: m.spec.name.clone(),
+        tenant: m.spec.tenant.clone(),
+        priority: m.spec.priority,
         state: m.state,
         tiles_total: m.tiles_total(),
         tiles_done: m.partials.len(),
@@ -903,10 +1105,44 @@ fn status_of(job: &Job, m: &JobMut) -> JobStatus {
     }
 }
 
+/// Hands a batch of scheduler grants to the pool, in grant order.
+///
+/// Each grant carries a sequence number; `submit_sequenced` uses it to
+/// reorder racing callers so tasks enter the pool queue in exactly the
+/// order the grant log records — the property the cross-thread-count
+/// determinism guarantee rests on.
+fn dispatch_grants(shared: &Arc<RunShared>, grants: Vec<GrantOut<TileHandle>>) {
+    for g in grants {
+        let h = g.handle;
+        submit_tile(shared, &h.job, &h.ctx, &h.token, g.tile, 0, Some(g.seq));
+    }
+}
+
+/// Reports one tile as resolved to the scheduler (releasing its
+/// in-flight slot or queued reservation) and dispatches whatever the
+/// freed window now grants. Must be called with no job lock held.
+fn sched_resolved(shared: &Arc<RunShared>, job_id: u64, tile: usize) {
+    let grants = shared.sched.lock().expect("sched lock").resolved(job_id, tile);
+    dispatch_grants(shared, grants);
+}
+
+/// Drops every scheduler reservation a job still holds (on settle,
+/// cancel, or failed persist) and dispatches the grants the freed
+/// capacity allows. Must be called with no job lock held.
+fn sched_remove_job(shared: &Arc<RunShared>, job_id: u64) {
+    let grants = shared.sched.lock().expect("sched lock").remove_job(job_id);
+    dispatch_grants(shared, grants);
+}
+
 /// Enqueues one attempt of one tile. The pool-level supervision hook
 /// is the safety net: a panic that escapes the attempt body's own
 /// containment (e.g. injected at the pool site) still reaches
 /// [`attempt_failed`].
+///
+/// `seq` is `Some` for the first attempt of a scheduler-granted tile —
+/// the grant sequence number, which pins the pool-queue entry order.
+/// Retries pass `None`: their slot is already held, and they must not
+/// wait behind grants that have not been issued yet.
 fn submit_tile(
     shared: &Arc<RunShared>,
     job: &Arc<Job>,
@@ -914,6 +1150,7 @@ fn submit_tile(
     token: &CancelToken,
     tile: usize,
     attempt: u64,
+    seq: Option<u64>,
 ) {
     let Some(pool) = shared.pool.upgrade() else { return };
     let task = {
@@ -928,7 +1165,10 @@ fn submit_tile(
             }
         }
     };
-    pool.submit_supervised(token, task, hook);
+    match seq {
+        Some(seq) => pool.submit_sequenced(seq, token, task, hook),
+        None => pool.submit_supervised(token, task, hook),
+    }
 }
 
 /// The body of one tile attempt: guard, (virtual) delay/watchdog,
@@ -994,7 +1234,7 @@ fn run_tile_attempt(
         Some(dir) => !write_checkpoint_with_retry(shared, dir, &partial, tile),
     };
     let cache = cache_store(shared, ctx, tile, attempt, &partial);
-    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded, cache);
+    attempt_succeeded(shared, job, ctx, tile, partial, ckpt_degraded, cache);
 }
 
 /// Probes the result cache for one freshly dispatched tile. On a valid
@@ -1021,7 +1261,7 @@ fn cache_serve(
         None => false,
         Some(dir) => !write_checkpoint_with_retry(shared, dir, &partial, tile),
     };
-    attempt_succeeded(job, ctx, tile, partial, ckpt_degraded, CacheOutcome::Hit);
+    attempt_succeeded(shared, job, ctx, tile, partial, ckpt_degraded, CacheOutcome::Hit);
     true
 }
 
@@ -1114,16 +1354,24 @@ fn attempt_failed(
     };
     match retry {
         Some((token, backoff_vms)) => {
+            // The scheduler slot stays held across retries: the tile is
+            // still occupying real capacity, and a retry must never
+            // queue behind grants that were issued after it.
             shared.policy.real_sleep(backoff_vms);
-            submit_tile(shared, job, ctx, &token, tile, attempt + 1);
+            submit_tile(shared, job, ctx, &token, tile, attempt + 1, None);
         }
-        None => try_finalize(job, ctx),
+        None => {
+            sched_resolved(shared, job.id, tile);
+            try_finalize(shared, job, ctx);
+        }
     }
 }
 
 /// Supervisor path for a successful attempt: buffer the result for
-/// commit-ordered emission, then finalize if it was the last one.
+/// commit-ordered emission, release the tile's scheduler capacity,
+/// then finalize if it was the last one.
 fn attempt_succeeded(
+    shared: &Arc<RunShared>,
     job: &Arc<Job>,
     ctx: &Arc<JobContext>,
     tile: usize,
@@ -1135,7 +1383,9 @@ fn attempt_succeeded(
         let mut m = job.m.lock().expect("job lock");
         if m.state != JobState::Running {
             // Cancelled (or failed) while we computed: keep the
-            // checkpoint on disk but do not mutate a settled job.
+            // checkpoint on disk but do not mutate a settled job. The
+            // scheduler reservation was (or will be) torn down by the
+            // remove_job on that settle path, not here.
             return;
         }
         if m.partials.contains_key(&tile) || m.pending_commit.contains_key(&tile) {
@@ -1145,13 +1395,19 @@ fn attempt_succeeded(
         advance_commits(&mut m, ctx.tile_count());
         job.cv.notify_all();
     }
-    try_finalize(job, ctx);
+    // The guards above make this the tile's single resolution, so the
+    // scheduler release runs exactly once per tile. For a cache hit the
+    // tile never entered a lane; `resolved` then credits the job's
+    // unassigned admission budget instead of an in-flight slot.
+    sched_resolved(shared, job.id, tile);
+    try_finalize(shared, job, ctx);
 }
 
 /// Runs the ordered merge once every dispatched tile has committed.
 /// Clean run → Done; quarantined tiles → settled Partial with the
-/// manifest in the report; only a merge error produces Failed.
-fn try_finalize(job: &Arc<Job>, ctx: &Arc<JobContext>) {
+/// manifest in the report; only a merge error produces Failed. On any
+/// settle the job's scheduler reservations are released.
+fn try_finalize(shared: &Arc<RunShared>, job: &Arc<Job>, ctx: &Arc<JobContext>) {
     let surviving: Vec<TilePartial> = {
         let m = job.m.lock().expect("job lock");
         if m.state != JobState::Running || !m.commit_queue.is_empty() {
@@ -1193,6 +1449,15 @@ fn try_finalize(job: &Arc<Job>, ctx: &Arc<JobContext>) {
             m.set_state(JobState::Failed);
         }
     }
+    drop(m);
+    // The job settled on this call (the re-check above means exactly
+    // one caller gets here): stop counting it against its tenant's
+    // max_jobs and release any stragglers (lock order: job then sched).
+    // Waiters are woken only AFTER the release, so a `wait()` that
+    // observes the settled state can immediately resubmit against the
+    // freed quota. (Late checkers see the state under the lock anyway,
+    // so notifying outside it cannot lose a wakeup.)
+    sched_remove_job(shared, job.id);
     job.cv.notify_all();
 }
 
@@ -1291,7 +1556,9 @@ mod tests {
         let spec = spec();
         let flat =
             flat_report(&spec, &gds::from_bytes(&gds).expect("lib")).expect("flat").render_text(&spec);
-        let service = SignoffService::with_tile_delay(2, None, Duration::from_millis(30));
+        let service = SignoffService::with_config(
+            ServiceConfig::builder().threads(2).tile_delay(Duration::from_millis(30)).build(),
+        );
         let id = service.submit(spec.clone(), gds).expect("submit");
         let status = service.cancel(id).expect("cancel");
         assert_eq!(status.state, JobState::Cancelled);

@@ -41,6 +41,15 @@ pub struct JobSpec {
     /// ([`crate::JobContext::cache_key`]) — toggling it never dirties
     /// a tile.
     pub score: Option<String>,
+    /// Tenant the job is billed to for fair-share scheduling and
+    /// admission quotas (`crate::sched`). Purely operational: like
+    /// `name` it never participates in the analysis or the tile cache
+    /// key. `"default"` when the client does not say.
+    pub tenant: String,
+    /// Scheduling priority, 0 (lowest, the default) to
+    /// [`JobSpec::MAX_PRIORITY`]. Higher-priority lanes drain first;
+    /// the field is operational only, like [`JobSpec::tenant`].
+    pub priority: u8,
 }
 
 impl Default for JobSpec {
@@ -56,11 +65,19 @@ impl Default for JobSpec {
             litho_layer: None,
             litho_feature: 90,
             score: None,
+            tenant: DEFAULT_TENANT.to_string(),
+            priority: 0,
         }
     }
 }
 
+/// Tenant a spec is billed to when the client names none.
+pub const DEFAULT_TENANT: &str = "default";
+
 impl JobSpec {
+    /// Largest accepted [`JobSpec::priority`].
+    pub const MAX_PRIORITY: u8 = 9;
+
     /// The CA extraction range (`10·x₀`, matching
     /// [`dfm_yield::critical_area::analyze`]).
     pub fn ca_range(&self) -> i64 {
@@ -107,6 +124,19 @@ impl JobSpec {
             dfm_score::ScoreSpec::resolve(Some(text))
                 .map_err(|e| format!("spec.score: {e}"))?;
         }
+        if !crate::sched::is_tenant_name(&self.tenant) {
+            return Err(format!(
+                "tenant must be 1-64 chars of [A-Za-z0-9_.-], got '{}'",
+                self.tenant
+            ));
+        }
+        if self.priority > JobSpec::MAX_PRIORITY {
+            return Err(format!(
+                "priority must be 0..={}, got {}",
+                JobSpec::MAX_PRIORITY,
+                self.priority
+            ));
+        }
         Ok(())
     }
 
@@ -146,6 +176,15 @@ impl JobSpec {
         // (the golden report digests predate this field).
         if let Some(score) = &self.score {
             fields.push(("score", JsonValue::str(score)));
+        }
+        // Same omit-when-default rule as `score`: single-tenant
+        // priority-0 specs keep rendering the exact bytes the golden
+        // report digests were pinned against.
+        if self.tenant != DEFAULT_TENANT {
+            fields.push(("tenant", JsonValue::str(&self.tenant)));
+        }
+        if self.priority != 0 {
+            fields.push(("priority", JsonValue::Num(self.priority as f64)));
         }
         JsonValue::obj(fields)
     }
@@ -194,6 +233,19 @@ impl JobSpec {
                 JsonValue::Str(text) => Some(text.clone()),
                 _ => return Err("spec.score must be a string or null".to_string()),
             };
+        }
+        if let Some(t) = v.get("tenant") {
+            spec.tenant = t.as_str().ok_or("spec.tenant must be a string")?.to_string();
+        }
+        if let Some(p) = v.get("priority") {
+            let p = json_i64(p, "spec.priority")?;
+            if !(0..=JobSpec::MAX_PRIORITY as i64).contains(&p) {
+                return Err(format!(
+                    "spec.priority must be 0..={}, got {p}",
+                    JobSpec::MAX_PRIORITY
+                ));
+            }
+            spec.priority = p as u8;
         }
         Ok(spec)
     }
@@ -303,5 +355,31 @@ mod tests {
             Some(dfm_score::ScoreSpec::default_spec())
         );
         assert_eq!(off.score_spec().expect("ok"), None);
+    }
+
+    #[test]
+    fn tenant_and_priority_round_trip_and_are_omitted_when_default() {
+        // Default tenant + priority 0 must leave the rendered spec
+        // byte-identical to the pre-scheduler format.
+        let plain = JobSpec::default();
+        let rendered = plain.to_json().render();
+        assert!(!rendered.contains("tenant") && !rendered.contains("priority"));
+        assert_eq!(JobSpec::from_json_text(&rendered).expect("parse"), plain);
+        let spec = JobSpec {
+            tenant: "acme-01".to_string(),
+            priority: 7,
+            ..JobSpec::default()
+        };
+        spec.validate().expect("valid");
+        let back = JobSpec::from_json_text(&spec.to_json().render()).expect("parse");
+        assert_eq!(back, spec);
+        // Out-of-range or malformed values are diagnosed.
+        assert!(JobSpec { tenant: "has space".into(), ..JobSpec::default() }
+            .validate()
+            .is_err());
+        assert!(JobSpec { priority: 10, ..JobSpec::default() }.validate().is_err());
+        assert!(JobSpec::from_json_text(r#"{"priority":11}"#).is_err());
+        assert!(JobSpec::from_json_text(r#"{"priority":-1}"#).is_err());
+        assert!(JobSpec::from_json_text(r#"{"tenant":3}"#).is_err());
     }
 }

@@ -4,7 +4,7 @@
 
 use dfm_layout::{gds, generate, layers, Technology};
 use dfm_signoff::service::JobState;
-use dfm_signoff::{flat_report, Client, JobSpec, Server, SignoffService};
+use dfm_signoff::{flat_report, Client, JobSpec, Server, ServiceConfig, SignoffService};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,7 +85,9 @@ fn cancel_then_resume_over_the_wire_is_byte_identical() {
     let spec = spec();
     let flat = flat_text(&spec, &gds_bytes);
 
-    let service = SignoffService::with_tile_delay(2, None, Duration::from_millis(25));
+    let service = SignoffService::with_config(
+        ServiceConfig::builder().threads(2).tile_delay(Duration::from_millis(25)).build(),
+    );
     let (addr, handle) = start_server(service);
     let mut client = Client::connect(&addr.to_string()).expect("connect");
 
@@ -115,7 +117,13 @@ fn service_restart_resumes_from_checkpoints_to_identical_bytes() {
     // First life: slow tiles, stopped after at least one checkpoint.
     let job = {
         let service =
-            SignoffService::with_tile_delay(2, Some(root.clone()), Duration::from_millis(10));
+            SignoffService::with_config(
+                ServiceConfig::builder()
+                    .threads(2)
+                    .ckpt_root(root.clone())
+                    .tile_delay(Duration::from_millis(10))
+                    .build(),
+            );
         let job = service.submit(spec.clone(), gds_bytes).expect("submit");
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         loop {
@@ -148,6 +156,77 @@ fn service_restart_resumes_from_checkpoints_to_identical_bytes() {
     assert_eq!(text, flat, "resumed report must be bit-identical to the flat run");
     drop(service);
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn v1_clients_still_work_and_v2_rejections_are_structured() {
+    use dfm_signoff::{RequestError, SchedConfig};
+    use std::io::{BufRead, BufReader, Write};
+
+    let gds_bytes = small_gds(41);
+    let sched = SchedConfig::parse("tenant acme weight 2 max_jobs 1\ntenant beta weight 1\n")
+        .expect("plan");
+    let service = SignoffService::with_config(
+        ServiceConfig::builder()
+            .threads(2)
+            .sched(sched)
+            .tile_delay(Duration::from_millis(20))
+            .build(),
+    );
+    let (addr, handle) = start_server(service);
+
+    // A v1 peer: hand-rolled unversioned frames on a raw socket. The
+    // submit must succeed and every answer must be v1-shaped (no "v").
+    let stream = std::net::TcpStream::connect(addr).expect("connect v1");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let spec_v1 = JobSpec { tenant: "acme".to_string(), ..spec() };
+    let mut line = dfm_signoff::proto::Request::Submit { spec: spec_v1, gds: gds_bytes.clone() }
+        .body_json()
+        .render();
+    assert!(!line.contains("\"v\""), "body_json is the v1 frame shape");
+    line.push('\n');
+    writer.write_all(line.as_bytes()).expect("send");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    assert!(reply.contains("\"ok\":true"), "v1 submit accepted: {reply:?}");
+    assert!(!reply.contains("\"v\""), "v1 peers get v1-shaped answers: {reply:?}");
+
+    // While acme's job is active, a second acme submission over a v2
+    // client is refused with the typed code and a retry hint…
+    let mut client = Client::builder()
+        .timeout(Duration::from_secs(30))
+        .tenant("acme")
+        .connect(&addr.to_string())
+        .expect("connect v2");
+    let first = client.list().expect("list")[0].id;
+    match client.try_submit(spec(), gds_bytes.clone()) {
+        Err(RequestError::Server(err)) => {
+            assert_eq!(err.code, "quota_exceeded");
+            assert!(err.retry_after_vms.is_some(), "backpressure carries a hint: {err:?}");
+        }
+        other => panic!("expected structured rejection, got {other:?}"),
+    }
+    // …and an unknown tenant gets its own code (no retry hint helps).
+    let ghost = JobSpec { tenant: "ghost".to_string(), ..spec() };
+    match client.try_submit(ghost, gds_bytes.clone()) {
+        Err(RequestError::Server(err)) => assert_eq!(err.code, "unknown_tenant"),
+        other => panic!("expected unknown_tenant, got {other:?}"),
+    }
+    // beta is under no quota; the builder's default tenant applies.
+    let mut beta = Client::builder().tenant("beta").connect(&addr.to_string()).expect("beta");
+    let beta_job = beta.submit(spec(), gds_bytes).expect("beta submit");
+    let status = beta.wait(beta_job).expect("wait beta");
+    assert_eq!(status.tenant, "beta", "tenant travels the wire");
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+
+    // Once acme's first job settles, the quota frees up again.
+    let status = client.wait(first).expect("wait acme");
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
 }
 
 #[test]

@@ -4,12 +4,12 @@
 //! ```text
 //! dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
 //!                     [--fault-plan FILE] [--max-attempts N]
-//!                     [--cache DIR] [--cache-max-bytes N]
+//!                     [--cache DIR] [--cache-max-bytes N] [--tenants FILE]
 //! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
-//! dfm-signoff submit  --addr HOST:PORT --gds FILE [spec flags]
-//! dfm-signoff status  --addr HOST:PORT --job ID
+//! dfm-signoff submit  --addr HOST:PORT --gds FILE [--tenant T] [--priority P] [spec flags]
+//! dfm-signoff status  --addr HOST:PORT --job ID [--tenant T] [--priority P]
 //! dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
-//! dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+//! dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait] [--tenant T] [--priority P]
 //! dfm-signoff score   --addr HOST:PORT --job ID
 //! dfm-signoff score   --gds FILE [--cache DIR] [--threads N] [spec flags]
 //! dfm-signoff fix     --gds FILE [--out FILE] [--cache DIR] [--threads N] [spec flags]
@@ -28,7 +28,24 @@
 //! threshold (or a metric under its floor), `2` — the job settled
 //! `Partial` (quarantined tiles; any score covers only the surviving
 //! tiles), `3` — operational error (bad arguments, I/O, protocol,
-//! failed jobs).
+//! failed jobs), `4` — the server refused the submission at admission
+//! (unknown tenant, tenant quota, or global backpressure; nothing was
+//! enqueued). A rejected `submit` prints the structured v2 error
+//! object (`{code, message, retry_after_vms?}`) on stdout so scripts
+//! can parse the code and the deterministic retry-after hint.
+//!
+//! ## Multi-tenant serving
+//!
+//! `serve --tenants FILE` arms admission control and weighted
+//! fair-share scheduling from a tenant plan (see
+//! `dfm_signoff::sched::SchedConfig`): `tenant NAME weight W
+//! [max_jobs N] [max_tiles N]` lines plus an optional `global
+//! max_inflight N max_pending_tiles N` line. `submit --tenant/--priority`
+//! tags the job; on `status`/`results` the same flags act as ownership
+//! assertions (the command fails rather than report a job that belongs
+//! to a different tenant). Without `--tenants`, every tenant is
+//! accepted at weight 1 with no quotas — exactly the pre-scheduler
+//! behaviour.
 //!
 //! ## Scoring and auto-fix
 //!
@@ -70,11 +87,11 @@ use dfm_practice::bench::json::JsonValue;
 use dfm_practice::cache::TileCache;
 use dfm_practice::fault::{FaultPlan, FaultPlane};
 use dfm_practice::layout::{gds, generate, Technology};
-use dfm_practice::score::{exit_code, EXIT_ERROR, EXIT_PASS};
+use dfm_practice::score::{exit_code, EXIT_ERROR, EXIT_PASS, EXIT_REJECTED};
 use dfm_practice::signoff::service::{JobEventKind, JobState, JobStatus, TILE_DELAY_ENV};
 use dfm_practice::signoff::{
-    auto_fix, flat_report, flat_score, Client, FixOutcome, JobSpec, Server, ServiceConfig,
-    SignoffService, SupervisionPolicy,
+    auto_fix, flat_report, flat_score, Client, FixOutcome, JobSpec, RequestError, SchedConfig,
+    Server, ServiceConfig, SignoffService, SupervisionPolicy,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -122,12 +139,13 @@ fn run(args: &[String]) -> Result<u8, String> {
 const USAGE: &str = "usage:
   dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
                       [--fault-plan FILE] [--max-attempts N]
-                      [--cache DIR] [--cache-max-bytes N]
+                      [--cache DIR] [--cache-max-bytes N] [--tenants FILE]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
-  dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [spec flags]
-  dfm-signoff status  --addr HOST:PORT --job ID
+  dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [--tenant T] [--priority P]
+                      [spec flags]
+  dfm-signoff status  --addr HOST:PORT --job ID [--tenant T] [--priority P]
   dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
-  dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait]
+  dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait] [--tenant T] [--priority P]
   dfm-signoff score   --addr HOST:PORT --job ID
   dfm-signoff score   --gds FILE [--cache DIR] [--threads N] [spec flags]
   dfm-signoff fix     --gds FILE [--out FILE] [--cache DIR] [--threads N] [spec flags]
@@ -140,7 +158,8 @@ const USAGE: &str = "usage:
 spec flags: --name S --tech n65|n45|n28 --tile NM --halo NM --no-drc
             --ca-layer L/D|none --ca-x0 NM --litho-layer L/D|none --litho-feature NM
             --score FILE|default|none
-exit codes: 0 pass, 1 score below threshold, 2 partial (quarantined), 3 error";
+exit codes: 0 pass, 1 score below threshold, 2 partial (quarantined), 3 error,
+            4 submission rejected at admission (tenant/quota/backpressure)";
 
 /// Minimal `--flag value` / `--flag` scanner.
 struct Flags<'a> {
@@ -277,9 +296,11 @@ fn emit_lines(lines: &[String]) -> Result<(), String> {
 fn print_status(s: dfm_practice::signoff::service::JobStatus) {
     let err = s.error.as_deref().unwrap_or("-");
     println!(
-        "job {} '{}': {} tiles {}/{} quarantined {} cached {} next_seq {} error {}",
+        "job {} '{}' tenant {} prio {}: {} tiles {}/{} quarantined {} cached {} next_seq {} error {}",
         s.id,
         s.name,
+        s.tenant,
+        s.priority,
         s.state,
         s.tiles_done,
         s.tiles_total,
@@ -300,6 +321,7 @@ fn serve(args: &[String]) -> Result<u8, String> {
     let max_attempts: Option<u64> = flags.parsed("--max-attempts")?;
     let cache_dir = flags.value("--cache")?.map(std::path::PathBuf::from);
     let cache_max_bytes: Option<u64> = flags.parsed("--cache-max-bytes")?;
+    let tenants_file = flags.value("--tenants")?.map(str::to_string);
     flags.finish()?;
     if cache_dir.is_none() && cache_max_bytes.is_some() {
         return Err("--cache-max-bytes needs --cache DIR".to_string());
@@ -327,14 +349,21 @@ fn serve(args: &[String]) -> Result<u8, String> {
                 .map_err(|e| format!("open cache {}: {e}", dir.display()))?,
         )),
     };
-    let service = Arc::new(SignoffService::with_config(ServiceConfig {
-        threads,
-        ckpt_root: ckpt,
-        tile_delay,
-        fault_plane,
-        policy,
-        cache,
-    }));
+    let mut cfg = ServiceConfig::builder().threads(threads).tile_delay(tile_delay).policy(policy);
+    if let Some(root) = ckpt {
+        cfg = cfg.ckpt_root(root);
+    }
+    if let Some(plane) = fault_plane {
+        cfg = cfg.fault_plane(plane);
+    }
+    if let Some(cache) = cache {
+        cfg = cfg.cache(cache);
+    }
+    if let Some(path) = tenants_file {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        cfg = cfg.sched(SchedConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let service = Arc::new(SignoffService::with_config(cfg.build()));
     let server = Server::bind(service, port)?;
     let addr = server.local_addr();
     if let Some(path) = port_file {
@@ -365,10 +394,30 @@ fn submit(args: &[String]) -> Result<u8, String> {
     let mut client = connect(&mut flags)?;
     let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
     let wait = flags.present("--wait");
-    let spec = spec_from_flags(&mut flags)?;
+    let mut spec = spec_from_flags(&mut flags)?;
+    if let Some(tenant) = flags.value("--tenant")? {
+        spec.tenant = tenant.to_string();
+    }
+    if let Some(priority) = flags.parsed("--priority")? {
+        spec.priority = priority;
+    }
+    spec.validate()?;
     flags.finish()?;
     let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
-    let job = client.submit(spec, bytes)?;
+    let job = match client.try_submit(spec, bytes) {
+        Ok(job) => job,
+        // An admission refusal is its own exit code (4) and prints the
+        // machine-readable v2 error object on stdout, so callers can
+        // parse the code and the deterministic retry-after hint.
+        Err(RequestError::Server(err))
+            if matches!(err.code.as_str(), "unknown_tenant" | "quota_exceeded" | "busy") =>
+        {
+            println!("{}", err.to_json().render());
+            eprintln!("dfm-signoff: submission rejected: {err}");
+            return Ok(EXIT_REJECTED);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     println!("{job}");
     if !wait {
         return Ok(EXIT_PASS);
@@ -382,7 +431,44 @@ fn submit(args: &[String]) -> Result<u8, String> {
 }
 
 fn status(args: &[String]) -> Result<u8, String> {
-    with_job(args, |client, job| client.status(job).map(print_status))
+    let mut flags = Flags::new(args);
+    let mut client = connect(&mut flags)?;
+    let job = job_id(&mut flags)?;
+    let owner = owner_flags(&mut flags)?;
+    flags.finish()?;
+    let status = client.status(job)?;
+    check_owner(&status, &owner)?;
+    print_status(status);
+    Ok(EXIT_PASS)
+}
+
+/// The `--tenant` / `--priority` ownership assertions shared by
+/// `status` and `results`.
+fn owner_flags(flags: &mut Flags<'_>) -> Result<(Option<String>, Option<u8>), String> {
+    Ok((flags.value("--tenant")?.map(str::to_string), flags.parsed("--priority")?))
+}
+
+/// Fails (exit 3) when the job on the server does not match the
+/// caller's asserted tenant/priority — a guard against scripts reading
+/// some other tenant's job by a stale or mistyped id.
+fn check_owner(status: &JobStatus, owner: &(Option<String>, Option<u8>)) -> Result<(), String> {
+    if let Some(tenant) = &owner.0 {
+        if &status.tenant != tenant {
+            return Err(format!(
+                "job {} belongs to tenant '{}', not '{tenant}'",
+                status.id, status.tenant
+            ));
+        }
+    }
+    if let Some(priority) = owner.1 {
+        if status.priority != priority {
+            return Err(format!(
+                "job {} has priority {}, not {priority}",
+                status.id, status.priority
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn with_job(
@@ -443,6 +529,7 @@ fn results(args: &[String]) -> Result<u8, String> {
     let job = job_id(&mut flags)?;
     let partial = flags.present("--partial");
     let wait = flags.present("--wait");
+    let owner = owner_flags(&mut flags)?;
     flags.finish()?;
     if wait {
         let status = client.wait(job)?;
@@ -451,6 +538,7 @@ fn results(args: &[String]) -> Result<u8, String> {
         }
     }
     let (status, report_text) = client.results(job, partial)?;
+    check_owner(&status, &owner)?;
     print!("{report_text}");
     Ok(status_exit_code(&status))
 }
@@ -538,7 +626,11 @@ fn local_service(threads: usize, cache_dir: Option<&str>) -> Result<SignoffServi
                 .map_err(|e| format!("open cache {dir}: {e}"))?,
         )),
     };
-    Ok(SignoffService::with_config(ServiceConfig { cache, ..ServiceConfig::new(threads) }))
+    let mut cfg = ServiceConfig::builder().threads(threads);
+    if let Some(cache) = cache {
+        cfg = cfg.cache(cache);
+    }
+    Ok(SignoffService::with_config(cfg.build()))
 }
 
 /// Submits one job, waits for it to settle, and fetches its score

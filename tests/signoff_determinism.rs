@@ -7,7 +7,7 @@
 use dfm_check::{bools, check, prop_assert, prop_assert_eq, Config};
 use dfm_practice::layout::{gds, generate, layers, Technology};
 use dfm_practice::signoff::service::JobState;
-use dfm_practice::signoff::{flat_report, JobSpec, SignoffService};
+use dfm_practice::signoff::{flat_report, JobSpec, ServiceConfig, SignoffService};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -86,7 +86,9 @@ fn cancel_at_random_points_then_resume_is_byte_identical() {
         &Config::with_cases(10),
         &(1usize..5, 0u64..40, bools()),
         |&(threads, sleep_ms, double_cycle)| {
-            let service = SignoffService::with_tile_delay(threads, None, Duration::from_millis(2));
+            let service = SignoffService::with_config(
+                ServiceConfig::builder().threads(threads).tile_delay(Duration::from_millis(2)).build(),
+            );
             let id = service.submit(spec.clone(), gds_bytes.clone()).map_err(|e| e.to_string())?;
             std::thread::sleep(Duration::from_millis(sleep_ms));
             let cycles = if double_cycle { 2 } else { 1 };
