@@ -60,7 +60,16 @@ BIN=target/release/dfm-signoff
 SPEC_FLAGS=(--tile 1700 --halo 64 --litho-layer 4/0)
 WORK=$(mktemp -d)
 SERVER=""
-trap 'if [[ -n "$SERVER" ]]; then kill -9 "$SERVER" 2>/dev/null || true; fi; rm -rf "$WORK"' EXIT
+SHARD_A=""
+SHARD_B=""
+COORD=""
+cleanup() {
+    for P in "$SERVER" "$SHARD_A" "$SHARD_B" "$COORD"; do
+        if [[ -n "$P" ]]; then kill -9 "$P" 2>/dev/null || true; fi
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 "$BIN" gen --out "$WORK/block.gds" --width 6000 --height 6000 --seed 7 >/dev/null
 "$BIN" flat-report --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}" >"$WORK/flat.txt"
 
@@ -268,6 +277,124 @@ for JOB in 1 2 3; do
 done
 echo "ok: fair-share serving is byte-identical across thread counts; quotas bounce with exit 4"
 
+echo "== multi-shard coordinator smoke (offline, loopback only) =="
+# Two shard servers plus a coordinator speaking the v2 shard frames, at
+# a 1-thread and a 4-thread pool: the coordinated report must be
+# byte-identical across thread counts and to the flat single-process
+# run, events included — the cluster is invisible in the bytes. Then
+# both failure legs, each across a real process death:
+#  * SIGKILL one shard mid-job — the coordinator re-dispatches the lost
+#    range to the survivor and the bytes still match flat.
+#  * SIGKILL the coordinator mid-job — a fresh `coordinate` over the
+#    same checkpoint root reattaches to the still-running shards,
+#    resumes, and renders the same bytes.
+for T in 1 4; do
+    PA="$WORK/port-sa-$T"; PB="$WORK/port-sb-$T"; PC="$WORK/port-co-$T"
+    DFM_THREADS=$T "$BIN" serve --threads "$T" --port 0 --port-file "$PA" \
+        --shard-of 0/2 >/dev/null &
+    SHARD_A=$!
+    DFM_THREADS=$T "$BIN" serve --threads "$T" --port 0 --port-file "$PB" \
+        --shard-of 1/2 >/dev/null &
+    SHARD_B=$!
+    for F in "$PA" "$PB"; do
+        for _ in $(seq 100); do [[ -s "$F" ]] && break; sleep 0.05; done
+    done
+    DFM_THREADS=$T "$BIN" coordinate \
+        --shards "127.0.0.1:$(cat "$PA"),127.0.0.1:$(cat "$PB")" \
+        --threads "$T" --port 0 --port-file "$PC" >/dev/null &
+    COORD=$!
+    for _ in $(seq 100); do [[ -s "$PC" ]] && break; sleep 0.05; done
+    PORT=$(cat "$PC")
+    JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+    "$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/shard-$T.txt"
+    "$BIN" events --addr "127.0.0.1:$PORT" --job "$JOB" >"$WORK/shard-$T.events"
+    "$BIN" shutdown --addr "127.0.0.1:$PORT"
+    wait "$COORD" 2>/dev/null || true; COORD=""
+    for F in "$PA" "$PB"; do "$BIN" shutdown --addr "127.0.0.1:$(cat "$F")"; done
+    wait "$SHARD_A" 2>/dev/null || true; SHARD_A=""
+    wait "$SHARD_B" 2>/dev/null || true; SHARD_B=""
+    diff "$WORK/flat.txt" "$WORK/shard-$T.txt"
+done
+diff "$WORK/shard-1.events" "$WORK/shard-4.events"
+echo "ok: coordinated runs are byte-identical to the flat run at both thread counts"
+
+# Shard death mid-job: slowed tiles so the SIGKILL lands while the
+# survivor still has work; the lost range must be re-dispatched and the
+# final report must still match the flat bytes.
+PA="$WORK/port-sa-kill"; PB="$WORK/port-sb-kill"; PC="$WORK/port-co-kill"
+DFM_SIGNOFF_TILE_DELAY_MS=100 "$BIN" serve --threads 2 --port 0 --port-file "$PA" \
+    --shard-of 0/2 >/dev/null &
+SHARD_A=$!
+DFM_SIGNOFF_TILE_DELAY_MS=100 "$BIN" serve --threads 2 --port 0 --port-file "$PB" \
+    --shard-of 1/2 >/dev/null &
+SHARD_B=$!
+for F in "$PA" "$PB"; do
+    for _ in $(seq 100); do [[ -s "$F" ]] && break; sleep 0.05; done
+done
+"$BIN" coordinate --shards "127.0.0.1:$(cat "$PA"),127.0.0.1:$(cat "$PB")" \
+    --threads 2 --port 0 --port-file "$PC" >/dev/null &
+COORD=$!
+for _ in $(seq 100); do [[ -s "$PC" ]] && break; sleep 0.05; done
+PORT=$(cat "$PC")
+JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+# Wait until merging is underway but far from done, then kill shard 0.
+for _ in $(seq 100); do
+    N=$("$BIN" events --addr "127.0.0.1:$PORT" --job "$JOB" | wc -l)
+    [[ "$N" -ge 2 ]] && break
+    sleep 0.05
+done
+kill -9 "$SHARD_A"
+wait "$SHARD_A" 2>/dev/null || true; SHARD_A=""
+"$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/shard-kill.txt"
+"$BIN" shutdown --addr "127.0.0.1:$PORT"
+wait "$COORD" 2>/dev/null || true; COORD=""
+"$BIN" shutdown --addr "127.0.0.1:$(cat "$PB")"
+wait "$SHARD_B" 2>/dev/null || true; SHARD_B=""
+diff "$WORK/flat.txt" "$WORK/shard-kill.txt"
+echo "ok: shard death re-dispatches to the survivor, bytes unchanged"
+
+# Coordinator death mid-job: the restarted coordinator derives the same
+# identity from the checkpoint root, reattaches to the shards' retained
+# jobs, and replays from its last merged prefix.
+PA="$WORK/port-sa-re"; PB="$WORK/port-sb-re"; PC="$WORK/port-co-re"
+DFM_SIGNOFF_TILE_DELAY_MS=100 "$BIN" serve --threads 2 --port 0 --port-file "$PA" \
+    --shard-of 0/2 >/dev/null &
+SHARD_A=$!
+DFM_SIGNOFF_TILE_DELAY_MS=100 "$BIN" serve --threads 2 --port 0 --port-file "$PB" \
+    --shard-of 1/2 >/dev/null &
+SHARD_B=$!
+for F in "$PA" "$PB"; do
+    for _ in $(seq 100); do [[ -s "$F" ]] && break; sleep 0.05; done
+done
+SHARDS="127.0.0.1:$(cat "$PA"),127.0.0.1:$(cat "$PB")"
+"$BIN" coordinate --shards "$SHARDS" --threads 2 --port 0 --port-file "$PC" \
+    --ckpt "$WORK/coord-ckpt" >/dev/null &
+COORD=$!
+for _ in $(seq 100); do [[ -s "$PC" ]] && break; sleep 0.05; done
+PORT=$(cat "$PC")
+JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+for _ in $(seq 200); do
+    compgen -G "$WORK/coord-ckpt/job-$JOB/tile-*.bin" >/dev/null && break
+    sleep 0.05
+done
+compgen -G "$WORK/coord-ckpt/job-$JOB/tile-*.bin" >/dev/null
+kill -9 "$COORD"
+wait "$COORD" 2>/dev/null || true; COORD=""
+"$BIN" coordinate --shards "$SHARDS" --threads 2 --port 0 --port-file "$PC.2" \
+    --ckpt "$WORK/coord-ckpt" >/dev/null &
+COORD=$!
+for _ in $(seq 100); do [[ -s "$PC.2" ]] && break; sleep 0.05; done
+PORT=$(cat "$PC.2")
+"$BIN" resume --addr "127.0.0.1:$PORT" --job "$JOB" >/dev/null
+"$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/shard-resumed.txt"
+"$BIN" shutdown --addr "127.0.0.1:$PORT"
+wait "$COORD" 2>/dev/null || true; COORD=""
+for F in "$PA" "$PB"; do "$BIN" shutdown --addr "127.0.0.1:$(cat "$F")"; done
+wait "$SHARD_A" 2>/dev/null || true; SHARD_A=""
+wait "$SHARD_B" 2>/dev/null || true; SHARD_B=""
+diff "$WORK/flat.txt" "$WORK/shard-resumed.txt"
+echo "ok: restarted coordinator reattaches and replays, bytes unchanged"
+
 echo "== signoff bench + cache gauges (offline) =="
 # The warm-cache bench publishes the hit ratio and recompute count of a
 # warm resubmission; a working cache pins them at 1 and 0. A small
@@ -278,5 +405,9 @@ grep -q '"cache_hit_ratio"' target/signoff-bench.json
 grep -q '"tiles_recomputed"' target/signoff-bench.json
 grep -q '"score_after"' target/signoff-bench.json
 grep -q '"fix_tiles_recomputed"' target/signoff-bench.json
+# The sharded bench pins the cluster shape and the takeover's recovery
+# volume: 2 shards, and a non-zero re-dispatched tile count.
+grep -q '"name":"shards","value":2' target/signoff-bench.json
+grep -q '"tiles_redispatched"' target/signoff-bench.json
 
 echo "CI OK"

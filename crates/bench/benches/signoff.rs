@@ -9,9 +9,12 @@
 
 use dfm_bench::microbench::Bencher;
 use dfm_cache::TileCache;
+use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
 use dfm_layout::{gds, generate, layers, Technology};
 use dfm_signoff::service::JobState;
-use dfm_signoff::{JobSpec, ServiceConfig, SignoffService};
+use dfm_signoff::{
+    Client, JobSpec, Server, ServiceConfig, SignoffService, SITE_SHARD_DISPATCH,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -153,11 +156,64 @@ fn bench_signoff_score_fix(b: &mut Bencher) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Scale-out: a coordinator fanning the job across two in-process
+/// shard servers over the real wire protocol. Times the coordinated
+/// run against `signoff_job_e2e_*` (same bytes, plus the wire), then
+/// runs a takeover — shard 0's generation-0 dispatch leg is killed so
+/// the survivor absorbs its range — and publishes the cluster shape
+/// and recovery volume as gauges: `shards` and `tiles_redispatched`.
+fn bench_signoff_sharded(b: &mut Bencher) {
+    let gds_bytes = job_gds();
+    let spec = job_spec();
+    let addrs: Vec<String> = (0..2)
+        .map(|k| {
+            let service = Arc::new(SignoffService::with_config(
+                ServiceConfig::builder().threads(2).shard_of(k, 2).build(),
+            ));
+            let server = Server::bind(service, 0).expect("bind shard");
+            let addr = server.local_addr().to_string();
+            std::thread::spawn(move || {
+                let _ = server.serve();
+            });
+            addr
+        })
+        .collect();
+
+    let coordinator = SignoffService::with_config(
+        ServiceConfig::builder().threads(2).shards(addrs.clone()).build(),
+    );
+    b.bench("signoff_job_sharded_2x2", || {
+        black_box(run_job(&coordinator, &spec, &gds_bytes))
+    });
+
+    let plan = FaultPlan::seeded(3).with_rule(
+        FaultRule::new(SITE_SHARD_DISPATCH, FaultAction::Error).key(0).first_attempts(1),
+    );
+    let coordinator = SignoffService::with_config(
+        ServiceConfig::builder()
+            .threads(2)
+            .shards(addrs.clone())
+            .fault_plane(Arc::new(FaultPlane::new(plan)))
+            .build(),
+    );
+    run_job(&coordinator, &spec, &gds_bytes);
+    let stats = coordinator.shard_stats().expect("shard stats");
+    b.gauge("shards", stats.shards as f64);
+    b.gauge("tiles_redispatched", stats.tiles_redispatched as f64);
+
+    for addr in &addrs {
+        if let Ok(mut client) = Client::connect(addr) {
+            let _ = client.shutdown();
+        }
+    }
+}
+
 fn main() {
     let mut b = Bencher::from_env();
     bench_signoff_job_e2e(&mut b);
     bench_signoff_saturation(&mut b);
     bench_signoff_warm_cache(&mut b);
     bench_signoff_score_fix(&mut b);
+    bench_signoff_sharded(&mut b);
     b.finish();
 }

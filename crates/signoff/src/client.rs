@@ -4,6 +4,7 @@
 use crate::codec::{read_frame, MAX_LINE_BYTES};
 use crate::proto::{ErrorObj, Request, Response};
 use crate::service::{JobEvent, JobStatus};
+use crate::shard::{ShardGrant, TileOutcome};
 use crate::spec::{JobSpec, DEFAULT_TENANT};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -315,6 +316,69 @@ impl Client {
         match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+
+    /// Dispatches tile range(s) of a job to a shard server under the
+    /// coordinator's `(coord, origin, gen)` idempotency key, returning
+    /// the shard's grant. `ranges = None` asks the shard to run its own
+    /// `--shard-of` partition.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and shard-side refusals,
+    /// flattened to their message.
+    pub fn shard_dispatch(
+        &mut self,
+        coord: u64,
+        origin: u64,
+        gen: u64,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        ranges: Option<Vec<(usize, usize)>>,
+    ) -> Result<ShardGrant, String> {
+        match self.request(&Request::ShardDispatch { coord, origin, gen, spec, gds, ranges })? {
+            Response::ShardDispatched { grant } => Ok(grant),
+            other => Err(format!("unexpected reply to shard.dispatch: {other:?}")),
+        }
+    }
+
+    /// Looks up the grant a prior dispatch of `(coord, origin, gen)`
+    /// minted on this shard. Typed errors so a caller can distinguish
+    /// `not_found` (fall back to a full dispatch) from transport
+    /// trouble.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_typed`].
+    pub fn shard_attach(
+        &mut self,
+        coord: u64,
+        origin: u64,
+        gen: u64,
+    ) -> Result<ShardGrant, RequestError> {
+        match self.request_typed(&Request::ShardAttach { coord, origin, gen })? {
+            Response::ShardDispatched { grant } => Ok(grant),
+            other => Err(RequestError::Transport(format!(
+                "unexpected reply to shard.attach: {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls a shard job's outcome log from `since` on: the entries,
+    /// the next cursor, and whether the shard job has settled.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and unknown ids.
+    pub fn shard_pull(
+        &mut self,
+        job: u64,
+        since: u64,
+    ) -> Result<(Vec<TileOutcome>, u64, bool), String> {
+        match self.request(&Request::ShardPull { job, since })? {
+            Response::ShardOutcomes { outcomes, next, settled } => Ok((outcomes, next, settled)),
+            other => Err(format!("unexpected reply to shard.pull: {other:?}")),
         }
     }
 

@@ -33,7 +33,14 @@
 //!   recomputes only the tiles whose geometry actually changed,
 //! * [`proto`] / [`server`] / [`client`] — a line-delimited-JSON
 //!   protocol over `std::net` TCP, rendered through the hand-rolled
-//!   [`dfm_bench::json`] writer.
+//!   [`dfm_bench::json`] writer,
+//! * [`shard`] — horizontal scale-out: a coordinator fans each job
+//!   out across N shard servers by deterministic tile-range partition
+//!   ([`shard::partition_range`]), streams their outcome logs back,
+//!   and merges through the same tile-ordered commit machinery — so
+//!   the coordinated event stream and report are byte-identical to a
+//!   single process, with dead shards re-dispatched to survivors or
+//!   degraded to a deterministic `Partial` manifest.
 //!
 //! # Determinism argument
 //!
@@ -61,6 +68,7 @@ pub mod sched;
 pub mod scoring;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod spec;
 
 pub use autofix::{auto_fix, FixOutcome};
@@ -75,5 +83,9 @@ pub use server::Server;
 pub use service::{
     JobEvent, JobEventKind, JobState, JobStatus, ServiceConfig, ServiceConfigBuilder,
     SignoffService, SubmitError, SupervisionPolicy,
+};
+pub use shard::{
+    ShardGrant, ShardStats, TileCacheMark, TileOutcome, TileOutcomeKind, TileRetry,
+    SITE_SHARD_DISPATCH, SITE_SHARD_PULL,
 };
 pub use spec::JobSpec;

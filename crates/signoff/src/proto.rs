@@ -26,6 +26,7 @@
 use crate::codec::{from_hex, parse_json, to_hex};
 use crate::sched::Rejection;
 use crate::service::{JobEvent, JobEventKind, JobState, JobStatus};
+use crate::shard::{ShardGrant, TileCacheMark, TileOutcome, TileOutcomeKind, TileRetry};
 use crate::spec::{json_i64, JobSpec};
 use dfm_bench::json::JsonValue;
 
@@ -170,6 +171,43 @@ pub enum Request {
     List,
     /// Stop the server.
     Shutdown,
+    /// Coordinator→shard: run tile range(s) of a job as a shard job
+    /// keyed by the coordinator's `(coord, origin, gen)`. v2-only.
+    ShardDispatch {
+        /// The coordinator's identity — distinguishes jobs from
+        /// different coordinator instances that collide on `origin`.
+        coord: u64,
+        /// The coordinator's job id.
+        origin: u64,
+        /// The coordinator's dispatch generation (bumped on takeover).
+        gen: u64,
+        /// The job spec.
+        spec: JobSpec,
+        /// Raw GDSII stream bytes.
+        gds: Vec<u8>,
+        /// Half-open tile ranges to run; `None` uses the shard's own
+        /// `--shard-of` partition.
+        ranges: Option<Vec<(usize, usize)>>,
+    },
+    /// Coordinator→shard: look up the grant a prior dispatch of
+    /// `(coord, origin, gen)` minted, without resubmitting the job.
+    /// v2-only.
+    ShardAttach {
+        /// The coordinator's identity.
+        coord: u64,
+        /// The coordinator's job id.
+        origin: u64,
+        /// The coordinator's dispatch generation.
+        gen: u64,
+    },
+    /// Coordinator→shard: poll a shard job's outcome log from a
+    /// cursor on. v2-only.
+    ShardPull {
+        /// The shard-local job id from the grant.
+        job: u64,
+        /// First outcome-log index wanted.
+        since: u64,
+    },
 }
 
 impl Request {
@@ -223,6 +261,31 @@ impl Request {
             ]),
             Request::List => JsonValue::obj([("cmd", JsonValue::str("list"))]),
             Request::Shutdown => JsonValue::obj([("cmd", JsonValue::str("shutdown"))]),
+            Request::ShardDispatch { coord, origin, gen, spec, gds, ranges } => {
+                let mut fields = vec![
+                    ("cmd".to_string(), JsonValue::str("shard.dispatch")),
+                    ("coord".to_string(), JsonValue::Num(*coord as f64)),
+                    ("origin".to_string(), JsonValue::Num(*origin as f64)),
+                    ("gen".to_string(), JsonValue::Num(*gen as f64)),
+                    ("spec".to_string(), spec.to_json()),
+                    ("gds_hex".to_string(), JsonValue::str(to_hex(gds))),
+                ];
+                if let Some(ranges) = ranges {
+                    fields.push(("ranges".to_string(), ranges_to_json(ranges)));
+                }
+                JsonValue::Obj(fields)
+            }
+            Request::ShardAttach { coord, origin, gen } => JsonValue::obj([
+                ("cmd", JsonValue::str("shard.attach")),
+                ("coord", JsonValue::Num(*coord as f64)),
+                ("origin", JsonValue::Num(*origin as f64)),
+                ("gen", JsonValue::Num(*gen as f64)),
+            ]),
+            Request::ShardPull { job, since } => JsonValue::obj([
+                ("cmd", JsonValue::str("shard.pull")),
+                ("job", JsonValue::Num(*job as f64)),
+                ("since", JsonValue::Num(*since as f64)),
+            ]),
         }
     }
 
@@ -256,7 +319,18 @@ impl Request {
                 "unsupported protocol version {version} (this server speaks 1..={PROTO_VERSION})"
             ));
         }
-        Ok((Request::from_json(&v)?, version))
+        let request = Request::from_json(&v)?;
+        // The shard plane rides v2 exclusively: the frames did not
+        // exist in v1, so an unversioned line must not smuggle them in.
+        if version < 2
+            && matches!(
+                request,
+                Request::ShardDispatch { .. } | Request::ShardAttach { .. } | Request::ShardPull { .. }
+            )
+        {
+            return Err("shard frames require protocol v2 (add \"v\":2)".to_string());
+        }
+        Ok((request, version))
     }
 
     fn from_json(v: &JsonValue) -> Result<Request, String> {
@@ -289,6 +363,48 @@ impl Request {
             "resume" => Ok(Request::Resume { job: job_id(v)? }),
             "list" => Ok(Request::List),
             "shutdown" => Ok(Request::Shutdown),
+            "shard.dispatch" => {
+                let spec = JobSpec::from_json(
+                    v.get("spec").ok_or("shard.dispatch needs a \"spec\" object")?,
+                )?;
+                let hex = v
+                    .get("gds_hex")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("shard.dispatch needs a \"gds_hex\" string")?;
+                let ranges = match v.get("ranges") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(r) => Some(ranges_from_json(r)?),
+                };
+                Ok(Request::ShardDispatch {
+                    coord: field_u64(
+                        v.get("coord").ok_or("shard.dispatch needs a \"coord\"")?,
+                        "coord",
+                    )?,
+                    origin: field_u64(
+                        v.get("origin").ok_or("shard.dispatch needs an \"origin\"")?,
+                        "origin",
+                    )?,
+                    gen: field_u64(v.get("gen").ok_or("shard.dispatch needs a \"gen\"")?, "gen")?,
+                    spec,
+                    gds: from_hex(hex)?,
+                    ranges,
+                })
+            }
+            "shard.attach" => Ok(Request::ShardAttach {
+                coord: field_u64(
+                    v.get("coord").ok_or("shard.attach needs a \"coord\"")?,
+                    "coord",
+                )?,
+                origin: field_u64(
+                    v.get("origin").ok_or("shard.attach needs an \"origin\"")?,
+                    "origin",
+                )?,
+                gen: field_u64(v.get("gen").ok_or("shard.attach needs a \"gen\"")?, "gen")?,
+            }),
+            "shard.pull" => Ok(Request::ShardPull {
+                job: job_id(v)?,
+                since: v.get("since").map_or(Ok(0), |s| field_u64(s, "since"))?,
+            }),
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -336,6 +452,21 @@ pub enum Response {
     },
     /// The server acknowledges shutdown.
     ShuttingDown,
+    /// A shard acknowledges a dispatch or attach with its grant.
+    ShardDispatched {
+        /// The shard-local job id, acknowledged ranges, and whether an
+        /// existing `(origin, gen)` job was re-attached.
+        grant: ShardGrant,
+    },
+    /// A slice of a shard job's outcome log.
+    ShardOutcomes {
+        /// Outcome-log entries from the requested cursor on, in order.
+        outcomes: Vec<TileOutcome>,
+        /// The cursor to poll from next.
+        next: u64,
+        /// True once the shard job has settled (no more outcomes ever).
+        settled: bool,
+    },
     /// The request failed.
     Error {
         /// The structured diagnostic. (A v1 peer sees only its
@@ -396,6 +527,20 @@ impl Response {
             Response::ShuttingDown => {
                 ok(vec![("shutting_down".to_string(), JsonValue::Bool(true))])
             }
+            Response::ShardDispatched { grant } => ok(vec![
+                ("job".to_string(), JsonValue::Num(grant.job as f64)),
+                ("total".to_string(), JsonValue::Num(grant.total as f64)),
+                ("ranges".to_string(), ranges_to_json(&grant.ranges)),
+                ("attached".to_string(), JsonValue::Bool(grant.attached)),
+            ]),
+            Response::ShardOutcomes { outcomes, next, settled } => ok(vec![
+                (
+                    "outcomes".to_string(),
+                    JsonValue::Arr(outcomes.iter().map(outcome_to_json).collect()),
+                ),
+                ("next".to_string(), JsonValue::Num(*next as f64)),
+                ("settled".to_string(), JsonValue::Bool(*settled)),
+            ]),
             Response::Error { error } => versioned(vec![
                 ("ok".to_string(), JsonValue::Bool(false)),
                 (
@@ -427,6 +572,36 @@ impl Response {
         }
         if v.get("shutting_down").is_some() {
             return Ok(Response::ShuttingDown);
+        }
+        // Shard frames are keyed on fields no legacy frame carries —
+        // checked before "events"/"job", which they would also match.
+        if v.get("attached").is_some() {
+            let ranges =
+                ranges_from_json(v.get("ranges").ok_or("shard grant needs \"ranges\"")?)?;
+            return Ok(Response::ShardDispatched {
+                grant: ShardGrant {
+                    job: field_u64(v.get("job").ok_or("shard grant needs \"job\"")?, "job")?,
+                    total: field_u64(v.get("total").ok_or("shard grant needs \"total\"")?, "total")?
+                        as usize,
+                    ranges,
+                    attached: v
+                        .get("attached")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or("\"attached\" must be a boolean")?,
+                },
+            });
+        }
+        if let Some(outcomes) = v.get("outcomes") {
+            let arr = outcomes.as_arr().ok_or("\"outcomes\" must be an array")?;
+            let outcomes = arr.iter().map(outcome_from_json).collect::<Result<_, _>>()?;
+            return Ok(Response::ShardOutcomes {
+                outcomes,
+                next: v.get("next").map_or(Ok(0), |n| field_u64(n, "next"))?,
+                settled: v
+                    .get("settled")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("shard outcomes need a boolean \"settled\"")?,
+            });
         }
         if let Some(events) = v.get("events") {
             let arr = events.as_arr().ok_or("\"events\" must be an array")?;
@@ -467,6 +642,144 @@ impl Response {
 
 fn job_id(v: &JsonValue) -> Result<u64, String> {
     field_u64(v.get("job").ok_or("request needs a \"job\" id")?, "job")
+}
+
+fn ranges_to_json(ranges: &[(usize, usize)]) -> JsonValue {
+    JsonValue::Arr(
+        ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                JsonValue::Arr(vec![JsonValue::Num(lo as f64), JsonValue::Num(hi as f64)])
+            })
+            .collect(),
+    )
+}
+
+fn ranges_from_json(v: &JsonValue) -> Result<Vec<(usize, usize)>, String> {
+    let arr = v.as_arr().ok_or("\"ranges\" must be an array")?;
+    arr.iter()
+        .map(|r| {
+            let pair = r.as_arr().ok_or("each range must be a [lo, hi] pair")?;
+            if pair.len() != 2 {
+                return Err("each range must be a [lo, hi] pair".to_string());
+            }
+            Ok((
+                field_u64(&pair[0], "range lo")? as usize,
+                field_u64(&pair[1], "range hi")? as usize,
+            ))
+        })
+        .collect()
+}
+
+fn outcome_to_json(o: &TileOutcome) -> JsonValue {
+    let retries = JsonValue::Arr(
+        o.retries
+            .iter()
+            .map(|r| {
+                JsonValue::obj([
+                    ("attempt", JsonValue::Num(r.attempt as f64)),
+                    ("backoff_vms", JsonValue::Num(r.backoff_vms as f64)),
+                    ("reason", JsonValue::str(&r.reason)),
+                ])
+            })
+            .collect(),
+    );
+    let mut fields = vec![
+        ("tile".to_string(), JsonValue::Num(o.tile as f64)),
+        ("retries".to_string(), retries),
+    ];
+    match &o.kind {
+        TileOutcomeKind::Done { data, ckpt_degraded, cache } => fields.push((
+            "done".to_string(),
+            JsonValue::obj([
+                ("data", JsonValue::str(to_hex(data))),
+                ("ckpt_degraded", JsonValue::Bool(*ckpt_degraded)),
+                (
+                    "cache",
+                    JsonValue::str(match cache {
+                        TileCacheMark::Hit => "hit",
+                        TileCacheMark::Stored => "store",
+                        TileCacheMark::None => "none",
+                    }),
+                ),
+            ]),
+        )),
+        TileOutcomeKind::Quarantined { attempts, reason } => fields.push((
+            "quarantined".to_string(),
+            JsonValue::obj([
+                ("attempts", JsonValue::Num(*attempts as f64)),
+                ("reason", JsonValue::str(reason)),
+            ]),
+        )),
+    }
+    JsonValue::Obj(fields)
+}
+
+fn outcome_from_json(v: &JsonValue) -> Result<TileOutcome, String> {
+    let tile = field_u64(v.get("tile").ok_or("outcome needs a \"tile\"")?, "tile")? as usize;
+    let retries = match v.get("retries") {
+        None => Vec::new(),
+        Some(r) => r
+            .as_arr()
+            .ok_or("outcome \"retries\" must be an array")?
+            .iter()
+            .map(|r| {
+                Ok(TileRetry {
+                    attempt: field_u64(
+                        r.get("attempt").ok_or("retry needs an \"attempt\"")?,
+                        "attempt",
+                    )?,
+                    backoff_vms: field_u64(
+                        r.get("backoff_vms").ok_or("retry needs \"backoff_vms\"")?,
+                        "backoff_vms",
+                    )?,
+                    reason: r
+                        .get("reason")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("retry needs a \"reason\" string")?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<_, String>>()?,
+    };
+    let kind = if let Some(done) = v.get("done") {
+        let hex = done
+            .get("data")
+            .and_then(JsonValue::as_str)
+            .ok_or("done outcome needs a \"data\" hex string")?;
+        TileOutcomeKind::Done {
+            data: from_hex(hex)?,
+            ckpt_degraded: done
+                .get("ckpt_degraded")
+                .and_then(JsonValue::as_bool)
+                .ok_or("done outcome needs a boolean \"ckpt_degraded\"")?,
+            cache: match done
+                .get("cache")
+                .and_then(JsonValue::as_str)
+                .ok_or("done outcome needs a \"cache\" mark")?
+            {
+                "hit" => TileCacheMark::Hit,
+                "store" => TileCacheMark::Stored,
+                "none" => TileCacheMark::None,
+                other => return Err(format!("unknown cache mark '{other}'")),
+            },
+        }
+    } else if let Some(q) = v.get("quarantined") {
+        TileOutcomeKind::Quarantined {
+            attempts: field_u64(
+                q.get("attempts").ok_or("quarantined outcome needs \"attempts\"")?,
+                "attempts",
+            )?,
+            reason: q
+                .get("reason")
+                .and_then(JsonValue::as_str)
+                .ok_or("quarantined outcome needs a \"reason\" string")?
+                .to_string(),
+        }
+    } else {
+        return Err("outcome needs a \"done\" or \"quarantined\" verdict".to_string());
+    };
+    Ok(TileOutcome { tile, retries, kind })
 }
 
 fn field_u64(v: &JsonValue, what: &str) -> Result<u64, String> {
@@ -737,6 +1050,24 @@ mod tests {
             Request::Resume { job: 3 },
             Request::List,
             Request::Shutdown,
+            Request::ShardDispatch {
+                coord: 17,
+                origin: 5,
+                gen: 1,
+                spec: JobSpec::default(),
+                gds: vec![7, 8, 9],
+                ranges: Some(vec![(0, 3), (5, 9)]),
+            },
+            Request::ShardDispatch {
+                coord: 17,
+                origin: 5,
+                gen: 0,
+                spec: JobSpec::default(),
+                gds: vec![],
+                ranges: None,
+            },
+            Request::ShardAttach { coord: 17, origin: 5, gen: 2 },
+            Request::ShardPull { job: 11, since: 4 },
         ];
         for req in requests {
             let line = req.to_json().render();
@@ -806,6 +1137,50 @@ mod tests {
             },
             Response::List { jobs: vec![sample_status()] },
             Response::ShuttingDown,
+            Response::ShardDispatched {
+                grant: ShardGrant {
+                    job: 3,
+                    total: 9,
+                    ranges: vec![(0, 4), (6, 9)],
+                    attached: true,
+                },
+            },
+            Response::ShardOutcomes {
+                outcomes: vec![
+                    TileOutcome {
+                        tile: 0,
+                        retries: vec![TileRetry {
+                            attempt: 0,
+                            backoff_vms: 8,
+                            reason: "tile 0 panicked: injected".to_string(),
+                        }],
+                        kind: TileOutcomeKind::Done {
+                            data: vec![0xDF, 0x4D, 0x53, 0x00],
+                            ckpt_degraded: true,
+                            cache: TileCacheMark::Stored,
+                        },
+                    },
+                    TileOutcome {
+                        tile: 1,
+                        retries: vec![],
+                        kind: TileOutcomeKind::Done {
+                            data: vec![],
+                            ckpt_degraded: false,
+                            cache: TileCacheMark::Hit,
+                        },
+                    },
+                    TileOutcome {
+                        tile: 2,
+                        retries: vec![],
+                        kind: TileOutcomeKind::Quarantined {
+                            attempts: 3,
+                            reason: "tile 2 panicked: injected".to_string(),
+                        },
+                    },
+                ],
+                next: 3,
+                settled: false,
+            },
             Response::Error { error: ErrorObj::msg("no such job: 4") },
             Response::Error {
                 error: ErrorObj {
@@ -907,8 +1282,64 @@ mod tests {
             r#"{"ok":true,"events":[{"seq":0,"kind":"score","pass":true}],"next_seq":1}"#,
             r#"{"ok":true,"events":[{"seq":0,"kind":"score","bits":7,"pass":true}],"next_seq":1}"#,
             r#"{"ok":true,"status":{"id":1,"name":"x","state":"done","tiles_total":1,"tiles_done":1,"score_bits":3.5}}"#,
+            // Hostile ErrorObj payloads: every mistyped field is a
+            // diagnostic, never a panic or a silent default.
+            r#"{"ok":false}"#,
+            r#"{"ok":false,"error":{}}"#,
+            r#"{"ok":false,"error":{"code":"x"}}"#,
+            r#"{"ok":false,"error":{"message":"y"}}"#,
+            r#"{"ok":false,"error":{"code":7,"message":"y"}}"#,
+            r#"{"ok":false,"error":{"code":"x","message":7}}"#,
+            r#"{"ok":false,"error":{"code":"x","message":"y","retry_after_vms":-3}}"#,
+            r#"{"ok":false,"error":{"code":"x","message":"y","retry_after_vms":1.5}}"#,
+            r#"{"ok":false,"error":{"code":"x","message":"y","retry_after_vms":"soon"}}"#,
+            r#"{"ok":false,"error":[1,2]}"#,
+            r#"{"ok":false,"error":42}"#,
+            // Hostile shard frames.
+            r#"{"v":2,"cmd":"shard.dispatch"}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":1,"gen":0}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","origin":1,"gen":0,"spec":{},"gds_hex":""}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":-1,"gen":0,"spec":{},"gds_hex":""}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":1,"gen":0,"spec":{},"gds_hex":"","ranges":[[1]]}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":1,"gen":0,"spec":{},"gds_hex":"","ranges":[[1,2,3]]}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":1,"gen":0,"spec":{},"gds_hex":"","ranges":[["a","b"]]}"#,
+            r#"{"v":2,"cmd":"shard.dispatch","coord":9,"origin":1,"gen":0,"spec":{},"gds_hex":"","ranges":7}"#,
+            r#"{"v":2,"cmd":"shard.attach","origin":1,"gen":0}"#,
+            r#"{"v":2,"cmd":"shard.attach","coord":9,"origin":1}"#,
+            r#"{"v":2,"cmd":"shard.attach","coord":9,"gen":0}"#,
+            r#"{"v":2,"cmd":"shard.pull"}"#,
+            r#"{"v":2,"cmd":"shard.pull","job":1,"since":-4}"#,
+            // Hostile shard responses.
+            r#"{"v":2,"ok":true,"attached":"yes","job":1,"total":2,"ranges":[]}"#,
+            r#"{"v":2,"ok":true,"attached":true,"job":1,"total":2}"#,
+            r#"{"v":2,"ok":true,"attached":true,"job":1,"ranges":[],"total":-2}"#,
+            r#"{"v":2,"ok":true,"outcomes":7,"next":0,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"done":{}}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"done":{"data":"zz","ckpt_degraded":false,"cache":"none"}}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"done":{"data":"","ckpt_degraded":false,"cache":"warm"}}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"retries":[{"attempt":0}],"quarantined":{"attempts":1,"reason":"r"}}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"quarantined":{"attempts":1}}],"next":1,"settled":false}"#,
+            r#"{"v":2,"ok":true,"outcomes":[],"next":0}"#,
         ] {
             assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn shard_frames_are_v2_only() {
+        // The same shard frame: accepted with "v":2, refused bare (v1).
+        let v2 = Request::ShardAttach { coord: 9, origin: 1, gen: 0 };
+        let line = v2.to_json().render();
+        assert_eq!(Request::parse_versioned(&line), Ok((v2.clone(), 2)));
+        let v1_line = v2.body_json().render();
+        let err = Request::parse_versioned(&v1_line).expect_err("v1 shard frame");
+        assert!(err.contains("protocol v2"), "{err}");
+        for cmd in ["shard.dispatch", "shard.pull"] {
+            let line = format!(
+                r#"{{"cmd":"{cmd}","coord":9,"origin":1,"gen":0,"job":1,"spec":{{}},"gds_hex":""}}"#
+            );
+            assert!(Request::parse_versioned(&line).is_err(), "{line}");
         }
     }
 

@@ -172,6 +172,18 @@ fn handle_request(service: &SignoffService, request: Request) -> Response {
         Request::Resume { job } => service.resume(job).map(Response::Status).map_err(classify),
         Request::List => Ok(Response::List { jobs: service.list() }),
         Request::Shutdown => Ok(Response::ShuttingDown),
+        Request::ShardDispatch { coord, origin, gen, spec, gds, ranges } => service
+            .shard_dispatch(coord, origin, gen, spec, gds, ranges)
+            .map(|grant| Response::ShardDispatched { grant })
+            .map_err(classify),
+        Request::ShardAttach { coord, origin, gen } => service
+            .shard_attach(coord, origin, gen)
+            .map(|grant| Response::ShardDispatched { grant })
+            .map_err(classify),
+        Request::ShardPull { job, since } => service
+            .shard_outcomes(job, since)
+            .map(|(outcomes, next, settled)| Response::ShardOutcomes { outcomes, next, settled })
+            .map_err(classify),
     };
     result.unwrap_or_else(|error| Response::Error { error })
 }

@@ -43,6 +43,9 @@ use crate::checkpoint::{decode_tile_partial, encode_tile_partial, list_job_dirs,
 use crate::job::{JobContext, TilePartial};
 use crate::report::{QuarantinedTile, SignoffReport};
 use crate::sched::{Grant, GrantOut, Rejection, SchedConfig, Scheduler};
+use crate::shard::{
+    self, ShardGrant, ShardSet, ShardStats, TileCacheMark, TileOutcome, TileOutcomeKind,
+};
 use crate::spec::JobSpec;
 use dfm_cache::TileCache;
 use dfm_fault::FaultPlane;
@@ -344,6 +347,15 @@ pub struct ServiceConfig {
     /// weight 1, no quotas, unbounded grant window — exactly the
     /// pre-scheduler dispatch behaviour.
     pub sched: Option<SchedConfig>,
+    /// Shard role: `Some((k, n))` makes this service shard `k` of `n` —
+    /// a `shard.dispatch` frame without explicit ranges runs only the
+    /// deterministic partition [`crate::shard::partition_range`]`(t, n,
+    /// k)` of the job. `None` (the default) still accepts shard frames
+    /// but requires the coordinator to name the ranges.
+    pub shard_of: Option<(u64, u64)>,
+    /// Coordinator role: shard addresses (`host:port`) to fan every
+    /// submitted job out to. Empty (the default) runs jobs locally.
+    pub shards: Vec<String>,
 }
 
 impl ServiceConfig {
@@ -358,6 +370,8 @@ impl ServiceConfig {
             policy: SupervisionPolicy::default(),
             cache: None,
             sched: None,
+            shard_of: None,
+            shards: Vec::new(),
         }
     }
 
@@ -427,6 +441,20 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Shard role: own partition `k` of `n` for dispatched jobs.
+    #[must_use]
+    pub fn shard_of(mut self, k: u64, n: u64) -> Self {
+        self.cfg.shard_of = Some((k, n));
+        self
+    }
+
+    /// Coordinator role: fan submitted jobs out to these shards.
+    #[must_use]
+    pub fn shards(mut self, addrs: Vec<String>) -> Self {
+        self.cfg.shards = addrs;
+        self
+    }
+
     /// Finish the configuration.
     #[must_use]
     pub fn build(self) -> ServiceConfig {
@@ -484,6 +512,14 @@ struct JobMut {
     quarantined: BTreeMap<usize, (u64, String)>,
     /// Tiles whose committed result came from the cache.
     cached: BTreeSet<usize>,
+    /// Monotonic per-tile outcome log, recorded only for
+    /// shard-dispatched jobs (`Some` from `shard_dispatch` on): the
+    /// stream a coordinator pulls to replay this job's commits.
+    outcomes: Option<Vec<TileOutcome>>,
+    /// The current shard-dispatch epoch on a coordinating service;
+    /// replaced wholesale by each dispatch, so stale pullers detect
+    /// supersession by pointer identity.
+    shard_run: Option<Arc<crate::shard::ShardRun>>,
 }
 
 impl JobMut {
@@ -505,6 +541,8 @@ impl JobMut {
             commit_queue: VecDeque::new(),
             quarantined: BTreeMap::new(),
             cached: BTreeSet::new(),
+            outcomes: None,
+            shard_run: None,
         }
     }
 
@@ -531,14 +569,25 @@ fn advance_commits(m: &mut JobMut, total: usize) {
     while let Some(&tile) = m.commit_queue.front() {
         let Some(res) = m.pending_commit.remove(&tile) else { break };
         m.commit_queue.pop_front();
-        for r in m.retry_log.remove(&tile).unwrap_or_default() {
+        let retries = m.retry_log.remove(&tile).unwrap_or_default();
+        for r in &retries {
             m.emit(JobEventKind::TileRetry {
                 tile,
                 attempt: r.attempt,
                 backoff_vms: r.backoff_vms,
-                reason: r.reason,
+                reason: r.reason.clone(),
             });
         }
+        // Shard-dispatched jobs append every commit — retries and all —
+        // to the outcome log a coordinator replays byte-identically.
+        let outcome_retries: Vec<crate::shard::TileRetry> = retries
+            .into_iter()
+            .map(|r| crate::shard::TileRetry {
+                attempt: r.attempt,
+                backoff_vms: r.backoff_vms,
+                reason: r.reason,
+            })
+            .collect();
         match res {
             TileResolution::Done { partial, ckpt_degraded, cache } => {
                 if ckpt_degraded {
@@ -552,11 +601,33 @@ fn advance_commits(m: &mut JobMut, total: usize) {
                     CacheOutcome::Stored => m.emit(JobEventKind::TileCacheStore { tile }),
                     CacheOutcome::None => {}
                 }
+                if let Some(outcomes) = &mut m.outcomes {
+                    outcomes.push(TileOutcome {
+                        tile,
+                        retries: outcome_retries,
+                        kind: TileOutcomeKind::Done {
+                            data: encode_tile_partial(&partial),
+                            ckpt_degraded,
+                            cache: match cache {
+                                CacheOutcome::Hit => TileCacheMark::Hit,
+                                CacheOutcome::Stored => TileCacheMark::Stored,
+                                CacheOutcome::None => TileCacheMark::None,
+                            },
+                        },
+                    });
+                }
                 m.partials.insert(tile, partial);
                 let completed = m.partials.len();
                 m.emit(JobEventKind::TileDone { tile, completed, total });
             }
             TileResolution::Quarantined { attempts, reason } => {
+                if let Some(outcomes) = &mut m.outcomes {
+                    outcomes.push(TileOutcome {
+                        tile,
+                        retries: outcome_retries,
+                        kind: TileOutcomeKind::Quarantined { attempts, reason: reason.clone() },
+                    });
+                }
                 m.quarantined.insert(tile, (attempts, reason.clone()));
                 m.emit(JobEventKind::TileQuarantined { tile, attempts, reason });
             }
@@ -564,8 +635,8 @@ fn advance_commits(m: &mut JobMut, total: usize) {
     }
 }
 
-struct Job {
-    id: u64,
+pub(crate) struct Job {
+    pub(crate) id: u64,
     dir: Option<JobDir>,
     m: Mutex<JobMut>,
     cv: Condvar,
@@ -592,10 +663,10 @@ struct TileHandle {
 /// themselves — alive), the fault plane, the policy, and the
 /// fair-share scheduler (its lock is always taken *after* any job
 /// lock is released, never while one is held).
-struct RunShared {
+pub(crate) struct RunShared {
     pool: Weak<WorkerPool>,
-    plane: Option<Arc<FaultPlane>>,
-    policy: SupervisionPolicy,
+    pub(crate) plane: Option<Arc<FaultPlane>>,
+    pub(crate) policy: SupervisionPolicy,
     tile_delay: Duration,
     cache: Option<Arc<TileCache>>,
     sched: Mutex<Scheduler<TileHandle>>,
@@ -629,6 +700,17 @@ pub struct SignoffService {
     /// Next job id — atomic so two racing submissions can never mint
     /// the same id.
     next_id: AtomicU64,
+    /// Shard role: this service's `(k, n)` partition assignment.
+    shard_of: Option<(u64, u64)>,
+    /// Coordinator role: the shard roster jobs fan out to (`None`
+    /// runs jobs locally, the single-process behaviour).
+    shards: Option<Arc<ShardSet>>,
+    /// Shard-side idempotency map: `(coord, origin, gen)` → the grant
+    /// already minted for that dispatch, so a reconnecting or restarted
+    /// coordinator re-attaches instead of recomputing. The coordinator
+    /// identity in the key keeps two coordinator instances that mint
+    /// the same job id from ever colliding on this shard.
+    origin_map: Mutex<BTreeMap<(u64, u64, u64), ShardGrant>>,
 }
 
 impl SignoffService {
@@ -645,25 +727,32 @@ impl SignoffService {
         SignoffService::with_config(ServiceConfig { ckpt_root, tile_delay, ..ServiceConfig::new(threads) })
     }
 
-    /// Like [`SignoffService::new`] with an explicit per-tile delay.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SignoffService::with_config(ServiceConfig::builder().tile_delay(..).build())"
-    )]
-    pub fn with_tile_delay(
-        threads: usize,
-        ckpt_root: Option<PathBuf>,
-        tile_delay: Duration,
-    ) -> SignoffService {
-        SignoffService::with_config(ServiceConfig { ckpt_root, tile_delay, ..ServiceConfig::new(threads) })
-    }
-
     /// Creates a service from a full [`ServiceConfig`] — the only
     /// constructor that can arm a fault plane, a tenant plan, or a
     /// non-default policy. Build one with [`ServiceConfig::builder`].
     pub fn with_config(cfg: ServiceConfig) -> SignoffService {
         let pool = Arc::new(WorkerPool::with_fault_plane(cfg.threads, cfg.fault_plane.clone()));
         let sched_cfg = cfg.sched.unwrap_or_else(SchedConfig::open);
+        // The coordinator identity on shard frames. A checkpointed
+        // coordinator derives it from the checkpoint root, so a restart
+        // over the same root re-attaches to its shard jobs; an
+        // in-memory coordinator (which cannot restart) gets a
+        // per-instance id, so its jobs can never collide with another
+        // coordinator's on a shared shard.
+        // Masked to 53 bits: coordinator ids ride JSON numbers, which
+        // are f64 on the wire and must round-trip exactly.
+        let coord_id = match &cfg.ckpt_root {
+            Some(root) => crate::codec::fnv1a_64(root.to_string_lossy().as_bytes()),
+            None => {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_nanos() as u64);
+                let mut seed = Vec::with_capacity(16);
+                seed.extend_from_slice(&u64::from(std::process::id()).to_le_bytes());
+                seed.extend_from_slice(&nanos.to_le_bytes());
+                crate::codec::fnv1a_64(&seed)
+            }
+        } & ((1u64 << 53) - 1);
         let shared = Arc::new(RunShared {
             pool: Arc::downgrade(&pool),
             plane: cfg.fault_plane,
@@ -678,6 +767,13 @@ impl SignoffService {
             jobs: Mutex::new(BTreeMap::new()),
             ckpt_root: cfg.ckpt_root,
             next_id: AtomicU64::new(1),
+            shard_of: cfg.shard_of,
+            shards: if cfg.shards.is_empty() {
+                None
+            } else {
+                Some(Arc::new(ShardSet::new(cfg.shards, coord_id)))
+            },
+            origin_map: Mutex::new(BTreeMap::new()),
         };
         service.load_persisted_jobs();
         let last = service.jobs.lock().expect("jobs lock").keys().next_back().copied();
@@ -802,6 +898,20 @@ impl SignoffService {
             job.cv.notify_all();
             m.cancel.clone()
         };
+        // A coordinating service never computes locally: the tiles fan
+        // out across the shard roster, and puller threads feed the same
+        // commit machinery shard outcomes instead of pool results. The
+        // coordinator's own cache is bypassed — cache events replay
+        // from the shards' outcome marks, so cold/warm event streams
+        // match a single process at the shards' cache temperature.
+        if let Some(set) = &self.shards {
+            if tiles.is_empty() {
+                try_finalize(&self.shared, job, ctx);
+                return;
+            }
+            shard::dispatch_to_shards(&self.shared, set, job, ctx, &tiles);
+            return;
+        }
         // Consult the result cache before the pool sees anything: a hit
         // commits straight from the store (in ascending order, so the
         // commit queue drains as we go) and only the misses reach the
@@ -1067,6 +1177,148 @@ impl SignoffService {
         }
         m.ctx = Some(ctx);
         Ok(())
+    }
+
+    /// Shard-side entry point for a coordinator's `shard.dispatch`
+    /// frame: runs tile range(s) of the job as a local shard job whose
+    /// per-tile outcomes are recorded for [`SignoffService::shard_outcomes`]
+    /// to stream back.
+    ///
+    /// `(coord, origin, gen)` — the coordinator's identity, its job
+    /// id, and the dispatch generation — is the idempotency key: a
+    /// re-dispatch of a known key (coordinator restart, reconnect)
+    /// answers with the existing grant (`attached = true`) instead of
+    /// recomputing. With `ranges = None` the service must have been
+    /// configured as shard `k` of `n` ([`ServiceConfig::shard_of`])
+    /// and runs its deterministic partition; a coordinator always
+    /// names ranges explicitly.
+    ///
+    /// Admission runs against this service's scheduler with the
+    /// *dispatched* tile count. Shards are expected to run the open
+    /// scheduler and trust the coordinator's grants — admission control
+    /// for the whole job already happened at the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Spec/GDS diagnostics, malformed ranges, a missing `shard_of`
+    /// assignment when `ranges` is `None`, or local admission refusal.
+    pub fn shard_dispatch(
+        &self,
+        coord: u64,
+        origin: u64,
+        gen: u64,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        ranges: Option<Vec<(usize, usize)>>,
+    ) -> Result<ShardGrant, String> {
+        let ctx = Arc::new(JobContext::build(&spec, &gds)?);
+        let total = ctx.tile_count();
+        let ranges = match ranges {
+            Some(r) => r,
+            None => {
+                let (k, n) = self.shard_of.ok_or(
+                    "shard.dispatch without ranges requires a server started with --shard-of K/N",
+                )?;
+                vec![shard::partition_range(total, n, k)]
+            }
+        };
+        let tiles = shard::expand_ranges(&ranges, total)?;
+        // The idempotency map stays locked across job creation so two
+        // racing dispatches of the same (coord, origin, gen) mint one
+        // job.
+        let mut map = self.origin_map.lock().expect("origin map lock");
+        if let Some(grant) = map.get(&(coord, origin, gen)) {
+            let mut g = grant.clone();
+            g.attached = true;
+            return Ok(g);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.shared
+            .sched
+            .lock()
+            .expect("sched lock")
+            .admit(id, &spec.tenant, spec.priority, tiles.len() as u64)
+            .map_err(|e| e.to_string())?;
+        let dir = match &self.ckpt_root {
+            None => None,
+            Some(root) => {
+                let dir = JobDir::new(root, id);
+                if let Err(e) = dir.persist_submission(&spec.to_json().render(), &gds) {
+                    let grants =
+                        self.shared.sched.lock().expect("sched lock").remove_job(id);
+                    dispatch_grants(&self.shared, grants);
+                    return Err(e);
+                }
+                Some(dir)
+            }
+        };
+        let mut m = JobMut::fresh(spec, gds, Some(Arc::clone(&ctx)), JobState::Queued);
+        m.outcomes = Some(Vec::new());
+        m.emit(JobEventKind::State(JobState::Queued));
+        let job = Arc::new(Job { id, dir, m: Mutex::new(m), cv: Condvar::new() });
+        self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
+        let grant = ShardGrant { job: id, total, ranges, attached: false };
+        map.insert((coord, origin, gen), grant.clone());
+        drop(map);
+        self.dispatch(&job, &ctx, tiles);
+        Ok(grant)
+    }
+
+    /// Shard-side entry point for `shard.attach`: answers the grant a
+    /// prior [`SignoffService::shard_dispatch`] minted for `(coord,
+    /// origin, gen)` — how a restarted (or reconnecting) coordinator
+    /// finds its shard jobs and replays their outcome logs without
+    /// recomputing.
+    ///
+    /// # Errors
+    ///
+    /// An unknown `(coord, origin, gen)` (mapped to `not_found` on the
+    /// wire).
+    pub fn shard_attach(&self, coord: u64, origin: u64, gen: u64) -> Result<ShardGrant, String> {
+        let map = self.origin_map.lock().expect("origin map lock");
+        match map.get(&(coord, origin, gen)) {
+            Some(grant) => {
+                let mut g = grant.clone();
+                g.attached = true;
+                Ok(g)
+            }
+            None => Err(format!(
+                "no such job: coordinator {coord:#x} origin {origin} gen {gen} is not dispatched here"
+            )),
+        }
+    }
+
+    /// The monotonic outcome log of a shard job from entry `since` on,
+    /// with the next cursor and whether the job has settled — the
+    /// stream a coordinator polls (`shard.pull`). A settled shard job
+    /// with no further outcomes is the puller's signal that nothing
+    /// more will ever arrive.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, or a job that was not dispatched via
+    /// [`SignoffService::shard_dispatch`].
+    pub fn shard_outcomes(
+        &self,
+        id: u64,
+        since: u64,
+    ) -> Result<(Vec<TileOutcome>, u64, bool), String> {
+        let job = self.job(id)?;
+        let m = job.m.lock().expect("job lock");
+        let Some(outcomes) = &m.outcomes else {
+            return Err(format!("job {id} is not a shard-dispatched job"));
+        };
+        let start = (since as usize).min(outcomes.len());
+        Ok((outcomes[start..].to_vec(), outcomes.len() as u64, m.state.is_settled()))
+    }
+
+    /// Coordinator counters (`None` on a non-coordinating service):
+    /// shard-roster size and tiles re-dispatched after shard losses.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        self.shards.as_ref().map(|s| ShardStats {
+            shards: s.addrs.len(),
+            tiles_redispatched: s.redispatched.load(Ordering::SeqCst),
+        })
     }
 }
 
@@ -1459,6 +1711,141 @@ fn try_finalize(shared: &Arc<RunShared>, job: &Arc<Job>, ctx: &Arc<JobContext>) 
     // so notifying outside it cannot lose a wakeup.)
     sched_remove_job(shared, job.id);
     job.cv.notify_all();
+}
+
+/// The spec + GDS bytes a puller re-dispatches to a shard.
+pub(crate) fn shard_payload(job: &Arc<Job>) -> (JobSpec, Vec<u8>) {
+    let m = job.m.lock().expect("job lock");
+    (m.spec.clone(), m.gds.clone())
+}
+
+/// Installs the current shard-dispatch epoch on a coordinated job.
+pub(crate) fn set_shard_run(job: &Arc<Job>, run: Arc<shard::ShardRun>) {
+    job.m.lock().expect("job lock").shard_run = Some(run);
+}
+
+/// True while `run` is still the job's current epoch and the job is
+/// still running — the staleness guard puller threads re-check every
+/// cycle, so a cancel or resume retires them within one poll.
+pub(crate) fn shard_run_live(job: &Arc<Job>, run: &Arc<shard::ShardRun>) -> bool {
+    let m = job.m.lock().expect("job lock");
+    m.state == JobState::Running && m.shard_run.as_ref().is_some_and(|r| Arc::ptr_eq(r, run))
+}
+
+/// Feeds one shard-reported tile outcome into the coordinator job's
+/// commit machinery — the exact path local attempts use, so event
+/// order, report bytes, and digests cannot tell the difference.
+pub(crate) fn ingest_shard_outcome(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    outcome: &TileOutcome,
+) {
+    let tile = outcome.tile;
+    // Decode and (best-effort) persist outside the job lock. No fault
+    // probes fire here: the shard already ran the tile's checkpoint
+    // faults (replayed via `ckpt_degraded`), and a shared plan probed
+    // again at the coordinator would fire twice and skew the bytes.
+    let resolution = match &outcome.kind {
+        TileOutcomeKind::Done { data, ckpt_degraded, cache } => {
+            match decode_tile_partial(data, tile) {
+                Some(partial) => {
+                    if let Some(dir) = &job.dir {
+                        let _ = dir.write_tile(&partial);
+                    }
+                    TileResolution::Done {
+                        partial,
+                        ckpt_degraded: *ckpt_degraded,
+                        cache: match cache {
+                            TileCacheMark::Hit => CacheOutcome::Hit,
+                            TileCacheMark::Stored => CacheOutcome::Stored,
+                            TileCacheMark::None => CacheOutcome::None,
+                        },
+                    }
+                }
+                None => TileResolution::Quarantined {
+                    attempts: 0,
+                    reason: format!("tile {tile}: undecodable shard result"),
+                },
+            }
+        }
+        TileOutcomeKind::Quarantined { attempts, reason } => {
+            TileResolution::Quarantined { attempts: *attempts, reason: reason.clone() }
+        }
+    };
+    {
+        let mut m = job.m.lock().expect("job lock");
+        if m.state != JobState::Running {
+            return;
+        }
+        if m.partials.contains_key(&tile)
+            || m.pending_commit.contains_key(&tile)
+            || m.quarantined.contains_key(&tile)
+        {
+            return; // already adjudicated (duplicate pull or overlap)
+        }
+        if !outcome.retries.is_empty() {
+            m.retry_log.insert(
+                tile,
+                outcome
+                    .retries
+                    .iter()
+                    .map(|r| RetryRecord {
+                        attempt: r.attempt,
+                        backoff_vms: r.backoff_vms,
+                        reason: r.reason.clone(),
+                    })
+                    .collect(),
+            );
+        }
+        m.pending_commit.insert(tile, resolution);
+        advance_commits(&mut m, ctx.tile_count());
+        job.cv.notify_all();
+    }
+    // A shard tile never entered a local lane; `resolved` credits the
+    // job's unassigned admission budget, like the cache-hit path.
+    sched_resolved(shared, job.id, tile);
+    try_finalize(shared, job, ctx);
+}
+
+/// Quarantines a lost shard's unrecoverable tiles (`shard {k} lost:
+/// …`) so the coordinated job settles as a deterministic `Partial`
+/// with a per-shard manifest instead of hanging.
+pub(crate) fn quarantine_lost_tiles(
+    shared: &Arc<RunShared>,
+    job: &Arc<Job>,
+    ctx: &Arc<JobContext>,
+    shard_idx: usize,
+    err: &str,
+    lost: &BTreeSet<usize>,
+) {
+    {
+        let mut m = job.m.lock().expect("job lock");
+        if m.state != JobState::Running {
+            return;
+        }
+        for &tile in lost {
+            if m.partials.contains_key(&tile)
+                || m.pending_commit.contains_key(&tile)
+                || m.quarantined.contains_key(&tile)
+            {
+                continue;
+            }
+            m.pending_commit.insert(
+                tile,
+                TileResolution::Quarantined {
+                    attempts: 0,
+                    reason: format!("shard {shard_idx} lost: {err}"),
+                },
+            );
+        }
+        advance_commits(&mut m, ctx.tile_count());
+        job.cv.notify_all();
+    }
+    for &tile in lost {
+        sched_resolved(shared, job.id, tile);
+    }
+    try_finalize(shared, job, ctx);
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

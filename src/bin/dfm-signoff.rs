@@ -5,6 +5,8 @@
 //! dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
 //!                     [--fault-plan FILE] [--max-attempts N]
 //!                     [--cache DIR] [--cache-max-bytes N] [--tenants FILE]
+//!                     [--shard-of K/N]
+//! dfm-signoff coordinate --shards HOST:PORT[,HOST:PORT...] [serve flags]
 //! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
 //! dfm-signoff submit  --addr HOST:PORT --gds FILE [--tenant T] [--priority P] [spec flags]
 //! dfm-signoff status  --addr HOST:PORT --job ID [--tenant T] [--priority P]
@@ -46,6 +48,25 @@
 //! to a different tenant). Without `--tenants`, every tenant is
 //! accepted at weight 1 with no quotas — exactly the pre-scheduler
 //! behaviour.
+//!
+//! ## Scale-out (sharding)
+//!
+//! `serve --shard-of K/N` starts a server that owns deterministic
+//! tile-range partition `K` (0-based) of any job dispatched to it by a
+//! coordinator. `coordinate --shards A,B,...` starts a coordinator:
+//! a full signoff server whose job execution fans each submitted job
+//! out across the listed shard servers by tile range, streams their
+//! outcome logs back, and merges them through the same tile-ordered
+//! commit machinery — so the coordinated event stream, final report,
+//! and exit code are byte-identical to a plain `serve` run. Admission
+//! control (`--tenants`) stays at the coordinator; shards trust its
+//! grants. A dead shard's unfinished range is re-dispatched to a
+//! surviving shard (recovering through the tile cache where warm); if
+//! no shard survives, the job settles `Partial` with a per-shard
+//! quarantine manifest. `coordinate` accepts all `serve` flags, so a
+//! `--ckpt` root gives the coordinator checkpoint/resume: a restarted
+//! coordinator re-dispatches each unsettled job and recovers already
+//! merged tiles from its checkpoint.
 //!
 //! ## Scoring and auto-fix
 //!
@@ -115,6 +136,7 @@ fn run(args: &[String]) -> Result<u8, String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "serve" => serve(rest),
+        "coordinate" => coordinate(rest),
         "gen" => gen(rest),
         "submit" => submit(rest),
         "status" => status(rest),
@@ -140,6 +162,8 @@ const USAGE: &str = "usage:
   dfm-signoff serve   [--threads N] [--port P] [--ckpt DIR] [--port-file FILE]
                       [--fault-plan FILE] [--max-attempts N]
                       [--cache DIR] [--cache-max-bytes N] [--tenants FILE]
+                      [--shard-of K/N]
+  dfm-signoff coordinate --shards HOST:PORT[,HOST:PORT...] [serve flags]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
   dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [--tenant T] [--priority P]
                       [spec flags]
@@ -313,6 +337,45 @@ fn print_status(s: dfm_practice::signoff::service::JobStatus) {
 
 fn serve(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
+    let shard_of = match flags.value("--shard-of")? {
+        None => None,
+        Some(v) => Some(parse_shard_of(v)?),
+    };
+    serve_with(flags, shard_of, Vec::new())
+}
+
+fn coordinate(args: &[String]) -> Result<u8, String> {
+    let mut flags = Flags::new(args);
+    let list = flags.value("--shards")?.ok_or("--shards HOST:PORT[,HOST:PORT...] is required")?;
+    let shards: Vec<String> =
+        list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    if shards.is_empty() {
+        return Err(format!("--shards has no addresses in '{list}'"));
+    }
+    serve_with(flags, None, shards)
+}
+
+/// `--shard-of K/N`: this server owns tile-range partition `K`
+/// (0-based) out of `N` when a coordinator dispatches without explicit
+/// ranges.
+fn parse_shard_of(v: &str) -> Result<(u64, u64), String> {
+    let (k, n) = v.split_once('/').ok_or_else(|| format!("--shard-of wants K/N, got '{v}'"))?;
+    let k: u64 = k.parse().map_err(|_| format!("--shard-of: bad shard index '{v}'"))?;
+    let n: u64 = n.parse().map_err(|_| format!("--shard-of: bad shard count '{v}'"))?;
+    if n == 0 || k >= n {
+        return Err(format!("--shard-of: need K < N and N >= 1, got '{v}'"));
+    }
+    Ok((k, n))
+}
+
+/// The shared body of `serve` and `coordinate`: both are a full
+/// signoff server; the only differences are whether jobs run locally,
+/// as one shard's partition, or fanned out across `shards`.
+fn serve_with(
+    mut flags: Flags<'_>,
+    shard_of: Option<(u64, u64)>,
+    shards: Vec<String>,
+) -> Result<u8, String> {
     let threads = flags.parsed("--threads")?.unwrap_or(4);
     let port: u16 = flags.parsed("--port")?.unwrap_or(0);
     let ckpt = flags.value("--ckpt")?.map(std::path::PathBuf::from);
@@ -350,6 +413,12 @@ fn serve(args: &[String]) -> Result<u8, String> {
         )),
     };
     let mut cfg = ServiceConfig::builder().threads(threads).tile_delay(tile_delay).policy(policy);
+    if let Some((k, n)) = shard_of {
+        cfg = cfg.shard_of(k, n);
+    }
+    if !shards.is_empty() {
+        cfg = cfg.shards(shards);
+    }
     if let Some(root) = ckpt {
         cfg = cfg.ckpt_root(root);
     }
@@ -547,10 +616,43 @@ fn list(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
     flags.finish()?;
-    for status in client.list()? {
-        print_status(status);
+    let jobs = client.list()?;
+    let mut rows: Vec<Vec<String>> = vec![
+        ["ID", "NAME", "TENANT", "PRIO", "STATE", "TILES", "QUAR", "CACHED"]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    ];
+    for s in &jobs {
+        rows.push(vec![
+            s.id.to_string(),
+            s.name.clone(),
+            s.tenant.clone(),
+            s.priority.to_string(),
+            s.state.to_string(),
+            format!("{}/{}", s.tiles_done, s.tiles_total),
+            s.tiles_quarantined.to_string(),
+            s.tiles_cached.to_string(),
+        ]);
     }
-    Ok(EXIT_PASS)
+    let mut widths = vec![0_usize; rows[0].len()];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            cells.join("  ").trim_end().to_string()
+        })
+        .collect();
+    emit_lines(&lines).map(|()| EXIT_PASS)
 }
 
 fn shutdown(args: &[String]) -> Result<u8, String> {
