@@ -188,6 +188,20 @@ diff "$WORK/cache-1-run2.txt" "$WORK/cache-4-run2.txt"
 "$BIN" cache verify --dir "$WORK/cache-1" | grep -q " removed 0$"
 echo "ok: warm resubmission serves $CACHED tiles from the cache, bytes unchanged"
 
+echo "== cache verify flags corruption (offline, exit-code contract) =="
+# Flip bytes in one sealed entry: `cache verify` must repair it AND
+# exit non-zero (3), so a pipeline cannot silently pass over bit-rot.
+# A second verify over the repaired store is clean again and exits 0.
+ENTRY=$(find "$WORK/cache-1" -name 'e-*.bin' -type f | sort | head -1)
+[[ -n "$ENTRY" ]]
+printf 'bit-rot' >>"$ENTRY"
+rc=0
+"$BIN" cache verify --dir "$WORK/cache-1" >"$WORK/verify-corrupt.out" || rc=$?
+[[ $rc -eq 3 ]]
+! grep -q " removed 0$" "$WORK/verify-corrupt.out"
+"$BIN" cache verify --dir "$WORK/cache-1" | grep -q " removed 0$"
+echo "ok: corruption is repaired and reported with exit 3"
+
 echo "== score + auto-fix smoke (offline, exit-code contract) =="
 # `score` emits one deterministic JSON line and exits by the contract
 # (0 pass / 1 below threshold / 2 partial / 3 error). `fix` runs the
@@ -395,6 +409,52 @@ wait "$SHARD_B" 2>/dev/null || true; SHARD_B=""
 diff "$WORK/flat.txt" "$WORK/shard-resumed.txt"
 echo "ok: restarted coordinator reattaches and replays, bytes unchanged"
 
+echo "== graceful drain smoke (offline, loopback only) =="
+# `shutdown --drain` must finish and checkpoint the in-flight tiles
+# before acknowledging — so the second life resumes from a non-empty
+# durable prefix and still renders the flat bytes.
+DFM_SIGNOFF_TILE_DELAY_MS=60 "$BIN" serve --threads 2 --port 0 \
+    --ckpt "$WORK/drain-ckpt" --port-file "$WORK/drain-port" >/dev/null &
+SERVER=$!
+for _ in $(seq 100); do [[ -s "$WORK/drain-port" ]] && break; sleep 0.05; done
+PORT=$(cat "$WORK/drain-port")
+JOB=$("$BIN" submit --addr "127.0.0.1:$PORT" --gds "$WORK/block.gds" "${SPEC_FLAGS[@]}")
+for _ in $(seq 200); do
+    compgen -G "$WORK/drain-ckpt/job-$JOB/tile-*.bin" >/dev/null && break
+    sleep 0.05
+done
+"$BIN" shutdown --addr "127.0.0.1:$PORT" --drain
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+# The drain ack means the in-flight tiles reached disk before exit.
+compgen -G "$WORK/drain-ckpt/job-$JOB/tile-*.bin" >/dev/null
+"$BIN" serve --threads 4 --port 0 --ckpt "$WORK/drain-ckpt" \
+    --port-file "$WORK/drain-port2" >/dev/null &
+SERVER=$!
+for _ in $(seq 100); do [[ -s "$WORK/drain-port2" ]] && break; sleep 0.05; done
+PORT=$(cat "$WORK/drain-port2")
+"$BIN" resume --addr "127.0.0.1:$PORT" --job "$JOB" >/dev/null
+"$BIN" results --addr "127.0.0.1:$PORT" --job "$JOB" --wait >"$WORK/drained.txt"
+"$BIN" shutdown --addr "127.0.0.1:$PORT"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+diff "$WORK/flat.txt" "$WORK/drained.txt"
+echo "ok: drained shutdown hands off cleanly; resumed bytes match flat"
+
+echo "== crash-simulation matrix (offline, deterministic) =="
+# The dfm-sim harness kills-and-restarts the whole stack at every
+# registered crash site and re-runs its robustness scenarios, asserting
+# byte-identity to the crash-free golden run. The transcript must be
+# byte-identical across worker counts — determinism under crashes is
+# the same contract as determinism under threads.
+SIM=target/release/dfm-sim
+DFM_THREADS=1 "$SIM" --seed 7 --root "$WORK/sim-t1" >"$WORK/sim-1.txt"
+DFM_THREADS=4 "$SIM" --seed 7 --root "$WORK/sim-t4" >"$WORK/sim-4.txt"
+diff "$WORK/sim-1.txt" "$WORK/sim-4.txt"
+grep -q "^result: PASS$" "$WORK/sim-1.txt"
+grep -q "^sites covered: " "$WORK/sim-1.txt"
+echo "ok: every crash site recovers byte-identically at both worker counts"
+
 echo "== signoff bench + cache gauges (offline) =="
 # The warm-cache bench publishes the hit ratio and recompute count of a
 # warm resubmission; a working cache pins them at 1 and 0. A small
@@ -409,5 +469,10 @@ grep -q '"fix_tiles_recomputed"' target/signoff-bench.json
 # volume: 2 shards, and a non-zero re-dispatched tile count.
 grep -q '"name":"shards","value":2' target/signoff-bench.json
 grep -q '"tiles_redispatched"' target/signoff-bench.json
+# The robustness bench pins the crash-site matrix size and proves the
+# client rode out torn frames with transparent reconnects (non-zero).
+grep -q '"crash_sites_covered"' target/signoff-bench.json
+grep -q '"reconnects"' target/signoff-bench.json
+! grep -q '"name":"reconnects","value":0[,}]' target/signoff-bench.json
 
 echo "CI OK"

@@ -208,6 +208,36 @@ fn bench_signoff_sharded(b: &mut Bencher) {
     }
 }
 
+/// Robustness surface: the size of the registered crash-site matrix
+/// (what `dfm-sim` enumerates and asserts full coverage of) and the
+/// client's transparent-reconnect counter under a server that tears
+/// every connection's fourth response frame. `reconnects > 0` is the
+/// evidence that the torn frames were ridden out invisibly — every
+/// ping still answered.
+fn bench_signoff_robustness(b: &mut Bencher) {
+    use dfm_signoff::server::SITE_SERVER_WRITE;
+    let plan = FaultPlan::seeded(5)
+        .with_rule(FaultRule::new(SITE_SERVER_WRITE, FaultAction::Drop).attempt_exactly(3));
+    let service = Arc::new(SignoffService::with_config(
+        ServiceConfig::builder()
+            .threads(1)
+            .fault_plane(Arc::new(FaultPlane::new(plan)))
+            .build(),
+    ));
+    let server = Server::bind(service, 0).expect("bind");
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..20 {
+        client.ping().expect("ping rides out torn frames");
+    }
+    b.gauge("crash_sites_covered", dfm_fault::crash::SITES.len() as f64);
+    b.gauge("reconnects", client.reconnects() as f64);
+    let _ = client.shutdown();
+}
+
 fn main() {
     let mut b = Bencher::from_env();
     bench_signoff_job_e2e(&mut b);
@@ -215,5 +245,6 @@ fn main() {
     bench_signoff_warm_cache(&mut b);
     bench_signoff_score_fix(&mut b);
     bench_signoff_sharded(&mut b);
+    bench_signoff_robustness(&mut b);
     b.finish();
 }

@@ -106,6 +106,19 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Corrupt or truncated entries dropped (open, lookup, or verify).
     pub corrupt_dropped: u64,
+    /// Orphaned `*.tmp` files swept at open (crash debris from a
+    /// store that died between tmp-write and rename).
+    pub tmp_swept: u64,
+}
+
+/// The staged durable transitions of one atomic store, as seen by the
+/// crash probe of [`TileCache::store_staged`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreStage {
+    /// Tmp file written and synced; rename not yet done.
+    Tmp,
+    /// Entry renamed into place; success not yet reported.
+    Rename,
 }
 
 /// Result of a full-store [`TileCache::verify`] sweep.
@@ -133,6 +146,7 @@ struct Index {
     stores: u64,
     evictions: u64,
     corrupt_dropped: u64,
+    tmp_swept: u64,
 }
 
 impl Index {
@@ -182,6 +196,14 @@ impl TileCache {
             let dirent = dirent?;
             let name = dirent.file_name();
             let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // Crash debris: a store died between tmp-write and
+                // rename. The entry never existed; sweep the orphan.
+                if fs::remove_file(dirent.path()).is_ok() {
+                    index.tmp_swept += 1;
+                }
+                continue;
+            }
             if !name.starts_with("e-") || !name.ends_with(".bin") {
                 continue;
             }
@@ -236,13 +258,46 @@ impl TileCache {
     /// entry landed on disk; `false` when the write failed (treated
     /// like eviction: the result is simply recomputed next time).
     pub fn store(&self, key: CacheKey, payload: &[u8]) -> bool {
+        self.store_staged(key, payload, None)
+    }
+
+    /// [`TileCache::store`] with a crash probe at the two staged
+    /// transitions of the atomic write. When `crash` returns `true`
+    /// for a [`StoreStage`], the store behaves as if the process died
+    /// there: at [`StoreStage::Tmp`] the orphan tmp file stays and no
+    /// entry exists; at [`StoreStage::Rename`] the entry is durable on
+    /// disk but never acknowledged (this process's index ignores it —
+    /// a reopened cache finds it by content address). Either way the
+    /// call reports `false`.
+    pub fn store_staged(
+        &self,
+        key: CacheKey,
+        payload: &[u8],
+        crash: Option<&dyn Fn(StoreStage) -> bool>,
+    ) -> bool {
         let mut index = self.index.lock().expect("cache lock");
         let seq = index.next_seq;
         index.next_seq += 1;
         let bytes = encode_entry(key, seq, payload);
         let len = bytes.len() as u64;
         let path = self.root.join(key.file_name());
-        if write_atomic(&path, &bytes).is_err() {
+        let tmp = path.with_extension("tmp");
+        let staged = (|| -> io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if staged.is_err() {
+            return false;
+        }
+        if crash.is_some_and(|c| c(StoreStage::Tmp)) {
+            return false;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            return false;
+        }
+        if crash.is_some_and(|c| c(StoreStage::Rename)) {
             return false;
         }
         index.insert(key, seq, len);
@@ -271,6 +326,7 @@ impl TileCache {
             stores: index.stores,
             evictions: index.evictions,
             corrupt_dropped: index.corrupt_dropped,
+            tmp_swept: index.tmp_swept,
         }
     }
 
@@ -379,20 +435,6 @@ fn decode_entry(bytes: &[u8]) -> Option<(CacheKey, u64, Vec<u8>, u64)> {
         return None;
     }
     Some((key, seq, payload.to_vec(), bytes.len() as u64))
-}
-
-/// Atomic write: tmp file, flush + sync, rename into place. The same
-/// idiom as the checkpoint store, so a crash mid-store leaves either
-/// the old entry or the new one, never a torn file under the live
-/// name.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -524,6 +566,32 @@ mod tests {
         assert_eq!(cache.clear().expect("clear"), 4);
         assert!(cache.is_empty());
         assert!(cache.lookup(key(0)).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn staged_crashes_leave_recoverable_state_and_open_sweeps_tmp() {
+        let root = fresh_root("staged");
+        {
+            let cache = TileCache::open(&root, None).expect("open");
+            // Crash after the tmp write: no entry, an orphan tmp file.
+            assert!(!cache.store_staged(key(1), b"one", Some(&|s| s == StoreStage::Tmp)));
+            assert!(cache.lookup(key(1)).is_none());
+            let tmp = root.join(key(1).file_name()).with_extension("tmp");
+            assert!(tmp.exists(), "orphan tmp is the documented debris");
+            // Crash after the rename: durable but unacknowledged — this
+            // process keeps treating it as absent.
+            assert!(!cache.store_staged(key(2), b"two", Some(&|s| s == StoreStage::Rename)));
+            assert!(cache.lookup(key(2)).is_none(), "index died with the process");
+            assert_eq!(cache.stats().stores, 0);
+        }
+        // The restarted process sweeps the orphan and finds the
+        // renamed entry by content address.
+        let cache = TileCache::open(&root, None).expect("reopen");
+        assert_eq!(cache.stats().tmp_swept, 1);
+        assert!(!root.join(key(1).file_name()).with_extension("tmp").exists());
+        assert!(cache.lookup(key(1)).is_none());
+        assert_eq!(cache.lookup(key(2)).as_deref(), Some(&b"two"[..]));
         let _ = fs::remove_dir_all(&root);
     }
 

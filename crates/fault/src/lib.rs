@@ -72,16 +72,31 @@ pub enum FaultAction {
     },
     /// The site drops its connection mid-frame.
     Drop,
+    /// The process "dies" at this durable-state transition: effects
+    /// already on disk stay, everything after the site is skipped, and
+    /// the enclosing operation reports failure. Only meaningful at
+    /// sites listed in [`crash::SITES`]; the `dfm-sim` harness arms
+    /// one of these per registered site and then restarts the stack
+    /// over the surviving durable state.
+    Crash,
+    /// The site behaves as if the disk were full (ENOSPC): the write
+    /// is refused *without* retry, and the caller must degrade (skip
+    /// the cache store, mark the checkpoint degraded) rather than fail
+    /// the job.
+    ErrNoSpace,
 }
 
 impl FaultAction {
-    /// Stable lower-case tag (`panic`/`error`/`delay`/`drop`).
+    /// Stable lower-case tag
+    /// (`panic`/`error`/`delay`/`drop`/`crash`/`err_nospace`).
     pub fn tag(&self) -> &'static str {
         match self {
             FaultAction::Panic => "panic",
             FaultAction::Error => "error",
             FaultAction::Delay { .. } => "delay",
             FaultAction::Drop => "drop",
+            FaultAction::Crash => "crash",
+            FaultAction::ErrNoSpace => "err_nospace",
         }
     }
 }
@@ -224,8 +239,8 @@ impl FaultPlan {
 
     /// Parses the text form. Lines: `seed N`, `rule SITE ACTION
     /// [key=K] [attempt<N|attempt=N] [p=F]` where `ACTION` is `panic`,
-    /// `error`, `drop`, or `delay=VMS`. Blank lines and `#` comments
-    /// are skipped.
+    /// `error`, `drop`, `crash`, `err_nospace`, or `delay=VMS`. Blank
+    /// lines and `#` comments are skipped.
     ///
     /// # Errors
     ///
@@ -255,6 +270,8 @@ impl FaultPlan {
                             "panic" => FaultAction::Panic,
                             "error" => FaultAction::Error,
                             "drop" => FaultAction::Drop,
+                            "crash" => FaultAction::Crash,
+                            "err_nospace" => FaultAction::ErrNoSpace,
                             _ => return Err(bad("unknown action")),
                         },
                         Some(("delay", vms)) => FaultAction::Delay {
@@ -440,6 +457,23 @@ impl FaultPlane {
         self.decide(site, key, attempt, |a| matches!(a, FaultAction::Drop)).is_some()
     }
 
+    /// True when a `crash` rule fires at this site visit: the caller
+    /// must abandon the enclosing operation exactly as if the process
+    /// had died at this durable instant — keep every effect already
+    /// made durable, skip everything after the probe, and report the
+    /// operation as failed.
+    pub fn crash_point(&self, site: &str, key: u64, attempt: u64) -> bool {
+        self.decide(site, key, attempt, |a| matches!(a, FaultAction::Crash)).is_some()
+    }
+
+    /// True when an `err_nospace` rule fires at this site visit: the
+    /// caller must treat the write as refused by a full disk — degrade
+    /// immediately (no retries) without failing the job or touching
+    /// existing entries.
+    pub fn maybe_nospace(&self, site: &str, key: u64, attempt: u64) -> bool {
+        self.decide(site, key, attempt, |a| matches!(a, FaultAction::ErrNoSpace)).is_some()
+    }
+
     /// Returns this visit's 0-based occurrence number for `(site,
     /// key)` and advances the counter — the `attempt` substitute for
     /// sites without caller-side attempt tracking (e.g. "nth frame on
@@ -461,12 +495,189 @@ impl FaultPlane {
     }
 }
 
+pub mod crash {
+    //! # Registered crash sites
+    //!
+    //! Every durable-state transition in the stack is a **crash
+    //! site**: a named point where the process may die leaving a
+    //! characteristic partial state on disk. This registry is the
+    //! authoritative catalog — the `dfm-sim` harness enumerates it,
+    //! arms the listed action at each site in turn, restarts the stack
+    //! over the surviving durable state, and asserts the recovery
+    //! invariant (byte-identical reports and the pinned golden
+    //! digest). DESIGN.md renders the same table for humans.
+    //!
+    //! Adding a durable transition to the system means adding its site
+    //! here; the sim has a test pinning one scenario per entry, so a
+    //! forgotten entry fails CI.
+
+    /// One registered crash site: where the process can die, what is
+    /// durable at that instant, and what recovery must guarantee.
+    #[derive(Clone, Copy, Debug)]
+    pub struct CrashSite {
+        /// Site key, as used in [`crate::FaultRule::site`].
+        pub site: &'static str,
+        /// Plan action the sim arms at this site (`crash`, `panic`,
+        /// `error`, `drop`, or `err_nospace` — whichever models death
+        /// at this transition).
+        pub action: &'static str,
+        /// Durable state at the instant of death.
+        pub durable: &'static str,
+        /// What recovery must guarantee.
+        pub invariant: &'static str,
+    }
+
+    /// The full crash-site catalog.
+    pub const SITES: &[CrashSite] = &[
+        CrashSite {
+            site: "signoff.ckpt.submit.spec",
+            action: "crash",
+            durable: "job dir + spec.json written; layout.gds absent",
+            invariant: "unloadable submission is skipped on restart; resubmission reuses the dir",
+        },
+        CrashSite {
+            site: "signoff.ckpt.submit.gds",
+            action: "crash",
+            durable: "full submission on disk; ack never reached the client",
+            invariant: "restart loads the job Partial; resume completes it byte-identically",
+        },
+        CrashSite {
+            site: "signoff.ckpt.tile.tmp",
+            action: "crash",
+            durable: "orphan tile-N.tmp; no tile-N.bin",
+            invariant: "tmp swept on open; tile recomputed; bytes identical",
+        },
+        CrashSite {
+            site: "signoff.ckpt.tile.rename",
+            action: "crash",
+            durable: "tile-N.bin durable though the writer reported failure",
+            invariant: "restart loads the tile; recompute skipped; bytes identical (idempotent replay)",
+        },
+        CrashSite {
+            site: "signoff.cache.store.tmp",
+            action: "crash",
+            durable: "orphan entry tmp in the cache dir; no entry",
+            invariant: "tmp swept at cache open; later lookup misses and recomputes",
+        },
+        CrashSite {
+            site: "signoff.cache.store.rename",
+            action: "crash",
+            durable: "cache entry durable though the store reported failure",
+            invariant: "later lookup hits; bytes identical by content address",
+        },
+        CrashSite {
+            site: "signoff.ckpt.read",
+            action: "error",
+            durable: "checkpoint present but unreadable at resume",
+            invariant: "tile skipped at load and recomputed; bytes identical",
+        },
+        CrashSite {
+            site: "signoff.tile.compute",
+            action: "panic",
+            durable: "no tile checkpoint; attempt died mid-compute",
+            invariant: "retry/quarantine settles deterministically; resume recomputes",
+        },
+        CrashSite {
+            site: "signoff.cache.write",
+            action: "err_nospace",
+            durable: "cache store refused (disk full); existing entries untouched",
+            invariant: "store skipped without retry; job still settles Done with correct bytes",
+        },
+        CrashSite {
+            site: "signoff.ckpt.write",
+            action: "err_nospace",
+            durable: "tile checkpoint refused (disk full); result kept in memory",
+            invariant: "CkptDegraded, job not failed; resume recomputes the unpersisted tile",
+        },
+        CrashSite {
+            site: "coord.dispatch",
+            action: "error",
+            durable: "shard roster durable; dispatch RPC died",
+            invariant: "shard marked lost; tiles re-dispatched to a survivor; bytes identical",
+        },
+        CrashSite {
+            site: "coord.pull",
+            action: "drop",
+            durable: "committed outcome prefix durable; pull stream died mid-job",
+            invariant: "survivor takeover recomputes only uncommitted tiles; bytes identical",
+        },
+        CrashSite {
+            site: "coord.ingest",
+            action: "crash",
+            durable: "coordinator died between pulling an outcome and committing it",
+            invariant: "outcome dropped, commit prefix unharmed; redispatch recomputes; bytes identical",
+        },
+        CrashSite {
+            site: "shard.heartbeat",
+            action: "drop",
+            durable: "shard state durable; heartbeats stop renewing the lease",
+            invariant: "virtual-clock lease expiry declares loss; survivor takeover; bytes identical",
+        },
+    ];
+
+    /// Looks a site up by key.
+    pub fn lookup(site: &str) -> Option<&'static CrashSite> {
+        SITES.iter().find(|s| s.site == site)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn any(_: &FaultAction) -> bool {
         true
+    }
+
+    #[test]
+    fn crash_registry_is_populated_and_unique() {
+        assert!(crash::SITES.len() >= 12, "crash registry must list every durable transition");
+        let mut keys: Vec<&str> = crash::SITES.iter().map(|s| s.site).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), crash::SITES.len(), "duplicate crash-site keys");
+        for s in crash::SITES {
+            assert!(
+                ["crash", "panic", "error", "drop", "err_nospace"].contains(&s.action),
+                "site {} arms unknown action {}",
+                s.site,
+                s.action
+            );
+            // Every listed action must round-trip through the plan text
+            // form so ci scripts can arm it verbatim.
+            let plan = FaultPlan::parse(&format!("rule {} {}", s.site, s.action)).expect(s.site);
+            assert_eq!(plan.rules.len(), 1);
+        }
+        assert!(crash::lookup("signoff.ckpt.tile.tmp").is_some());
+        assert!(crash::lookup("no.such.site").is_none());
+    }
+
+    #[test]
+    fn crash_and_nospace_probes_fire_only_their_action() {
+        let plan = FaultPlan::seeded(11)
+            .with_rule(FaultRule::new("c", FaultAction::Crash))
+            .with_rule(FaultRule::new("n", FaultAction::ErrNoSpace));
+        let plane = FaultPlane::new(plan);
+        assert!(plane.crash_point("c", 0, 0));
+        assert!(!plane.crash_point("n", 0, 0));
+        assert!(plane.maybe_nospace("n", 0, 0));
+        assert!(!plane.maybe_nospace("c", 0, 0));
+        // Crash/nospace rules never leak into the classic probes.
+        assert!(plane.maybe_error("c", 0, 0).is_ok());
+        assert!(plane.maybe_error("n", 0, 0).is_ok());
+        assert!(!plane.should_drop("c", 0, 0));
+        plane.maybe_panic("c", 0, 0);
+    }
+
+    #[test]
+    fn new_actions_round_trip_text_form() {
+        let plan = FaultPlan::seeded(8)
+            .with_rule(FaultRule::new("signoff.ckpt.tile.tmp", FaultAction::Crash).key(1).first_attempts(1))
+            .with_rule(FaultRule::new("signoff.cache.write", FaultAction::ErrNoSpace));
+        let text = plan.render();
+        assert!(text.contains("crash"), "{text}");
+        assert!(text.contains("err_nospace"), "{text}");
+        assert_eq!(FaultPlan::parse(&text).expect("round trip"), plan);
     }
 
     #[test]

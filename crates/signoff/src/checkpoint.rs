@@ -22,6 +22,7 @@
 use crate::codec::fnv1a_64;
 use crate::job::TilePartial;
 use dfm_drc::{AreaPiece, PairFragment, RulePartial, Violation};
+use dfm_fault::FaultPlane;
 use dfm_geom::Rect;
 use dfm_yield::critical_area::CaTilePartial;
 use std::fs;
@@ -30,6 +31,15 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"DFMS";
 const VERSION: u32 = 1;
+
+/// Crash site: spec.json durable, layout.gds not yet written.
+pub const SITE_SUBMIT_SPEC: &str = "signoff.ckpt.submit.spec";
+/// Crash site: full submission durable, success never reported.
+pub const SITE_SUBMIT_GDS: &str = "signoff.ckpt.submit.gds";
+/// Crash site: tile tmp file written, rename not yet done.
+pub const SITE_TILE_TMP: &str = "signoff.ckpt.tile.tmp";
+/// Crash site: tile file renamed into place, success never reported.
+pub const SITE_TILE_RENAME: &str = "signoff.ckpt.tile.rename";
 
 /// Paths of one job's checkpoint directory.
 #[derive(Clone, Debug)]
@@ -55,9 +65,35 @@ impl JobDir {
     ///
     /// Filesystem diagnostics.
     pub fn persist_submission(&self, spec_json: &str, gds: &[u8]) -> Result<(), String> {
+        self.persist_submission_probed(spec_json, gds, None, 0)
+    }
+
+    /// [`JobDir::persist_submission`] with crash probes between the
+    /// durable steps: `plane` may kill the operation after spec.json
+    /// is durable ([`SITE_SUBMIT_SPEC`]) or after the whole submission
+    /// is durable but before success is reported
+    /// ([`SITE_SUBMIT_GDS`]). `key` scopes the probes (the job id).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem diagnostics, or the injected crash.
+    pub fn persist_submission_probed(
+        &self,
+        spec_json: &str,
+        gds: &[u8],
+        plane: Option<&FaultPlane>,
+        key: u64,
+    ) -> Result<(), String> {
         fs::create_dir_all(&self.root).map_err(|e| format!("create {:?}: {e}", self.root))?;
         write_atomic(&self.root.join("spec.json"), spec_json.as_bytes())?;
-        write_atomic(&self.root.join("layout.gds"), gds)
+        if plane.is_some_and(|p| p.crash_point(SITE_SUBMIT_SPEC, key, 0)) {
+            return Err(format!("injected crash at {SITE_SUBMIT_SPEC} (job {key})"));
+        }
+        write_atomic(&self.root.join("layout.gds"), gds)?;
+        if plane.is_some_and(|p| p.crash_point(SITE_SUBMIT_GDS, key, 0)) {
+            return Err(format!("injected crash at {SITE_SUBMIT_GDS} (job {key})"));
+        }
+        Ok(())
     }
 
     /// Loads the persisted submission, if this directory holds one.
@@ -80,10 +116,48 @@ impl JobDir {
     ///
     /// Filesystem diagnostics.
     pub fn write_tile(&self, partial: &TilePartial) -> Result<(), String> {
-        write_atomic(
-            &self.root.join(format!("tile-{}.bin", partial.tile)),
-            &encode_tile_partial(partial),
-        )
+        self.write_tile_probed(partial, None, 0)
+    }
+
+    /// [`JobDir::write_tile`] with crash probes at the two staged
+    /// transitions of the atomic write: after the tmp file is durable
+    /// but before the rename ([`SITE_TILE_TMP`], leaving an orphan
+    /// tmp) and after the rename but before success is reported
+    /// ([`SITE_TILE_RENAME`], leaving a durable-but-unacknowledged
+    /// tile). `attempt` is the caller's write-retry counter.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem diagnostics, or the injected crash.
+    pub fn write_tile_probed(
+        &self,
+        partial: &TilePartial,
+        plane: Option<&FaultPlane>,
+        attempt: u64,
+    ) -> Result<(), String> {
+        let path = self.root.join(format!("tile-{}.bin", partial.tile));
+        let bytes = encode_tile_partial(partial);
+        let tile = partial.tile as u64;
+        let tmp = path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp).map_err(|e| format!("create {tmp:?}: {e}"))?;
+        f.write_all(&bytes).map_err(|e| format!("write {tmp:?}: {e}"))?;
+        f.sync_all().map_err(|e| format!("sync {tmp:?}: {e}"))?;
+        drop(f);
+        if plane.is_some_and(|p| p.crash_point(SITE_TILE_TMP, tile, attempt)) {
+            return Err(format!("injected crash at {SITE_TILE_TMP} (tile {tile})"));
+        }
+        fs::rename(&tmp, &path).map_err(|e| format!("rename {tmp:?}: {e}"))?;
+        if plane.is_some_and(|p| p.crash_point(SITE_TILE_RENAME, tile, attempt)) {
+            return Err(format!("injected crash at {SITE_TILE_RENAME} (tile {tile})"));
+        }
+        Ok(())
+    }
+
+    /// Removes orphaned `*.tmp` files a crash between tmp-write and
+    /// rename may have left behind. Returns how many were swept. Call
+    /// on open/resume, never while tile writers are active.
+    pub fn sweep_tmp(&self) -> usize {
+        sweep_tmp_files(&self.root)
     }
 
     /// Loads every tile partial that survives validation, sorted by
@@ -153,6 +227,19 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
     f.sync_all().map_err(|e| format!("sync {tmp:?}: {e}"))?;
     drop(f);
     fs::rename(&tmp, path).map_err(|e| format!("rename {tmp:?}: {e}"))
+}
+
+/// Removes every `*.tmp` file directly under `dir`; returns the count.
+pub(crate) fn sweep_tmp_files(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") && fs::remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 fn decode_tile_file(bytes: &[u8], expect_tile: usize) -> Option<TilePartial> {
@@ -573,6 +660,71 @@ mod tests {
             .collect();
         assert_eq!(loaded, expect);
         job.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staged_crash_probes_leave_the_documented_durable_state() {
+        use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
+        let dir = std::env::temp_dir().join(format!("dfms-ckpt-crash-{}", std::process::id()));
+        let (ctx, partials) = sample_partials();
+        let job = JobDir::new(&dir, 9);
+        job.persist_submission("{}", b"gds").expect("submission");
+
+        // Crash after the tmp write: no tile file, an orphan tmp.
+        let plane = FaultPlane::new(
+            FaultPlan::seeded(1).with_rule(FaultRule::new(SITE_TILE_TMP, FaultAction::Crash)),
+        );
+        let err = job.write_tile_probed(&partials[0], Some(&plane), 0).expect_err("crash");
+        assert!(err.contains(SITE_TILE_TMP), "{err}");
+        assert!(!job.path().join("tile-0.bin").exists());
+        assert!(job.path().join("tile-0.tmp").exists());
+
+        // Sweep removes the orphan; the tile is simply absent.
+        assert_eq!(job.sweep_tmp(), 1);
+        assert!(!job.path().join("tile-0.tmp").exists());
+        assert!(job.load_tiles(ctx.tile_count()).is_empty());
+
+        // Crash after the rename: the write reports failure but the
+        // tile is durable — the idempotent-replay case.
+        let plane = FaultPlane::new(
+            FaultPlan::seeded(1).with_rule(FaultRule::new(SITE_TILE_RENAME, FaultAction::Crash)),
+        );
+        let err = job.write_tile_probed(&partials[0], Some(&plane), 0).expect_err("crash");
+        assert!(err.contains(SITE_TILE_RENAME), "{err}");
+        let loaded = job.load_tiles(ctx.tile_count());
+        assert_eq!(loaded, vec![partials[0].clone()]);
+
+        job.remove();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submission_crash_probes_split_the_two_durable_steps() {
+        use dfm_fault::{FaultAction, FaultPlan, FaultPlane, FaultRule};
+        let dir = std::env::temp_dir().join(format!("dfms-ckpt-subcrash-{}", std::process::id()));
+
+        let job = JobDir::new(&dir, 4);
+        let plane = FaultPlane::new(
+            FaultPlan::seeded(1).with_rule(FaultRule::new(SITE_SUBMIT_SPEC, FaultAction::Crash)),
+        );
+        job.persist_submission_probed("{}", b"gds", Some(&plane), 4).expect_err("crash");
+        assert!(job.path().join("spec.json").exists());
+        assert!(!job.path().join("layout.gds").exists());
+        assert!(job.load_submission().is_err(), "half a submission must not load");
+
+        // Resubmission over the crashed dir succeeds and loads.
+        job.persist_submission("{}", b"gds").expect("resubmit");
+        assert!(job.load_submission().is_ok());
+
+        let job = JobDir::new(&dir, 5);
+        let plane = FaultPlane::new(
+            FaultPlan::seeded(1).with_rule(FaultRule::new(SITE_SUBMIT_GDS, FaultAction::Crash)),
+        );
+        job.persist_submission_probed("{}", b"gds", Some(&plane), 5).expect_err("crash");
+        // Everything durable; only the ack was lost.
+        assert_eq!(job.load_submission().expect("loads"), ("{}".to_string(), b"gds".to_vec()));
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

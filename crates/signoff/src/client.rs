@@ -1,5 +1,21 @@
 //! A blocking client for the signoff protocol — used by the
 //! `dfm-signoff` CLI and the end-to-end tests.
+//!
+//! # Reconnect / resume
+//!
+//! The client remembers its address and configuration, so a dropped
+//! connection is not fatal: any **retryable** request transparently
+//! reconnects with deterministic backoff and is resent. Retryable
+//! means the request is safe to repeat — reads (`status`, `events`,
+//! `list`, …), the idempotency-keyed shard frames, and a `submit`
+//! that carries an `--idem` key. A bare `submit`, `cancel`, `resume`,
+//! and `shutdown` are **not** resent: repeating them after an
+//! ambiguous drop could double their effect, so the caller decides.
+//!
+//! Event polling composes with this into gapless resume: the caller's
+//! `since` cursor only advances when a frame parses, so a reconnect
+//! resends the same cursor and the stream has no gaps and no
+//! duplicates.
 
 use crate::codec::{read_frame, MAX_LINE_BYTES};
 use crate::proto::{ErrorObj, Request, Response};
@@ -9,6 +25,24 @@ use crate::spec::{JobSpec, DEFAULT_TENANT};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Reconnect attempts a retryable request makes after a transport
+/// failure before giving up.
+const RECONNECT_ATTEMPTS: u64 = 3;
+
+/// Deterministic virtual-clock backoff base before reconnect `n`:
+/// `RECONNECT_BACKOFF_VMS << n` virtual milliseconds.
+const RECONNECT_BACKOFF_VMS: u64 = 8;
+
+/// Fixed wait-poll cadence in virtual milliseconds, used when the
+/// server gave no `retry_after_vms` hint.
+const WAIT_POLL_VMS: u64 = 20;
+
+/// Sleeps the real-time equivalent of `vms` virtual milliseconds
+/// (1 ms per vms, capped so injected hints cannot stall a test).
+fn real_sleep(vms: u64) {
+    std::thread::sleep(Duration::from_millis(vms.min(100)));
+}
 
 /// Configures and connects a [`Client`]: socket timeouts plus the
 /// default tenant/priority stamped onto submitted specs that did not
@@ -61,19 +95,14 @@ impl ClientBuilder {
     ///
     /// Socket diagnostics.
     pub fn connect(self, addr: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-        if let Some(timeout) = self.timeout {
-            stream
-                .set_read_timeout(Some(timeout))
-                .and_then(|()| stream.set_write_timeout(Some(timeout)))
-                .map_err(|e| format!("set timeout: {e}"))?;
-        }
-        let writer = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+        let conn = Conn::open(addr, self.timeout)?;
         Ok(Client {
-            writer,
-            reader: BufReader::new(stream),
+            addr: addr.to_string(),
+            timeout: self.timeout,
+            conn: Some(conn),
             tenant: self.tenant,
             priority: self.priority,
+            reconnects: 0,
         })
     }
 }
@@ -98,12 +127,72 @@ impl std::fmt::Display for RequestError {
     }
 }
 
-/// One connection to a signoff server.
-pub struct Client {
+/// One live socket to the server.
+struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str, timeout: Option<Duration>) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        if let Some(timeout) = timeout {
+            stream
+                .set_read_timeout(Some(timeout))
+                .and_then(|()| stream.set_write_timeout(Some(timeout)))
+                .map_err(|e| format!("set timeout: {e}"))?;
+        }
+        let writer = stream.try_clone().map_err(|e| format!("clone socket: {e}"))?;
+        Ok(Conn { writer, reader: BufReader::new(stream) })
+    }
+
+    /// One request/response exchange on this socket.
+    fn exchange(&mut self, request: &Request) -> Result<Response, RequestError> {
+        let mut line = request.to_json().render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| RequestError::Transport(format!("send: {e}")))?;
+        self.writer.flush().map_err(|e| RequestError::Transport(format!("flush: {e}")))?;
+        let reply = read_frame(&mut self.reader, MAX_LINE_BYTES)
+            .map_err(RequestError::Transport)?
+            .ok_or_else(|| RequestError::Transport("server closed the connection".to_string()))?;
+        match Response::parse(&reply).map_err(RequestError::Transport)? {
+            Response::Error { error } => Err(RequestError::Server(error)),
+            response => Ok(response),
+        }
+    }
+}
+
+/// A connection to a signoff server that survives drops (see the
+/// module docs on reconnect/resume).
+pub struct Client {
+    addr: String,
+    timeout: Option<Duration>,
+    conn: Option<Conn>,
     tenant: Option<String>,
     priority: Option<u8>,
+    reconnects: u64,
+}
+
+/// Whether repeating this request after an ambiguous drop is safe:
+/// reads always, shard frames via their `(coord, origin, gen)` /
+/// cursor idempotency, `submit` only under an idempotency key.
+fn retryable(request: &Request) -> bool {
+    match request {
+        Request::Ping
+        | Request::Status { .. }
+        | Request::Events { .. }
+        | Request::Results { .. }
+        | Request::Score { .. }
+        | Request::List
+        | Request::ShardDispatch { .. }
+        | Request::ShardAttach { .. }
+        | Request::ShardPull { .. }
+        | Request::ShardHeartbeat { .. } => true,
+        Request::Submit { idem, .. } => idem.is_some(),
+        Request::Cancel { .. } | Request::Resume { .. } | Request::Shutdown { .. } => false,
+    }
 }
 
 impl Client {
@@ -123,6 +212,12 @@ impl Client {
         ClientBuilder::default()
     }
 
+    /// How many times this client reconnected after a dropped
+    /// connection (published as a bench gauge).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Sends one request and reads its response.
     ///
     /// # Errors
@@ -138,26 +233,47 @@ impl Client {
     }
 
     /// Sends one request and reads its response, keeping server-side
-    /// failures machine-readable.
+    /// failures machine-readable. Retryable requests (see the module
+    /// docs) transparently reconnect and resend on transport failure,
+    /// with deterministic backoff (`8 << n` virtual ms before attempt
+    /// `n`, [`RECONNECT_ATTEMPTS`] attempts).
     ///
     /// # Errors
     ///
     /// [`RequestError::Transport`] for socket/framing/protocol
-    /// diagnostics, [`RequestError::Server`] for a
-    /// [`Response::Error`] answer.
+    /// diagnostics (after the reconnect budget, for retryable
+    /// requests), [`RequestError::Server`] for a [`Response::Error`]
+    /// answer — server refusals are never retried here.
     pub fn request_typed(&mut self, request: &Request) -> Result<Response, RequestError> {
-        let mut line = request.to_json().render();
-        line.push('\n');
-        self.writer
-            .write_all(line.as_bytes())
-            .map_err(|e| RequestError::Transport(format!("send: {e}")))?;
-        self.writer.flush().map_err(|e| RequestError::Transport(format!("flush: {e}")))?;
-        let reply = read_frame(&mut self.reader, MAX_LINE_BYTES)
-            .map_err(RequestError::Transport)?
-            .ok_or_else(|| RequestError::Transport("server closed the connection".to_string()))?;
-        match Response::parse(&reply).map_err(RequestError::Transport)? {
-            Response::Error { error } => Err(RequestError::Server(error)),
-            response => Ok(response),
+        let budget = if retryable(request) { RECONNECT_ATTEMPTS } else { 0 };
+        let mut attempt = 0;
+        loop {
+            let result = match &mut self.conn {
+                Some(conn) => conn.exchange(request),
+                None => Err(RequestError::Transport(format!(
+                    "not connected to {}",
+                    self.addr
+                ))),
+            };
+            match result {
+                Err(RequestError::Transport(msg)) => {
+                    // The socket is suspect: tear it down so the next
+                    // attempt (or request) starts from a fresh connect.
+                    self.conn = None;
+                    if attempt >= budget {
+                        return Err(RequestError::Transport(msg));
+                    }
+                    real_sleep(RECONNECT_BACKOFF_VMS << attempt);
+                    attempt += 1;
+                    // A failed connect is left for the next loop
+                    // iteration to retry.
+                    if let Ok(conn) = Conn::open(&self.addr, self.timeout) {
+                        self.conn = Some(conn);
+                        self.reconnects += 1;
+                    }
+                }
+                other => return other,
+            }
         }
     }
 
@@ -203,6 +319,27 @@ impl Client {
         })
     }
 
+    /// Submits a job under a client idempotency key: a resubmission of
+    /// the same key (e.g. after an ambiguous connection drop) answers
+    /// with the job id the key first minted instead of double-running.
+    /// With a key the request is also transport-retryable, so the
+    /// client resends it through reconnects on its own.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_idem(
+        &mut self,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        idem: Option<&str>,
+    ) -> Result<u64, String> {
+        self.try_submit_idem(spec, gds, idem).map_err(|e| match e {
+            RequestError::Transport(msg) => msg,
+            RequestError::Server(err) => err.message,
+        })
+    }
+
     /// Submits a job, returning its id — admission refusals keep their
     /// structured [`ErrorObj`] (code + optional `retry_after_vms`).
     ///
@@ -210,10 +347,58 @@ impl Client {
     ///
     /// As [`Client::request_typed`].
     pub fn try_submit(&mut self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, RequestError> {
+        self.try_submit_idem(spec, gds, None)
+    }
+
+    /// [`Client::try_submit`] with an optional idempotency key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request_typed`].
+    pub fn try_submit_idem(
+        &mut self,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        idem: Option<&str>,
+    ) -> Result<u64, RequestError> {
         let spec = self.apply_defaults(spec);
-        match self.request_typed(&Request::Submit { spec, gds })? {
+        let idem = idem.map(str::to_string);
+        match self.request_typed(&Request::Submit { spec, gds, idem })? {
             Response::Submitted { job } => Ok(job),
             other => Err(RequestError::Transport(format!("unexpected reply to submit: {other:?}"))),
+        }
+    }
+
+    /// Submits with bounded re-tries through admission backpressure,
+    /// honouring the server's deterministic `retry_after_vms` hints: a
+    /// rejection that carries a hint sleeps exactly that long before
+    /// the resubmit; one without a hint (unknown tenant, draining) is
+    /// final. At most `tries` submissions are made.
+    ///
+    /// # Errors
+    ///
+    /// The final structured rejection after `tries` attempts,
+    /// hint-less rejections immediately, and transport diagnostics.
+    pub fn submit_until_admitted(
+        &mut self,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        idem: Option<&str>,
+        tries: u64,
+    ) -> Result<u64, RequestError> {
+        let mut attempt = 0;
+        loop {
+            match self.try_submit_idem(spec.clone(), gds.clone(), idem) {
+                Ok(job) => return Ok(job),
+                Err(e @ RequestError::Transport(_)) => return Err(e),
+                Err(RequestError::Server(err)) => {
+                    attempt += 1;
+                    match err.retry_after_vms {
+                        Some(vms) if attempt < tries.max(1) => real_sleep(vms),
+                        _ => return Err(RequestError::Server(err)),
+                    }
+                }
+            }
         }
     }
 
@@ -230,7 +415,9 @@ impl Client {
     }
 
     /// Fetches the event delta from `since` on, plus the next poll
-    /// cursor.
+    /// cursor. The cursor only advances on a successfully parsed
+    /// response, so polling through reconnects yields a gapless,
+    /// duplicate-free stream.
     ///
     /// # Errors
     ///
@@ -307,16 +494,28 @@ impl Client {
         }
     }
 
-    /// Asks the server to shut down.
+    /// Asks the server to shut down. With `drain`, the server first
+    /// stops admitting and finishes or checkpoints in-flight tiles, so
+    /// the acknowledgement implies the durable state is complete.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics.
+    pub fn shutdown_mode(&mut self, drain: bool) -> Result<(), String> {
+        match self.request(&Request::Shutdown { drain })? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+
+    /// Asks the server to shut down immediately
+    /// (`shutdown_mode(false)`).
     ///
     /// # Errors
     ///
     /// Transport/protocol diagnostics.
     pub fn shutdown(&mut self) -> Result<(), String> {
-        match self.request(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            other => Err(format!("unexpected reply to shutdown: {other:?}")),
-        }
+        self.shutdown_mode(false)
     }
 
     /// Dispatches tile range(s) of a job to a shard server under the
@@ -366,7 +565,8 @@ impl Client {
     }
 
     /// Polls a shard job's outcome log from `since` on: the entries,
-    /// the next cursor, and whether the shard job has settled.
+    /// the next cursor, whether the shard job has settled, and whether
+    /// the shard's service is draining.
     ///
     /// # Errors
     ///
@@ -375,26 +575,53 @@ impl Client {
         &mut self,
         job: u64,
         since: u64,
-    ) -> Result<(Vec<TileOutcome>, u64, bool), String> {
+    ) -> Result<(Vec<TileOutcome>, u64, bool, bool), String> {
         match self.request(&Request::ShardPull { job, since })? {
-            Response::ShardOutcomes { outcomes, next, settled } => Ok((outcomes, next, settled)),
+            Response::ShardOutcomes { outcomes, next, settled, draining } => {
+                Ok((outcomes, next, settled, draining))
+            }
             other => Err(format!("unexpected reply to shard.pull: {other:?}")),
         }
     }
 
+    /// Sends one lease-renewing heartbeat for a shard job: whether it
+    /// has settled and whether the shard's service is draining.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol diagnostics and unknown ids.
+    pub fn shard_heartbeat(&mut self, job: u64) -> Result<(bool, bool), String> {
+        match self.request(&Request::ShardHeartbeat { job })? {
+            Response::ShardAlive { settled, draining } => Ok((settled, draining)),
+            other => Err(format!("unexpected reply to shard.heartbeat: {other:?}")),
+        }
+    }
+
     /// Polls `status` until the job settles (Done, Partial-settled,
-    /// Failed, or Cancelled).
+    /// Failed, or Cancelled). A server refusal that carries a
+    /// deterministic `retry_after_vms` hint is honoured — the poll
+    /// sleeps exactly the hinted backoff instead of the fixed cadence;
+    /// a hint-less refusal is final.
     ///
     /// # Errors
     ///
     /// Transport/protocol diagnostics and unknown ids.
     pub fn wait(&mut self, job: u64) -> Result<JobStatus, String> {
         loop {
-            let status = self.status(job)?;
-            if status.state.is_settled() {
-                return Ok(status);
+            match self.request_typed(&Request::Status { job }) {
+                Ok(Response::Status(status)) => {
+                    if status.state.is_settled() {
+                        return Ok(status);
+                    }
+                    real_sleep(WAIT_POLL_VMS);
+                }
+                Ok(other) => return Err(format!("unexpected reply to status: {other:?}")),
+                Err(RequestError::Server(err)) => match err.retry_after_vms {
+                    Some(vms) => real_sleep(vms),
+                    None => return Err(err.message),
+                },
+                Err(RequestError::Transport(msg)) => return Err(msg),
             }
-            std::thread::sleep(std::time::Duration::from_millis(20));
         }
     }
 }

@@ -132,6 +132,10 @@ pub enum Request {
         spec: JobSpec,
         /// Raw GDSII stream bytes.
         gds: Vec<u8>,
+        /// Client idempotency key (v2-only): a resubmission under the
+        /// same key after an ambiguous connection drop answers with
+        /// the job id the key first minted instead of double-running.
+        idem: Option<String>,
     },
     /// Fetch a job's status.
     Status {
@@ -169,8 +173,13 @@ pub enum Request {
     },
     /// List all jobs.
     List,
-    /// Stop the server.
-    Shutdown,
+    /// Stop the server. With `drain` (v2-only) the service first stops
+    /// admitting, finishes or checkpoints in-flight tiles, and raises
+    /// the draining flag on shard pulls before exiting.
+    Shutdown {
+        /// Graceful drain instead of an immediate stop.
+        drain: bool,
+    },
     /// Coordinator→shard: run tile range(s) of a job as a shard job
     /// keyed by the coordinator's `(coord, origin, gen)`. v2-only.
     ShardDispatch {
@@ -208,6 +217,12 @@ pub enum Request {
         /// First outcome-log index wanted.
         since: u64,
     },
+    /// Coordinator→shard: lease-renewing liveness probe for a shard
+    /// job. v2-only.
+    ShardHeartbeat {
+        /// The shard-local job id from the grant.
+        job: u64,
+    },
 }
 
 impl Request {
@@ -228,11 +243,17 @@ impl Request {
     pub fn body_json(&self) -> JsonValue {
         match self {
             Request::Ping => JsonValue::obj([("cmd", JsonValue::str("ping"))]),
-            Request::Submit { spec, gds } => JsonValue::obj([
-                ("cmd", JsonValue::str("submit")),
-                ("spec", spec.to_json()),
-                ("gds_hex", JsonValue::str(to_hex(gds))),
-            ]),
+            Request::Submit { spec, gds, idem } => {
+                let mut fields = vec![
+                    ("cmd".to_string(), JsonValue::str("submit")),
+                    ("spec".to_string(), spec.to_json()),
+                    ("gds_hex".to_string(), JsonValue::str(to_hex(gds))),
+                ];
+                if let Some(key) = idem {
+                    fields.push(("idem".to_string(), JsonValue::str(key)));
+                }
+                JsonValue::Obj(fields)
+            }
             Request::Status { job } => JsonValue::obj([
                 ("cmd", JsonValue::str("status")),
                 ("job", JsonValue::Num(*job as f64)),
@@ -260,7 +281,13 @@ impl Request {
                 ("job", JsonValue::Num(*job as f64)),
             ]),
             Request::List => JsonValue::obj([("cmd", JsonValue::str("list"))]),
-            Request::Shutdown => JsonValue::obj([("cmd", JsonValue::str("shutdown"))]),
+            Request::Shutdown { drain } => {
+                let mut fields = vec![("cmd".to_string(), JsonValue::str("shutdown"))];
+                if *drain {
+                    fields.push(("drain".to_string(), JsonValue::Bool(true)));
+                }
+                JsonValue::Obj(fields)
+            }
             Request::ShardDispatch { coord, origin, gen, spec, gds, ranges } => {
                 let mut fields = vec![
                     ("cmd".to_string(), JsonValue::str("shard.dispatch")),
@@ -285,6 +312,10 @@ impl Request {
                 ("cmd", JsonValue::str("shard.pull")),
                 ("job", JsonValue::Num(*job as f64)),
                 ("since", JsonValue::Num(*since as f64)),
+            ]),
+            Request::ShardHeartbeat { job } => JsonValue::obj([
+                ("cmd", JsonValue::str("shard.heartbeat")),
+                ("job", JsonValue::Num(*job as f64)),
             ]),
         }
     }
@@ -325,10 +356,24 @@ impl Request {
         if version < 2
             && matches!(
                 request,
-                Request::ShardDispatch { .. } | Request::ShardAttach { .. } | Request::ShardPull { .. }
+                Request::ShardDispatch { .. }
+                    | Request::ShardAttach { .. }
+                    | Request::ShardPull { .. }
+                    | Request::ShardHeartbeat { .. }
             )
         {
             return Err("shard frames require protocol v2 (add \"v\":2)".to_string());
+        }
+        // So are the v2 field extensions: a v1 dialect has no words for
+        // idempotent submission or graceful drain, and silently
+        // ignoring them would betray the caller's intent.
+        if version < 2 {
+            if matches!(&request, Request::Submit { idem: Some(_), .. }) {
+                return Err("idempotency keys require protocol v2 (add \"v\":2)".to_string());
+            }
+            if matches!(request, Request::Shutdown { drain: true }) {
+                return Err("drain shutdown requires protocol v2 (add \"v\":2)".to_string());
+            }
         }
         Ok((request, version))
     }
@@ -347,7 +392,15 @@ impl Request {
                     .get("gds_hex")
                     .and_then(JsonValue::as_str)
                     .ok_or("submit needs a \"gds_hex\" string")?;
-                Ok(Request::Submit { spec, gds: from_hex(hex)? })
+                let idem = match v.get("idem") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(k) => Some(
+                        k.as_str()
+                            .ok_or("submit \"idem\" must be a string")?
+                            .to_string(),
+                    ),
+                };
+                Ok(Request::Submit { spec, gds: from_hex(hex)?, idem })
             }
             "status" => Ok(Request::Status { job: job_id(v)? }),
             "events" => Ok(Request::Events {
@@ -362,7 +415,12 @@ impl Request {
             "cancel" => Ok(Request::Cancel { job: job_id(v)? }),
             "resume" => Ok(Request::Resume { job: job_id(v)? }),
             "list" => Ok(Request::List),
-            "shutdown" => Ok(Request::Shutdown),
+            "shutdown" => Ok(Request::Shutdown {
+                drain: match v.get("drain") {
+                    None | Some(JsonValue::Null) => false,
+                    Some(d) => d.as_bool().ok_or("shutdown \"drain\" must be a boolean")?,
+                },
+            }),
             "shard.dispatch" => {
                 let spec = JobSpec::from_json(
                     v.get("spec").ok_or("shard.dispatch needs a \"spec\" object")?,
@@ -405,6 +463,7 @@ impl Request {
                 job: job_id(v)?,
                 since: v.get("since").map_or(Ok(0), |s| field_u64(s, "since"))?,
             }),
+            "shard.heartbeat" => Ok(Request::ShardHeartbeat { job: job_id(v)? }),
             other => Err(format!("unknown cmd '{other}'")),
         }
     }
@@ -466,6 +525,17 @@ pub enum Response {
         next: u64,
         /// True once the shard job has settled (no more outcomes ever).
         settled: bool,
+        /// True when the shard's service is draining — a settle under
+        /// this flag is a planned handoff, not a loss. Absent on the
+        /// wire means `false` (pre-drain servers).
+        draining: bool,
+    },
+    /// A shard answers a heartbeat: the lease is renewed.
+    ShardAlive {
+        /// True once the shard job has settled.
+        settled: bool,
+        /// True when the shard's service is draining.
+        draining: bool,
     },
     /// The request failed.
     Error {
@@ -533,13 +603,19 @@ impl Response {
                 ("ranges".to_string(), ranges_to_json(&grant.ranges)),
                 ("attached".to_string(), JsonValue::Bool(grant.attached)),
             ]),
-            Response::ShardOutcomes { outcomes, next, settled } => ok(vec![
+            Response::ShardOutcomes { outcomes, next, settled, draining } => ok(vec![
                 (
                     "outcomes".to_string(),
                     JsonValue::Arr(outcomes.iter().map(outcome_to_json).collect()),
                 ),
                 ("next".to_string(), JsonValue::Num(*next as f64)),
                 ("settled".to_string(), JsonValue::Bool(*settled)),
+                ("draining".to_string(), JsonValue::Bool(*draining)),
+            ]),
+            Response::ShardAlive { settled, draining } => ok(vec![
+                ("alive".to_string(), JsonValue::Bool(true)),
+                ("settled".to_string(), JsonValue::Bool(*settled)),
+                ("draining".to_string(), JsonValue::Bool(*draining)),
             ]),
             Response::Error { error } => versioned(vec![
                 ("ok".to_string(), JsonValue::Bool(false)),
@@ -575,6 +651,18 @@ impl Response {
         }
         // Shard frames are keyed on fields no legacy frame carries —
         // checked before "events"/"job", which they would also match.
+        if v.get("alive").is_some() {
+            return Ok(Response::ShardAlive {
+                settled: v
+                    .get("settled")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("heartbeat ack needs a boolean \"settled\"")?,
+                draining: v
+                    .get("draining")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("heartbeat ack needs a boolean \"draining\"")?,
+            });
+        }
         if v.get("attached").is_some() {
             let ranges =
                 ranges_from_json(v.get("ranges").ok_or("shard grant needs \"ranges\"")?)?;
@@ -601,6 +689,13 @@ impl Response {
                     .get("settled")
                     .and_then(JsonValue::as_bool)
                     .ok_or("shard outcomes need a boolean \"settled\"")?,
+                // Absent means false: a pre-drain server never drains.
+                draining: match v.get("draining") {
+                    None | Some(JsonValue::Null) => false,
+                    Some(d) => d
+                        .as_bool()
+                        .ok_or("shard outcomes \"draining\" must be a boolean")?,
+                },
             });
         }
         if let Some(events) = v.get("events") {
@@ -1041,7 +1136,12 @@ mod tests {
     fn every_request_round_trips() {
         let requests = vec![
             Request::Ping,
-            Request::Submit { spec: JobSpec::default(), gds: vec![0, 1, 254, 255] },
+            Request::Submit { spec: JobSpec::default(), gds: vec![0, 1, 254, 255], idem: None },
+            Request::Submit {
+                spec: JobSpec::default(),
+                gds: vec![0, 1],
+                idem: Some("retry-42".to_string()),
+            },
             Request::Status { job: 3 },
             Request::Events { job: 3, since: 17 },
             Request::Results { job: 3, partial: true },
@@ -1049,7 +1149,8 @@ mod tests {
             Request::Cancel { job: 3 },
             Request::Resume { job: 3 },
             Request::List,
-            Request::Shutdown,
+            Request::Shutdown { drain: false },
+            Request::Shutdown { drain: true },
             Request::ShardDispatch {
                 coord: 17,
                 origin: 5,
@@ -1068,6 +1169,7 @@ mod tests {
             },
             Request::ShardAttach { coord: 17, origin: 5, gen: 2 },
             Request::ShardPull { job: 11, since: 4 },
+            Request::ShardHeartbeat { job: 11 },
         ];
         for req in requests {
             let line = req.to_json().render();
@@ -1180,7 +1282,16 @@ mod tests {
                 ],
                 next: 3,
                 settled: false,
+                draining: false,
             },
+            Response::ShardOutcomes {
+                outcomes: vec![],
+                next: 9,
+                settled: true,
+                draining: true,
+            },
+            Response::ShardAlive { settled: false, draining: false },
+            Response::ShardAlive { settled: true, draining: true },
             Response::Error { error: ErrorObj::msg("no such job: 4") },
             Response::Error {
                 error: ErrorObj {
@@ -1321,9 +1432,80 @@ mod tests {
             r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"retries":[{"attempt":0}],"quarantined":{"attempts":1,"reason":"r"}}],"next":1,"settled":false}"#,
             r#"{"v":2,"ok":true,"outcomes":[{"tile":0,"quarantined":{"attempts":1}}],"next":1,"settled":false}"#,
             r#"{"v":2,"ok":true,"outcomes":[],"next":0}"#,
+            // Malformed resume cursors (`from_seq`).
+            r#"{"cmd":"events","job":1,"since":-2}"#,
+            r#"{"cmd":"events","job":1,"since":1.5}"#,
+            r#"{"v":2,"cmd":"events","job":1,"since":"last"}"#,
+            r#"{"v":2,"cmd":"shard.pull","job":1,"since":[0]}"#,
+            // Malformed idempotency keys.
+            r#"{"v":2,"cmd":"submit","spec":{},"gds_hex":"","idem":7}"#,
+            r#"{"v":2,"cmd":"submit","spec":{},"gds_hex":"","idem":["k"]}"#,
+            // Truncated / mistyped drain frames.
+            r#"{"v":2,"cmd":"shutdown","drain":"yes"}"#,
+            r#"{"v":2,"cmd":"shutdown","drain":1}"#,
+            r#"{"v":2,"ok":true,"outcomes":[],"next":0,"settled":false,"draining":"no"}"#,
+            // Truncated heartbeat frames, both directions.
+            r#"{"v":2,"cmd":"shard.heartbeat"}"#,
+            r#"{"v":2,"cmd":"shard.heartbeat","job":-1}"#,
+            r#"{"v":2,"ok":true,"alive":true}"#,
+            r#"{"v":2,"ok":true,"alive":true,"settled":true}"#,
+            r#"{"v":2,"ok":true,"alive":true,"settled":true,"draining":"soon"}"#,
         ] {
             assert!(Request::parse(line).is_err() || Response::parse(line).is_err(), "{line}");
         }
+    }
+
+    #[test]
+    fn v2_extensions_are_refused_in_v1_dialect() {
+        // A v1 client has no words for drain, idempotency keys, or
+        // heartbeats: smuggling them in an unversioned frame is an
+        // error, never a silent downgrade.
+        let drain = Request::Shutdown { drain: true };
+        let err = Request::parse_versioned(&drain.body_json().render())
+            .expect_err("v1 drain frame");
+        assert!(err.contains("protocol v2"), "{err}");
+        // A plain v1 shutdown still parses (dialect unchanged).
+        assert_eq!(
+            Request::parse_versioned(r#"{"cmd":"shutdown"}"#),
+            Ok((Request::Shutdown { drain: false }, 1))
+        );
+        let idem = Request::Submit {
+            spec: JobSpec::default(),
+            gds: vec![],
+            idem: Some("k".to_string()),
+        };
+        let err = Request::parse_versioned(&idem.body_json().render())
+            .expect_err("v1 idem frame");
+        assert!(err.contains("protocol v2"), "{err}");
+        let hb = Request::ShardHeartbeat { job: 1 };
+        let err =
+            Request::parse_versioned(&hb.body_json().render()).expect_err("v1 heartbeat");
+        assert!(err.contains("protocol v2"), "{err}");
+        // Duplicate idempotency keys are a service-level dedupe, but a
+        // duplicate key in one frame is just JSON: last value wins in
+        // the parser, and an unknown key shape is an error above.
+        let dup = r#"{"v":2,"cmd":"submit","spec":{},"gds_hex":"","idem":"a","idem":"b"}"#;
+        match Request::parse(dup) {
+            Ok(Request::Submit { idem, .. }) => {
+                assert!(idem.is_some(), "a duplicated key still yields a key")
+            }
+            Ok(other) => panic!("unexpected frame: {other:?}"),
+            Err(_) => {} // a parser that refuses duplicates is also fine
+        }
+    }
+
+    #[test]
+    fn absent_draining_defaults_false_for_pre_drain_servers() {
+        let line = r#"{"v":2,"ok":true,"outcomes":[],"next":4,"settled":true}"#;
+        assert_eq!(
+            Response::parse(line),
+            Ok(Response::ShardOutcomes {
+                outcomes: vec![],
+                next: 4,
+                settled: true,
+                draining: false
+            })
+        );
     }
 
     #[test]

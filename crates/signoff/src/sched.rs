@@ -240,15 +240,20 @@ pub enum RejectCode {
     QuotaExceeded,
     /// The global `max_pending_tiles` ceiling would be exceeded.
     Busy,
+    /// The service is draining (`shutdown --drain`) and admits no new
+    /// work; retry against a fresh instance.
+    Draining,
 }
 
 impl RejectCode {
-    /// Stable wire name (`unknown_tenant` / `quota_exceeded` / `busy`).
+    /// Stable wire name (`unknown_tenant` / `quota_exceeded` / `busy` /
+    /// `draining`).
     pub fn name(self) -> &'static str {
         match self {
             RejectCode::UnknownTenant => "unknown_tenant",
             RejectCode::QuotaExceeded => "quota_exceeded",
             RejectCode::Busy => "busy",
+            RejectCode::Draining => "draining",
         }
     }
 }

@@ -118,11 +118,13 @@ fn handle_connection(
                 continue;
             }
         };
-        let stop = matches!(request, Request::Shutdown);
+        let stop = matches!(request, Request::Shutdown { .. });
         let response = handle_request(service, request);
         if stop {
             // Latch shutdown before answering, so a dropped (injected
             // or real) response write cannot strand a stopping server.
+            // For a drain, handle_request already parked every job and
+            // waited the pool idle before we get here.
             shutdown.store(true, Ordering::SeqCst);
         }
         let wrote = write(&mut writer, &response, version);
@@ -138,8 +140,8 @@ fn handle_connection(
 fn handle_request(service: &SignoffService, request: Request) -> Response {
     let result = match request {
         Request::Ping => Ok(Response::Pong),
-        Request::Submit { spec, gds } => service
-            .submit_job(spec, gds)
+        Request::Submit { spec, gds, idem } => service
+            .submit_job_idem(spec, gds, idem.as_deref())
             .map(|job| Response::Submitted { job })
             .map_err(|e| match e {
                 // A spec/GDS diagnostic is the client's fault; an
@@ -171,7 +173,15 @@ fn handle_request(service: &SignoffService, request: Request) -> Response {
         Request::Cancel { job } => service.cancel(job).map(Response::Status).map_err(classify),
         Request::Resume { job } => service.resume(job).map(Response::Status).map_err(classify),
         Request::List => Ok(Response::List { jobs: service.list() }),
-        Request::Shutdown => Ok(Response::ShuttingDown),
+        Request::Shutdown { drain } => {
+            if drain {
+                // Stop admitting, finish/checkpoint in-flight tiles,
+                // run the pool idle — only then acknowledge, so the
+                // client's ack means the durable state is complete.
+                service.begin_drain();
+            }
+            Ok(Response::ShuttingDown)
+        }
         Request::ShardDispatch { coord, origin, gen, spec, gds, ranges } => service
             .shard_dispatch(coord, origin, gen, spec, gds, ranges)
             .map(|grant| Response::ShardDispatched { grant })
@@ -182,7 +192,16 @@ fn handle_request(service: &SignoffService, request: Request) -> Response {
             .map_err(classify),
         Request::ShardPull { job, since } => service
             .shard_outcomes(job, since)
-            .map(|(outcomes, next, settled)| Response::ShardOutcomes { outcomes, next, settled })
+            .map(|(outcomes, next, settled, draining)| Response::ShardOutcomes {
+                outcomes,
+                next,
+                settled,
+                draining,
+            })
+            .map_err(classify),
+        Request::ShardHeartbeat { job } => service
+            .shard_heartbeat(job)
+            .map(|(settled, draining)| Response::ShardAlive { settled, draining })
             .map_err(classify),
     };
     result.unwrap_or_else(|error| Response::Error { error })

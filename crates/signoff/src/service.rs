@@ -42,18 +42,18 @@
 use crate::checkpoint::{decode_tile_partial, encode_tile_partial, list_job_dirs, JobDir};
 use crate::job::{JobContext, TilePartial};
 use crate::report::{QuarantinedTile, SignoffReport};
-use crate::sched::{Grant, GrantOut, Rejection, SchedConfig, Scheduler};
+use crate::sched::{Grant, GrantOut, RejectCode, Rejection, SchedConfig, Scheduler};
 use crate::shard::{
     self, ShardGrant, ShardSet, ShardStats, TileCacheMark, TileOutcome, TileOutcomeKind,
 };
 use crate::spec::JobSpec;
-use dfm_cache::TileCache;
+use dfm_cache::{StoreStage, TileCache};
 use dfm_fault::FaultPlane;
 use dfm_par::{CancelToken, PoolStats, TaskOutcome, WorkerPool};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Duration;
 
@@ -86,8 +86,18 @@ pub const SITE_CACHE_READ: &str = "signoff.cache.read";
 
 /// Fault site: result-cache store after a clean first attempt, keyed
 /// by tile index. An injected error skips the store silently (the next
-/// identical submission recomputes the tile).
+/// identical submission recomputes the tile). An `err_nospace` rule
+/// here models a full disk: the store is refused without retry and the
+/// job continues unharmed.
 pub const SITE_CACHE_WRITE: &str = "signoff.cache.write";
+
+/// Crash site: cache-store tmp file durable, rename not yet done.
+/// Keyed by tile index.
+pub const SITE_CACHE_STORE_TMP: &str = "signoff.cache.store.tmp";
+
+/// Crash site: cache entry renamed into place, store never
+/// acknowledged. Keyed by tile index.
+pub const SITE_CACHE_STORE_RENAME: &str = "signoff.cache.store.rename";
 
 /// Lifecycle of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -711,6 +721,15 @@ pub struct SignoffService {
     /// identity in the key keeps two coordinator instances that mint
     /// the same job id from ever colliding on this shard.
     origin_map: Mutex<BTreeMap<(u64, u64, u64), ShardGrant>>,
+    /// Set by [`SignoffService::begin_drain`]: the service stops
+    /// admitting new submissions and dispatches, parks in-flight jobs,
+    /// and advertises the flag on shard pulls so coordinators hand off
+    /// instead of adjudicating a loss.
+    draining: AtomicBool,
+    /// Client idempotency keys (`submit --idem KEY`) → the job id the
+    /// key first minted. A resubmission after an ambiguous connection
+    /// drop answers with the existing id instead of double-running.
+    idem_map: Mutex<BTreeMap<String, u64>>,
 }
 
 impl SignoffService {
@@ -774,6 +793,8 @@ impl SignoffService {
                 Some(Arc::new(ShardSet::new(cfg.shards, coord_id)))
             },
             origin_map: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            idem_map: Mutex::new(BTreeMap::new()),
         };
         service.load_persisted_jobs();
         let last = service.jobs.lock().expect("jobs lock").keys().next_back().copied();
@@ -842,6 +863,9 @@ impl SignoffService {
     /// [`SubmitError::Rejected`] from admission control. Nothing is
     /// enqueued on error.
     pub fn submit_job(&self, spec: JobSpec, gds: Vec<u8>) -> Result<u64, SubmitError> {
+        if self.draining() {
+            return Err(SubmitError::Rejected(drain_rejection()));
+        }
         let ctx =
             Arc::new(JobContext::build(&spec, &gds).map_err(SubmitError::Invalid)?);
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
@@ -855,7 +879,12 @@ impl SignoffService {
             None => None,
             Some(root) => {
                 let dir = JobDir::new(root, id);
-                if let Err(e) = dir.persist_submission(&spec.to_json().render(), &gds) {
+                if let Err(e) = dir.persist_submission_probed(
+                    &spec.to_json().render(),
+                    &gds,
+                    self.shared.plane.as_deref(),
+                    id,
+                ) {
                     // Release the admission reservation: the job never
                     // existed as far as quotas are concerned.
                     let grants =
@@ -872,6 +901,74 @@ impl SignoffService {
         self.jobs.lock().expect("jobs lock").insert(id, Arc::clone(&job));
         self.dispatch(&job, &ctx, (0..ctx.tile_count()).collect());
         Ok(id)
+    }
+
+    /// Like [`SignoffService::submit_job`], with an optional client
+    /// idempotency key. The first submission under a key mints a job
+    /// and records the mapping; every later submission under the same
+    /// key answers with the recorded id without touching admission
+    /// control — the dedupe a client needs after an ambiguous
+    /// connection drop ("did my submit land?"). The map is held locked
+    /// across the underlying submit so two racing resubmissions of the
+    /// same key mint exactly one job. A submission that fails is not
+    /// recorded; the key stays free for the retry.
+    ///
+    /// # Errors
+    ///
+    /// As [`SignoffService::submit_job`].
+    pub fn submit_job_idem(
+        &self,
+        spec: JobSpec,
+        gds: Vec<u8>,
+        idem: Option<&str>,
+    ) -> Result<u64, SubmitError> {
+        let Some(key) = idem else { return self.submit_job(spec, gds) };
+        let mut map = self.idem_map.lock().expect("idem lock");
+        if let Some(&id) = map.get(key) {
+            return Ok(id);
+        }
+        let id = self.submit_job(spec, gds)?;
+        map.insert(key.to_string(), id);
+        Ok(id)
+    }
+
+    /// Whether [`SignoffService::begin_drain`] has run.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain (`shutdown --drain`): stop admitting new work,
+    /// then park every unsettled job — in-flight tiles finish and
+    /// checkpoint (the cancel token skips only tiles still queued),
+    /// the job settles `Cancelled`, and the pool runs idle. Every
+    /// computed tile is durable, so a restart over the same checkpoint
+    /// root resumes to a byte-identical report. Shard pulls observe
+    /// the flag ([`SignoffService::shard_outcomes`]) so a coordinator
+    /// treats this shard as a planned handoff rather than a loss.
+    /// Returns the number of jobs parked.
+    pub fn begin_drain(&self) -> usize {
+        self.draining.store(true, Ordering::SeqCst);
+        let jobs: Vec<Arc<Job>> =
+            self.jobs.lock().expect("jobs lock").values().cloned().collect();
+        let mut parked = 0;
+        for job in jobs {
+            {
+                let mut m = job.m.lock().expect("job lock");
+                if m.state.is_settled() {
+                    continue;
+                }
+                m.cancel.cancel();
+                m.set_state(JobState::Cancelled);
+            }
+            sched_remove_job(&self.shared, job.id);
+            job.cv.notify_all();
+            parked += 1;
+        }
+        // Wait for in-flight tiles to finish computing and checkpoint;
+        // after this the durable state is complete and the process can
+        // exit.
+        self.pool.wait_idle();
+        parked
     }
 
     /// Dispatches the given tiles, moving the job to Running (or
@@ -1113,6 +1210,9 @@ impl SignoffService {
     /// Unknown id, a job in a non-resumable state, or context-rebuild
     /// diagnostics.
     pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
+        if self.draining() {
+            return Err(drain_rejection().to_string());
+        }
         let job = self.job(id)?;
         self.ensure_loaded(&job)?;
         let (ctx, missing, tenant, priority) = {
@@ -1166,6 +1266,11 @@ impl SignoffService {
         }
         let ctx = Arc::new(JobContext::build(&m.spec, &m.gds)?);
         if let Some(dir) = &job.dir {
+            // A crash between tmp-write and rename leaves orphaned
+            // `*.tmp` files; sweep them before reading so a
+            // crash-littered directory resumes identically to a clean
+            // one.
+            dir.sweep_tmp();
             for p in dir.load_tiles(ctx.tile_count()) {
                 if let Some(plane) = &self.shared.plane {
                     if plane.maybe_error(SITE_CKPT_READ, p.tile as u64, 0).is_err() {
@@ -1211,6 +1316,9 @@ impl SignoffService {
         gds: Vec<u8>,
         ranges: Option<Vec<(usize, usize)>>,
     ) -> Result<ShardGrant, String> {
+        if self.draining() {
+            return Err(drain_rejection().to_string());
+        }
         let ctx = Arc::new(JobContext::build(&spec, &gds)?);
         let total = ctx.tile_count();
         let ranges = match ranges {
@@ -1243,7 +1351,12 @@ impl SignoffService {
             None => None,
             Some(root) => {
                 let dir = JobDir::new(root, id);
-                if let Err(e) = dir.persist_submission(&spec.to_json().render(), &gds) {
+                if let Err(e) = dir.persist_submission_probed(
+                    &spec.to_json().render(),
+                    &gds,
+                    self.shared.plane.as_deref(),
+                    id,
+                ) {
                     let grants =
                         self.shared.sched.lock().expect("sched lock").remove_job(id);
                     dispatch_grants(&self.shared, grants);
@@ -1289,10 +1402,12 @@ impl SignoffService {
     }
 
     /// The monotonic outcome log of a shard job from entry `since` on,
-    /// with the next cursor and whether the job has settled — the
-    /// stream a coordinator polls (`shard.pull`). A settled shard job
-    /// with no further outcomes is the puller's signal that nothing
-    /// more will ever arrive.
+    /// with the next cursor, whether the job has settled, and whether
+    /// this service is draining — the stream a coordinator polls
+    /// (`shard.pull`). A settled shard job with no further outcomes is
+    /// the puller's signal that nothing more will ever arrive; a raised
+    /// drain flag tells the coordinator the settle was a planned
+    /// handoff, not a failure.
     ///
     /// # Errors
     ///
@@ -1302,22 +1417,49 @@ impl SignoffService {
         &self,
         id: u64,
         since: u64,
-    ) -> Result<(Vec<TileOutcome>, u64, bool), String> {
+    ) -> Result<(Vec<TileOutcome>, u64, bool, bool), String> {
         let job = self.job(id)?;
         let m = job.m.lock().expect("job lock");
         let Some(outcomes) = &m.outcomes else {
             return Err(format!("job {id} is not a shard-dispatched job"));
         };
         let start = (since as usize).min(outcomes.len());
-        Ok((outcomes[start..].to_vec(), outcomes.len() as u64, m.state.is_settled()))
+        Ok((
+            outcomes[start..].to_vec(),
+            outcomes.len() as u64,
+            m.state.is_settled(),
+            self.draining(),
+        ))
+    }
+
+    /// Shard-side entry point for `shard.heartbeat`: a cheap liveness
+    /// probe the coordinator sends on idle polls. Answers whether the
+    /// shard job has settled and whether this service is draining —
+    /// and, by answering at all, renews the coordinator's lease on
+    /// this shard (a heartbeat ack resets the idle clock that would
+    /// otherwise expire the shard).
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, or a job that was not dispatched via
+    /// [`SignoffService::shard_dispatch`].
+    pub fn shard_heartbeat(&self, id: u64) -> Result<(bool, bool), String> {
+        let job = self.job(id)?;
+        let m = job.m.lock().expect("job lock");
+        if m.outcomes.is_none() {
+            return Err(format!("job {id} is not a shard-dispatched job"));
+        }
+        Ok((m.state.is_settled(), self.draining()))
     }
 
     /// Coordinator counters (`None` on a non-coordinating service):
-    /// shard-roster size and tiles re-dispatched after shard losses.
+    /// shard-roster size, tiles re-dispatched after shard losses, and
+    /// tiles handed off from draining shards.
     pub fn shard_stats(&self) -> Option<ShardStats> {
         self.shards.as_ref().map(|s| ShardStats {
             shards: s.addrs.len(),
             tiles_redispatched: s.redispatched.load(Ordering::SeqCst),
+            tiles_drained: s.drained.load(Ordering::SeqCst),
         })
     }
 }
@@ -1336,6 +1478,15 @@ impl Drop for SignoffService {
             m.cancel.cancel();
         }
         self.pool.wait_idle();
+    }
+}
+
+/// The structured refusal a draining service answers submissions with.
+fn drain_rejection() -> Rejection {
+    Rejection {
+        code: RejectCode::Draining,
+        message: "service is draining; no new work is admitted".to_string(),
+        retry_after_vms: None,
     }
 }
 
@@ -1537,8 +1688,27 @@ fn cache_store(
         if plane.maybe_error(SITE_CACHE_WRITE, tile as u64, 0).is_err() {
             return CacheOutcome::None;
         }
+        // ENOSPC degradation: a full disk refuses the store outright —
+        // no retries, no partial entry, job unharmed.
+        if plane.maybe_nospace(SITE_CACHE_WRITE, tile as u64, 0) {
+            return CacheOutcome::None;
+        }
     }
-    if cache.store(ctx.cache_key(tile), &encode_tile_partial(partial)) {
+    let crash = shared.plane.as_ref().map(|plane| {
+        let plane = Arc::clone(plane);
+        move |stage: StoreStage| match stage {
+            StoreStage::Tmp => plane.crash_point(SITE_CACHE_STORE_TMP, tile as u64, 0),
+            StoreStage::Rename => {
+                plane.crash_point(SITE_CACHE_STORE_RENAME, tile as u64, 0)
+            }
+        }
+    });
+    let stored = cache.store_staged(
+        ctx.cache_key(tile),
+        &encode_tile_partial(partial),
+        crash.as_ref().map(|c| c as &dyn Fn(StoreStage) -> bool),
+    );
+    if stored {
         CacheOutcome::Stored
     } else {
         CacheOutcome::None
@@ -1554,12 +1724,24 @@ fn write_checkpoint_with_retry(
     partial: &TilePartial,
     tile: usize,
 ) -> bool {
+    if let Some(plane) = &shared.plane {
+        // ENOSPC degradation: a full disk fails every retry the same
+        // way, so degrade immediately (`CkptDegraded`) instead of
+        // burning the write budget.
+        if plane.maybe_nospace(SITE_CKPT_WRITE, tile as u64, 0) {
+            return false;
+        }
+    }
     for write_attempt in 0..shared.policy.ckpt_write_attempts.max(1) {
         let injected = match &shared.plane {
             Some(plane) => plane.maybe_error(SITE_CKPT_WRITE, tile as u64, write_attempt),
             None => Ok(()),
         };
-        if injected.is_ok() && dir.write_tile(partial).is_ok() {
+        if injected.is_ok()
+            && dir
+                .write_tile_probed(partial, shared.plane.as_deref(), write_attempt)
+                .is_ok()
+        {
             return true;
         }
     }
@@ -1742,16 +1924,20 @@ pub(crate) fn ingest_shard_outcome(
     outcome: &TileOutcome,
 ) {
     let tile = outcome.tile;
-    // Decode and (best-effort) persist outside the job lock. No fault
-    // probes fire here: the shard already ran the tile's checkpoint
-    // faults (replayed via `ckpt_degraded`), and a shared plan probed
-    // again at the coordinator would fire twice and skew the bytes.
+    // Decode and (best-effort) persist outside the job lock. The
+    // `signoff.ckpt.write` error site does NOT fire here: the shard
+    // already ran the tile's checkpoint faults (replayed via
+    // `ckpt_degraded`), and a shared plan probed again at the
+    // coordinator would fire twice and skew the bytes. The staged
+    // crash sites inside `write_tile_probed` are coordinator-side
+    // durable transitions, though — a crash there loses only this
+    // best-effort persist, which resume recomputes.
     let resolution = match &outcome.kind {
         TileOutcomeKind::Done { data, ckpt_degraded, cache } => {
             match decode_tile_partial(data, tile) {
                 Some(partial) => {
                     if let Some(dir) = &job.dir {
-                        let _ = dir.write_tile(&partial);
+                        let _ = dir.write_tile_probed(&partial, shared.plane.as_deref(), 0);
                     }
                     TileResolution::Done {
                         partial,

@@ -27,17 +27,41 @@
 //! # Failure matrix
 //!
 //! Coordinator↔shard sockets are first-class fault sites
-//! ([`SITE_SHARD_DISPATCH`], [`SITE_SHARD_PULL`]). Any puller failure
-//! (injected or real — connect refusal, torn frame, settled shard with
-//! unreported tiles, or a virtual-clock watchdog expiry charged
-//! [`PULL_POLL_VMS`] per empty poll) declares that shard dead: its
-//! outstanding tiles re-dispatch to the lowest-indexed surviving shard
-//! under a bumped generation (recovering through the tile cache where
-//! warm), and when no shard survives the lost tiles quarantine with a
-//! per-shard `shard {k} lost: …` manifest and the job settles
-//! `Partial`. A killed coordinator resumes from its checkpoint root:
-//! pullers re-attach to the shards' retained `(origin, gen)` jobs and
-//! replay outcome logs from the last merged prefix.
+//! ([`SITE_SHARD_DISPATCH`], [`SITE_SHARD_PULL`],
+//! [`SITE_SHARD_HEARTBEAT`], [`SITE_COORD_INGEST`]). Any puller
+//! failure (injected or real — connect refusal, torn frame, settled
+//! shard with unreported tiles, or lease expiry) declares that shard
+//! dead: its outstanding tiles re-dispatch to the lowest-indexed
+//! surviving shard under a bumped generation (recovering through the
+//! tile cache where warm), and when no shard survives the lost tiles
+//! quarantine with a per-shard `shard {k} lost: …` manifest and the
+//! job settles `Partial`. A killed coordinator resumes from its
+//! checkpoint root: pullers re-attach to the shards' retained
+//! `(origin, gen)` jobs and replay outcome logs from the last merged
+//! prefix.
+//!
+//! # Lease liveness
+//!
+//! Each empty pull is followed by a `shard.heartbeat` probe. An
+//! on-time ack renews the shard's lease (resets the idle clock), so an
+//! idle-but-alive shard can never be expired by pull timeouts alone; a
+//! dropped heartbeat (injected at [`SITE_SHARD_HEARTBEAT`]) leaves the
+//! idle clock accruing [`PULL_POLL_VMS`] per poll toward the
+//! virtual-clock watchdog budget, a late heartbeat (delay rule)
+//! additionally charges its delay, and a heartbeat transport failure
+//! is an immediate loss.
+//!
+//! # Planned drain handoff
+//!
+//! A shard whose service is draining (`shutdown --drain`) settles its
+//! shard jobs and raises the `draining` flag on pulls. The puller
+//! drains every flushed outcome first, then hands the remainder to a
+//! survivor as a *planned handoff*: counted in
+//! [`ShardStats::tiles_drained`] (never `tiles_redispatched`), no loss
+//! manifest, no loss adjudication. The generation still bumps — the
+//! survivor needs a fresh `(coord, origin, gen)` idempotency key — but
+//! the churn a real loss causes (watchdog expiry, quarantine
+//! adjudication) is skipped entirely.
 
 use crate::client::Client;
 use crate::job::JobContext;
@@ -59,6 +83,20 @@ pub const SITE_SHARD_DISPATCH: &str = "coord.dispatch";
 /// `(shard, generation)` — a firing `Drop` rule fails the puller, so
 /// the shard is declared dead and its outstanding range re-dispatched.
 pub const SITE_SHARD_PULL: &str = "coord.pull";
+
+/// Fault site: one coordinator⇄shard heartbeat. Keyed by shard index;
+/// `attempt` is the heartbeat counter on that `(shard, generation)`.
+/// A `Drop` rule loses the heartbeat (no lease renewal), a `Delay`
+/// rule makes the ack late (its virtual delay charges the idle clock),
+/// and a transport error is an immediate shard loss.
+pub const SITE_SHARD_HEARTBEAT: &str = "shard.heartbeat";
+
+/// Crash site: the coordinator dies after pulling a shard outcome but
+/// before ingesting it into the merge prefix. Keyed by shard index;
+/// `attempt` is the per-puller ingest counter. Recovery replays the
+/// shard's retained outcome log from the last merged prefix, so the
+/// un-ingested outcome is never lost.
+pub const SITE_COORD_INGEST: &str = "coord.ingest";
 
 /// Virtual milliseconds charged against
 /// [`crate::SupervisionPolicy::watchdog_vms`] per pull that returns no
@@ -210,6 +248,8 @@ pub struct ShardStats {
     pub shards: usize,
     /// Tiles re-dispatched to a surviving shard after a shard loss.
     pub tiles_redispatched: u64,
+    /// Tiles handed off to a surviving shard after a planned drain.
+    pub tiles_drained: u64,
 }
 
 /// The fixed shard roster of a coordinating service.
@@ -222,11 +262,17 @@ pub(crate) struct ShardSet {
     /// checkpoint root), unique per instance otherwise.
     pub(crate) coord: u64,
     pub(crate) redispatched: AtomicU64,
+    pub(crate) drained: AtomicU64,
 }
 
 impl ShardSet {
     pub(crate) fn new(addrs: Vec<String>, coord: u64) -> ShardSet {
-        ShardSet { addrs, coord, redispatched: AtomicU64::new(0) }
+        ShardSet {
+            addrs,
+            coord,
+            redispatched: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
     }
 }
 
@@ -300,7 +346,7 @@ fn spawn_puller(
         Arc::clone(ctx),
     );
     std::thread::spawn(move || {
-        if let Err(e) = puller_loop(
+        match puller_loop(
             &shared,
             &run,
             &job,
@@ -311,15 +357,27 @@ fn spawn_puller(
             gen,
             mine.clone(),
         ) {
-            handle_shard_loss(&shared, &set, &run, &job, &ctx, shard, &e);
+            Ok(()) => {}
+            Err(end) => handle_shard_end(&shared, &set, &run, &job, &ctx, shard, end),
         }
     });
+}
+
+/// Why a puller gave up on its shard.
+enum PullerEnd {
+    /// The shard is dead (transport failure, injected fault, settled
+    /// with unreported tiles, or lease expiry) — adjudicate a loss.
+    Loss(String),
+    /// The shard's service is draining — a planned handoff, not a
+    /// failure.
+    Drained,
 }
 
 /// Streams one shard's outcome log into the coordinator job until the
 /// shard has delivered every tile this puller owns. `Ok(())` means
 /// either full delivery or a benign exit (the run was superseded by a
-/// cancel/resume); `Err` declares the shard dead.
+/// cancel/resume); `Err` is either a shard death or a planned drain
+/// handoff ([`PullerEnd`]).
 ///
 /// Loss diagnostics name shards by roster index, never by socket
 /// address: the quarantine manifest of a degraded job must not vary
@@ -335,18 +393,18 @@ fn puller_loop(
     shard: usize,
     gen: u64,
     mut mine: BTreeSet<usize>,
-) -> Result<(), String> {
+) -> Result<(), PullerEnd> {
     if let Some(plane) = &shared.plane {
         plane
             .maybe_error(SITE_SHARD_DISPATCH, shard as u64, gen)
-            .map_err(|e| format!("dispatch to shard {shard}: {e}"))?;
+            .map_err(|e| PullerEnd::Loss(format!("dispatch to shard {shard}: {e}")))?;
     }
     let mut client = Client::builder()
         .timeout(Duration::from_secs(10))
         .connect(addr)
         .map_err(|e| {
             eprintln!("coordinator: shard {shard} ({addr}) unreachable: {e}");
-            format!("shard {shard}: connect failed")
+            PullerEnd::Loss(format!("shard {shard}: connect failed"))
         })?;
     let origin = job.id;
     // Re-attach first: a restarted coordinator (or a reconnecting
@@ -360,18 +418,26 @@ fn puller_loop(
             let ranges = compress_ranges(mine.iter().copied());
             client
                 .shard_dispatch(coord, origin, gen, spec, gds, Some(ranges))
-                .map_err(|e| format!("dispatch to shard {shard}: {e}"))?
+                .map_err(|e| {
+                    if e.contains("draining") {
+                        PullerEnd::Drained
+                    } else {
+                        PullerEnd::Loss(format!("dispatch to shard {shard}: {e}"))
+                    }
+                })?
         }
     };
     if grant.total != ctx.tile_count() {
-        return Err(format!(
+        return Err(PullerEnd::Loss(format!(
             "shard {shard} computed {} tiles, coordinator expects {}",
             grant.total,
             ctx.tile_count()
-        ));
+        )));
     }
     let mut since = 0;
     let mut pulls = 0;
+    let mut heartbeats = 0;
+    let mut ingested = 0;
     let mut idle_vms = 0;
     loop {
         if !shard_run_live(job, run) {
@@ -379,19 +445,33 @@ fn puller_loop(
         }
         if let Some(plane) = &shared.plane {
             if plane.should_drop(SITE_SHARD_PULL, shard as u64, pulls) {
-                return Err(format!("pull from shard {shard}: injected socket drop"));
+                return Err(PullerEnd::Loss(format!(
+                    "pull from shard {shard}: injected socket drop"
+                )));
             }
         }
         pulls += 1;
-        let (outcomes, next, settled) = client
+        let (outcomes, next, settled, draining) = client
             .shard_pull(grant.job, since)
-            .map_err(|e| format!("pull from shard {shard}: {e}"))?;
+            .map_err(|e| PullerEnd::Loss(format!("pull from shard {shard}: {e}")))?;
         since = next;
         let mut progressed = false;
         for outcome in &outcomes {
             if !mine.remove(&outcome.tile) {
                 continue; // another generation's tile, or a duplicate
             }
+            if let Some(plane) = &shared.plane {
+                // Coordinator death between pull and merge: the
+                // outcome stays in the shard's retained log, so the
+                // restarted coordinator replays it on re-attach.
+                if plane.crash_point(SITE_COORD_INGEST, shard as u64, ingested) {
+                    return Err(PullerEnd::Loss(format!(
+                        "injected crash at {SITE_COORD_INGEST} before merging tile {} from shard {shard}",
+                        outcome.tile
+                    )));
+                }
+            }
+            ingested += 1;
             ingest_shard_outcome(shared, job, ctx, outcome);
             run.finish_tile(shard, outcome.tile);
             progressed = true;
@@ -400,20 +480,55 @@ fn puller_loop(
             return Ok(());
         }
         if settled {
-            return Err(format!(
+            // A draining shard settles its jobs on purpose; every
+            // flushed outcome was just drained above, so the remainder
+            // is a planned handoff, not a loss.
+            if draining {
+                return Err(PullerEnd::Drained);
+            }
+            return Err(PullerEnd::Loss(format!(
                 "shard {shard} settled with {} tiles unreported",
                 mine.len()
-            ));
+            )));
         }
         if progressed {
             idle_vms = 0;
         } else {
-            idle_vms += PULL_POLL_VMS;
+            // Idle poll: probe liveness with a heartbeat. An on-time
+            // ack renews the lease (idle clock resets); a dropped
+            // heartbeat leaves the clock accruing toward the watchdog
+            // budget; a late one additionally charges its delay; a
+            // transport failure is an immediate loss.
+            let hb = heartbeats;
+            heartbeats += 1;
+            let dropped = shared
+                .plane
+                .as_ref()
+                .is_some_and(|p| p.should_drop(SITE_SHARD_HEARTBEAT, shard as u64, hb));
+            let mut late_vms = 0;
+            let mut renewed = false;
+            if !dropped {
+                if let Some(plane) = &shared.plane {
+                    if let Some(vms) = plane.delay_vms(SITE_SHARD_HEARTBEAT, shard as u64, hb)
+                    {
+                        late_vms = vms;
+                    }
+                }
+                client.shard_heartbeat(grant.job).map_err(|e| {
+                    PullerEnd::Loss(format!("heartbeat to shard {shard}: {e}"))
+                })?;
+                renewed = true;
+            }
+            if renewed && late_vms == 0 {
+                idle_vms = 0;
+            } else {
+                idle_vms += PULL_POLL_VMS + late_vms;
+            }
             if let Some(budget) = shared.policy.watchdog_vms {
                 if idle_vms >= budget {
-                    return Err(format!(
-                        "watchdog: shard {shard} silent for {idle_vms} vms (budget {budget} vms)"
-                    ));
+                    return Err(PullerEnd::Loss(format!(
+                        "lease expired: shard {shard} unrenewed for {idle_vms} vms (budget {budget} vms)"
+                    )));
                 }
             }
         }
@@ -421,19 +536,27 @@ fn puller_loop(
     }
 }
 
-/// Adjudicates a dead shard: exactly one caller (the shard's failed
-/// puller) takes its outstanding tiles — to the lowest-indexed
-/// surviving shard under a bumped generation, or into per-tile
-/// quarantine (`shard {k} lost: …`) when no shard survives.
-fn handle_shard_loss(
+/// Adjudicates a shard that stopped serving its range: exactly one
+/// caller (the shard's failed puller) takes its outstanding tiles — to
+/// the lowest-indexed surviving shard under a bumped generation, or
+/// into per-tile quarantine (`shard {k} lost: …`) when no shard
+/// survives. A planned drain ([`PullerEnd::Drained`]) rides the same
+/// takeover but is accounted separately (`tiles_drained`) and never
+/// logged as a loss.
+fn handle_shard_end(
     shared: &Arc<RunShared>,
     set: &Arc<ShardSet>,
     run: &Arc<ShardRun>,
     job: &Arc<Job>,
     ctx: &Arc<JobContext>,
     shard: usize,
-    err: &str,
+    end: PullerEnd,
 ) {
+    let (err, planned) = match &end {
+        PullerEnd::Loss(e) => (e.clone(), false),
+        PullerEnd::Drained => (format!("shard {shard} draining"), true),
+    };
+    let err = err.as_str();
     // Exactly one caller wins the dead shard's tiles: mem::take under
     // the lock empties the set, so a racing second puller failure on
     // the same shard finds nothing and returns.
@@ -462,11 +585,19 @@ fn handle_shard_loss(
     }
     match takeover {
         Takeover::Redispatch { target, gen, lost } => {
-            set.redispatched.fetch_add(lost.len() as u64, Ordering::SeqCst);
-            eprintln!(
-                "coordinator: shard {shard} lost ({err}); re-dispatching {} tiles to shard {target} (gen {gen})",
-                lost.len()
-            );
+            if planned {
+                set.drained.fetch_add(lost.len() as u64, Ordering::SeqCst);
+                eprintln!(
+                    "coordinator: shard {shard} draining; handing {} tiles to shard {target} (gen {gen})",
+                    lost.len()
+                );
+            } else {
+                set.redispatched.fetch_add(lost.len() as u64, Ordering::SeqCst);
+                eprintln!(
+                    "coordinator: shard {shard} lost ({err}); re-dispatching {} tiles to shard {target} (gen {gen})",
+                    lost.len()
+                );
+            }
             spawn_puller(shared, set, run, job, ctx, target, gen, lost);
         }
         Takeover::Quarantine { lost } => {

@@ -181,7 +181,8 @@ fn v1_clients_still_work_and_v2_rejections_are_structured() {
     let mut writer = stream.try_clone().expect("clone");
     let mut reader = BufReader::new(stream);
     let spec_v1 = JobSpec { tenant: "acme".to_string(), ..spec() };
-    let mut line = dfm_signoff::proto::Request::Submit { spec: spec_v1, gds: gds_bytes.clone() }
+    let mut line =
+        dfm_signoff::proto::Request::Submit { spec: spec_v1, gds: gds_bytes.clone(), idem: None }
         .body_json()
         .render();
     assert!(!line.contains("\"v\""), "body_json is the v1 frame shape");

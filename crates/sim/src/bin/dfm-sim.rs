@@ -1,0 +1,60 @@
+//! `dfm-sim` — run the deterministic crash-simulation harness from
+//! the command line.
+//!
+//! ```text
+//! dfm-sim [--threads N] [--seed S] [--root DIR] [--keep]
+//! ```
+//!
+//! Prints the deterministic transcript and exits non-zero when any
+//! scenario violates its recovery invariant. `--threads` defaults to
+//! the `DFM_THREADS` environment variable (then 4); the transcript is
+//! byte-identical at every worker count, which CI enforces by diffing
+//! runs at `DFM_THREADS=1` and `DFM_THREADS=4`.
+
+use dfm_sim::{run_all, SimConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: dfm-sim [--threads N] [--seed S] [--root DIR] [--keep]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut threads: Option<usize> = None;
+    let mut seed: u64 = 7;
+    let mut root: Option<PathBuf> = None;
+    let mut keep = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--keep" => keep = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let threads = threads
+        .or_else(|| std::env::var("DFM_THREADS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(4);
+    let root = root.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("dfm-sim-{}", std::process::id()))
+    });
+
+    let cfg = SimConfig { threads, seed, root: root.clone() };
+    let report = match run_all(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dfm-sim: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+    if !keep {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    std::process::exit(if report.pass() { 0 } else { 1 });
+}

@@ -1,0 +1,90 @@
+//! The crash-matrix acceptance suite: every registered crash site
+//! must recover byte-identically to the crash-free baseline, and the
+//! non-matrix robustness scenarios (reconnect, idempotent resubmit,
+//! drain, ENOSPC) must hold.
+
+use dfm_fault::crash;
+use dfm_sim::{
+    quick_baseline, run_all, run_drain, run_enospc, run_idem, run_reconnect, SimConfig,
+    GOLDEN_REPORT_DIGEST,
+};
+
+fn cfg(tag: &str) -> SimConfig {
+    SimConfig::new(
+        std::env::temp_dir().join(format!("dfm-sim-test-{tag}-{}", std::process::id())),
+    )
+}
+
+#[test]
+fn registry_enumerates_at_least_twelve_crash_sites() {
+    assert!(
+        crash::SITES.len() >= 12,
+        "crash-site registry shrank to {} entries",
+        crash::SITES.len()
+    );
+    // Every registry entry must be findable by key.
+    for site in crash::SITES {
+        assert!(crash::lookup(site.site).is_some(), "lookup({}) failed", site.site);
+    }
+}
+
+#[test]
+fn crash_matrix_recovers_byte_identically_at_every_site() {
+    let cfg = cfg("matrix");
+    let report = run_all(&cfg).expect("sim run");
+    let _ = std::fs::remove_dir_all(&cfg.root);
+    assert_eq!(
+        report.baseline_digest, GOLDEN_REPORT_DIGEST,
+        "coordinated baseline drifted off the golden digest"
+    );
+    assert_eq!(
+        report.sites.len(),
+        crash::SITES.len(),
+        "matrix did not cover the whole registry"
+    );
+    for site in &report.sites {
+        assert!(
+            site.pass(),
+            "site {} violated its recovery invariant: life1 {} life2 {} match {} fired {} tmp {}/{}",
+            site.site, site.life1, site.life2, site.matched, site.fired,
+            site.tmp_between, site.tmp_after
+        );
+    }
+    for extra in &report.extras {
+        assert!(extra.pass, "scenario {} failed: {}", extra.name, extra.detail);
+    }
+    assert!(report.pass(), "transcript-level verdict disagrees with per-scenario checks");
+}
+
+#[test]
+fn reconnect_resumes_gapless_and_identical() {
+    let cfg = cfg("reconnect");
+    let base = quick_baseline(cfg.threads).expect("quick baseline");
+    let result = run_reconnect(&cfg, &base).expect("reconnect scenario");
+    assert!(result.pass, "reconnect: {}", result.detail);
+}
+
+#[test]
+fn idempotent_resubmit_after_torn_ack_mints_one_job() {
+    let cfg = cfg("idem");
+    let result = run_idem(&cfg).expect("idem scenario");
+    assert!(result.pass, "idem: {}", result.detail);
+}
+
+#[test]
+fn drain_mid_job_loses_no_computed_tiles() {
+    let cfg = cfg("drain");
+    let base = quick_baseline(cfg.threads).expect("quick baseline");
+    let result = run_drain(&cfg, &base).expect("drain scenario");
+    let _ = std::fs::remove_dir_all(&cfg.root);
+    assert!(result.pass, "drain: {}", result.detail);
+}
+
+#[test]
+fn enospc_plan_degrades_without_failing_the_job() {
+    let cfg = cfg("enospc");
+    let base = quick_baseline(cfg.threads).expect("quick baseline");
+    let result = run_enospc(&cfg, &base).expect("enospc scenario");
+    let _ = std::fs::remove_dir_all(&cfg.root);
+    assert!(result.pass, "enospc: {}", result.detail);
+}

@@ -8,7 +8,8 @@
 //!                     [--shard-of K/N]
 //! dfm-signoff coordinate --shards HOST:PORT[,HOST:PORT...] [serve flags]
 //! dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
-//! dfm-signoff submit  --addr HOST:PORT --gds FILE [--tenant T] [--priority P] [spec flags]
+//! dfm-signoff submit  --addr HOST:PORT --gds FILE [--idem KEY] [--retry N]
+//!                     [--tenant T] [--priority P] [spec flags]
 //! dfm-signoff status  --addr HOST:PORT --job ID [--tenant T] [--priority P]
 //! dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
 //! dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait] [--tenant T] [--priority P]
@@ -18,7 +19,7 @@
 //! dfm-signoff cancel  --addr HOST:PORT --job ID
 //! dfm-signoff resume  --addr HOST:PORT --job ID
 //! dfm-signoff list    --addr HOST:PORT
-//! dfm-signoff shutdown --addr HOST:PORT
+//! dfm-signoff shutdown --addr HOST:PORT [--drain]
 //! dfm-signoff flat-report --gds FILE [spec flags]
 //! dfm-signoff cache   stats|verify|clear --dir DIR
 //! ```
@@ -165,8 +166,8 @@ const USAGE: &str = "usage:
                       [--shard-of K/N]
   dfm-signoff coordinate --shards HOST:PORT[,HOST:PORT...] [serve flags]
   dfm-signoff gen     --out FILE [--width NM] [--height NM] [--seed S]
-  dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [--tenant T] [--priority P]
-                      [spec flags]
+  dfm-signoff submit  --addr HOST:PORT --gds FILE [--wait] [--idem KEY] [--retry N]
+                      [--tenant T] [--priority P] [spec flags]
   dfm-signoff status  --addr HOST:PORT --job ID [--tenant T] [--priority P]
   dfm-signoff events  --addr HOST:PORT --job ID [--since SEQ]
   dfm-signoff results --addr HOST:PORT --job ID [--partial] [--wait] [--tenant T] [--priority P]
@@ -176,7 +177,7 @@ const USAGE: &str = "usage:
   dfm-signoff cancel  --addr HOST:PORT --job ID
   dfm-signoff resume  --addr HOST:PORT --job ID
   dfm-signoff list    --addr HOST:PORT
-  dfm-signoff shutdown --addr HOST:PORT
+  dfm-signoff shutdown --addr HOST:PORT [--drain]
   dfm-signoff flat-report --gds FILE [spec flags]
   dfm-signoff cache   stats|verify|clear --dir DIR
 spec flags: --name S --tech n65|n45|n28 --tile NM --halo NM --no-drc
@@ -463,6 +464,8 @@ fn submit(args: &[String]) -> Result<u8, String> {
     let mut client = connect(&mut flags)?;
     let gds_path = flags.value("--gds")?.ok_or("--gds FILE is required")?.to_string();
     let wait = flags.present("--wait");
+    let idem = flags.value("--idem")?.map(str::to_string);
+    let retry: Option<u64> = flags.parsed("--retry")?;
     let mut spec = spec_from_flags(&mut flags)?;
     if let Some(tenant) = flags.value("--tenant")? {
         spec.tenant = tenant.to_string();
@@ -473,7 +476,15 @@ fn submit(args: &[String]) -> Result<u8, String> {
     spec.validate()?;
     flags.finish()?;
     let bytes = std::fs::read(&gds_path).map_err(|e| format!("read {gds_path}: {e}"))?;
-    let job = match client.try_submit(spec, bytes) {
+    // `--retry N` keeps resubmitting while the server answers with a
+    // deterministic retry-after hint (backpressure), so a rejected-then-
+    // admitted submission needs no wrapper script.
+    let attempt = if let Some(tries) = retry {
+        client.submit_until_admitted(spec, bytes, idem.as_deref(), tries)
+    } else {
+        client.try_submit_idem(spec, bytes, idem.as_deref())
+    };
+    let job = match attempt {
         Ok(job) => job,
         // An admission refusal is its own exit code (4) and prints the
         // machine-readable v2 error object on stdout, so callers can
@@ -658,8 +669,9 @@ fn list(args: &[String]) -> Result<u8, String> {
 fn shutdown(args: &[String]) -> Result<u8, String> {
     let mut flags = Flags::new(args);
     let mut client = connect(&mut flags)?;
+    let drain = flags.present("--drain");
     flags.finish()?;
-    client.shutdown().map(|()| EXIT_PASS)
+    client.shutdown_mode(drain).map(|()| EXIT_PASS)
 }
 
 fn cache_cmd(args: &[String]) -> Result<u8, String> {
@@ -681,7 +693,18 @@ fn cache_cmd(args: &[String]) -> Result<u8, String> {
         }
         "verify" => {
             let r = cache.verify();
-            println!("ok {} removed {}", r.ok, r.removed);
+            // The open scan above already dropped any entry whose
+            // decode failed, so count those with the verify sweep —
+            // a fresh process must still report the corruption it
+            // repaired.
+            let removed = cache.stats().corrupt_dropped;
+            println!("ok {} removed {removed}", r.ok);
+            // Corruption that had to be quarantined is an operational
+            // error even though the cache is healthy again: CI must see
+            // a non-zero exit so silent bit-rot cannot pass a pipeline.
+            if removed > 0 {
+                return Ok(EXIT_ERROR);
+            }
         }
         "clear" => {
             let removed = cache.clear().map_err(|e| format!("clear cache {dir}: {e}"))?;
